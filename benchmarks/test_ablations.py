@@ -1,0 +1,278 @@
+"""Ablation benchmarks for the design choices the paper discusses.
+
+a1 — partition count vs per-stage overhead (Section III's closing
+     question: more partitions improve balance but inflate the actor-
+     system/metadata overhead charged per shuffle stage).
+a2 — static vs dynamic scheduling, intra-node (OpenMP static vs the
+     conjectured work-stealing) and inter-node (contiguous vs round-robin
+     scan-range assignment).
+a3 — WKT strings vs binary (WKB) geometry representation (Section III's
+     future-work item).
+a4 — broadcast vs partitioned spatial join plans.
+"""
+
+import pytest
+
+from conftest import SCALE, record
+from repro.bench import materialize, run_ispmc, run_spatialspark
+from repro.bench.runner import cluster_spec
+from repro.cluster import CostModel, Resource
+from repro.core import (
+    SpatialOperator,
+    broadcast_spatial_join,
+    partitioned_spatial_join,
+    read_geometry_pairs,
+    standalone_spatial_join,
+)
+from repro.spark import SparkContext
+
+
+# -- a1: number of partitions -------------------------------------------------
+
+@pytest.mark.parametrize("partitions", [10, 40, 160, 640])
+def test_a1_partition_count(benchmark, workloads, partitions):
+    mat = workloads["taxi-nycb"]
+
+    def run():
+        return run_spatialspark(mat, 10, num_partitions=partitions)
+
+    result = record(benchmark, run, f"a1 partitions={partitions}")
+    assert result.result_rows > 0
+
+
+def test_a1_tradeoff_shape(workloads):
+    """Too few partitions starves cores; too many pays metadata overhead."""
+    mat = workloads["taxi-nycb"]
+    times = {
+        p: run_spatialspark(mat, 10, num_partitions=p).simulated_seconds
+        for p in (4, 160, 4000)
+    }
+    # The middle setting beats both extremes.
+    assert times[160] < times[4]
+    assert times[160] < times[4000]
+
+
+# -- a2: scheduling policies --------------------------------------------------
+
+def test_a2_intra_node_dynamic_beats_static(workloads):
+    """The paper's conjecture: TBB-style work stealing would beat the
+    OpenMP static chunks it was forced into."""
+    mat = workloads["taxi-lion-500"]
+    static = standalone_spatial_join(
+        mat.hdfs, mat.left_path, mat.right_path, mat.workload.operator,
+        radius=mat.radius, scheduling="static",
+        build_cost_weight=mat.build_cost_weight,
+    )
+    dynamic = standalone_spatial_join(
+        mat.hdfs, mat.left_path, mat.right_path, mat.workload.operator,
+        radius=mat.radius, scheduling="dynamic",
+        build_cost_weight=mat.build_cost_weight,
+    )
+    assert sorted(static.pairs) == sorted(dynamic.pairs)
+    assert dynamic.simulated_seconds <= static.simulated_seconds * 1.001
+
+
+@pytest.mark.parametrize("assignment", ["round_robin", "contiguous"])
+def test_a2_inter_node_assignment(benchmark, workloads, assignment):
+    mat = workloads["taxi-lion-500"]
+    record(
+        benchmark,
+        lambda: run_ispmc(mat, 10, assignment=assignment),
+        f"a2 {assignment}",
+    )
+
+
+def test_a2_contiguous_straggles_on_clustered_data(workloads):
+    """Morton-ordered files + contiguous ranges concentrate the dense
+    Manhattan streets on one instance; round-robin interleaves them away."""
+    mat = workloads["taxi-lion-500"]
+    contiguous = run_ispmc(mat, 10, assignment="contiguous")
+    round_robin = run_ispmc(mat, 10, assignment="round_robin")
+    assert contiguous.result_rows == round_robin.result_rows
+    assert contiguous.simulated_seconds > round_robin.simulated_seconds * 1.03
+
+
+# -- a3: WKT vs WKB representation ---------------------------------------------
+
+def test_a3_wkb_cheaper_than_wkt(workloads):
+    """Simulated scan+parse cost of the taxi table, text vs binary."""
+    from repro.geometry import wkb_dumps, wkt_loads
+
+    mat = workloads["taxi-nycb"]
+    model = CostModel()
+    wkt_bytes = sum(len(g.wkt()) for _, g in mat.left.records[:5000])
+    wkb_bytes = sum(len(wkb_dumps(g)) for _, g in mat.left.records[:5000])
+    wkt_cost = model.task_seconds({Resource.WKT_BYTES: wkt_bytes})
+    wkb_cost = model.task_seconds({Resource.WKB_BYTES: wkb_bytes})
+    assert wkb_cost < wkt_cost / 3  # binary parse is several times cheaper
+
+
+def test_a3_wkb_roundtrip_on_real_data(workloads):
+    from repro.geometry import wkb_dumps, wkb_loads
+
+    mat = workloads["G10M-wwf"]
+    for _, geometry in mat.right.records[:10]:
+        assert wkb_loads(wkb_dumps(geometry)) == geometry
+
+
+@pytest.mark.parametrize("codec", ["wkt", "wkb"])
+def test_a3_parse_wall_clock(benchmark, workloads, codec):
+    """Real wall-clock decode comparison on the wwf polygons."""
+    from repro.geometry import wkb_dumps, wkb_loads, wkt_loads
+
+    mat = workloads["G10M-wwf"]
+    if codec == "wkt":
+        payloads = [g.wkt() for _, g in mat.right.records]
+        benchmark(lambda: [wkt_loads(p) for p in payloads])
+    else:
+        payloads = [wkb_dumps(g) for _, g in mat.right.records]
+        benchmark(lambda: [wkb_loads(p) for p in payloads])
+    benchmark.extra_info["label"] = f"a3 decode {codec}"
+
+
+@pytest.mark.parametrize("codec", ["wkt", "wkb"])
+def test_a3_full_pipeline(benchmark, workloads, codec):
+    """End-to-end SpatialSpark taxi-nycb with text vs binary geometry.
+
+    This is the paper's future-work representation implemented whole:
+    paged WKB record files on HDFS, binary decode in the scan tasks.
+    """
+    from repro.core import read_geometry_pairs_wkb
+
+    mat = workloads["taxi-nycb"]
+    if not mat.hdfs.exists("/data/taxi.bin"):
+        mat.left.write_wkb_to_hdfs(mat.hdfs, "/data/taxi.bin")
+        mat.right.write_wkb_to_hdfs(mat.hdfs, "/data/nycb.bin")
+
+    def run():
+        sc = SparkContext(cluster_spec(10), hdfs=mat.hdfs)
+        if codec == "wkt":
+            left = read_geometry_pairs(sc, mat.left_path, 1)
+            right = read_geometry_pairs(
+                sc, mat.right_path, 1, cost_weight=mat.build_cost_weight
+            )
+        else:
+            left = read_geometry_pairs_wkb(sc, "/data/taxi.bin")
+            right = read_geometry_pairs_wkb(
+                sc, "/data/nycb.bin", cost_weight=mat.build_cost_weight
+            )
+        pairs = broadcast_spatial_join(
+            sc, left, right, SpatialOperator.WITHIN,
+            build_cost_weight=mat.build_cost_weight,
+        )
+        count = pairs.count()
+
+        class Result:
+            simulated_seconds = sc.simulated_seconds()
+            result_rows = count
+
+        return Result()
+
+    result = record(benchmark, run, f"a3 pipeline {codec}")
+    assert result.result_rows > 0
+
+
+def test_a3_binary_pipeline_faster_and_identical(workloads):
+    from repro.core import read_geometry_pairs_wkb
+
+    mat = workloads["taxi-nycb"]
+    if not mat.hdfs.exists("/data/taxi.bin"):
+        mat.left.write_wkb_to_hdfs(mat.hdfs, "/data/taxi.bin")
+        mat.right.write_wkb_to_hdfs(mat.hdfs, "/data/nycb.bin")
+
+    def run(codec):
+        sc = SparkContext(cluster_spec(10), hdfs=mat.hdfs)
+        if codec == "wkt":
+            left = read_geometry_pairs(sc, mat.left_path, 1)
+            right = read_geometry_pairs(sc, mat.right_path, 1)
+        else:
+            left = read_geometry_pairs_wkb(sc, "/data/taxi.bin")
+            right = read_geometry_pairs_wkb(sc, "/data/nycb.bin")
+        pairs = sorted(
+            broadcast_spatial_join(sc, left, right, SpatialOperator.WITHIN).collect()
+        )
+        return pairs, sc.simulated_seconds()
+
+    wkt_pairs, wkt_time = run("wkt")
+    wkb_pairs, wkb_time = run("wkb")
+    assert wkt_pairs == wkb_pairs
+    assert wkb_time < wkt_time  # string parsing eliminated
+
+
+# -- a4: broadcast vs partitioned join ------------------------------------------
+
+@pytest.mark.parametrize("plan", ["broadcast", "partitioned"])
+def test_a4_join_plans(benchmark, workloads, plan):
+    mat = workloads["taxi-nycb"]
+
+    def run():
+        sc = SparkContext(cluster_spec(10), hdfs=mat.hdfs)
+        left = read_geometry_pairs(sc, mat.left_path, 1)
+        right = read_geometry_pairs(
+            sc, mat.right_path, 1, cost_weight=mat.build_cost_weight
+        )
+        if plan == "broadcast":
+            pairs = broadcast_spatial_join(
+                sc, left, right, SpatialOperator.WITHIN,
+                build_cost_weight=mat.build_cost_weight,
+            )
+        else:
+            pairs = partitioned_spatial_join(
+                sc, left, right, SpatialOperator.WITHIN, num_tiles=32
+            )
+        count = pairs.count()
+
+        class Result:
+            simulated_seconds = sc.simulated_seconds()
+            result_rows = count
+
+        return Result()
+
+    result = record(benchmark, run, f"a4 {plan}")
+    assert result.result_rows > 0
+
+
+def test_a4_plans_agree(workloads):
+    mat = workloads["taxi-nycb"]
+    sc = SparkContext(cluster_spec(4), hdfs=mat.hdfs)
+    left = read_geometry_pairs(sc, mat.left_path, 1)
+    right = read_geometry_pairs(sc, mat.right_path, 1)
+    broadcast = sorted(
+        broadcast_spatial_join(sc, left, right, SpatialOperator.WITHIN).collect()
+    )
+    partitioned = sorted(
+        partitioned_spatial_join(
+            sc, left, right, SpatialOperator.WITHIN, num_tiles=16
+        ).collect()
+    )
+    assert broadcast == partitioned
+
+
+# -- a5: probe-per-row vs dual-tree filter ---------------------------------------
+
+@pytest.mark.parametrize("method", ["index", "dual-tree"])
+def test_a5_filter_strategies(benchmark, workloads, method):
+    """Section II notes either side or both can be indexed; compare the
+    probe-per-row plan against the synchronized dual-tree join."""
+    from repro.core import spatial_join
+
+    mat = workloads["taxi-nycb"]
+    left = mat.left.records[:4000]
+
+    def run():
+        return spatial_join(left, mat.right.records, method=method)
+
+    pairs = benchmark(run)
+    benchmark.extra_info["pairs"] = len(pairs)
+    benchmark.extra_info["label"] = f"a5 {method}"
+    assert pairs
+
+
+def test_a5_strategies_agree(workloads):
+    from repro.core import spatial_join
+
+    mat = workloads["taxi-nycb"]
+    left = mat.left.records[:2000]
+    probe = sorted(spatial_join(left, mat.right.records, method="index"))
+    dual = sorted(spatial_join(left, mat.right.records, method="dual-tree"))
+    assert probe == dual

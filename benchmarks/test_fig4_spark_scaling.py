@@ -1,0 +1,38 @@
+"""Fig 4 — SpatialSpark scalability, 4 to 10 EC2 nodes.
+
+The paper reports speedups of 1.97x-2.06x for the 2.5x node increase —
+about 80% parallel efficiency — with runtimes decreasing monotonically
+for every workload.
+"""
+
+import pytest
+
+from conftest import record
+from repro.bench import run_spatialspark
+from repro.cluster import parallel_efficiency
+
+WORKLOAD_NAMES = ("taxi-nycb", "taxi-lion-100", "taxi-lion-500", "G10M-wwf")
+NODES = (4, 6, 8, 10)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+@pytest.mark.parametrize("nodes", NODES)
+def test_fig4_point(benchmark, workloads, name, nodes):
+    record(
+        benchmark,
+        lambda: run_spatialspark(workloads[name], nodes),
+        f"Fig4 {name} @{nodes}n",
+    )
+
+
+def test_fig4_shapes(workloads):
+    for name in WORKLOAD_NAMES:
+        series = [
+            run_spatialspark(workloads[name], nodes).simulated_seconds
+            for nodes in NODES
+        ]
+        # Monotonic improvement with cluster size.
+        assert all(a > b for a, b in zip(series, series[1:])), (name, series)
+        # Parallel efficiency in the paper's neighbourhood (~80%).
+        efficiency = parallel_efficiency(series[0], NODES[0], series[-1], NODES[-1])
+        assert 0.55 <= efficiency <= 1.05, (name, efficiency)

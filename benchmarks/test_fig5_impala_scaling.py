@@ -1,0 +1,43 @@
+"""Fig 5 — ISP-MC scalability, 4 to 10 EC2 nodes.
+
+The paper reports near-linear scaling (parallel efficiency close to 100%)
+except for G10M-wwf between 8 and 10 nodes, where the runtime barely
+moves (6357s -> 6257s).
+"""
+
+import pytest
+
+from conftest import record
+from repro.bench import run_ispmc
+from repro.cluster import parallel_efficiency
+
+WORKLOAD_NAMES = ("taxi-nycb", "taxi-lion-100", "taxi-lion-500", "G10M-wwf")
+NODES = (4, 6, 8, 10)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+@pytest.mark.parametrize("nodes", NODES)
+def test_fig5_point(benchmark, workloads, name, nodes):
+    record(
+        benchmark,
+        lambda: run_ispmc(workloads[name], nodes),
+        f"Fig5 {name} @{nodes}n",
+    )
+
+
+def test_fig5_shapes(workloads):
+    for name in WORKLOAD_NAMES:
+        series = [
+            run_ispmc(workloads[name], nodes).simulated_seconds for nodes in NODES
+        ]
+        # Runtime never increases with more nodes.
+        assert all(a >= b * 0.98 for a, b in zip(series, series[1:])), (name, series)
+        efficiency = parallel_efficiency(series[0], NODES[0], series[-1], NODES[-1])
+        assert 0.55 <= efficiency <= 1.1, (name, efficiency)
+
+
+def test_fig5_results_invariant(workloads):
+    """Cluster size must never change the answer, only the runtime."""
+    for name in WORKLOAD_NAMES:
+        rows = {run_ispmc(workloads[name], nodes).result_rows for nodes in (4, 10)}
+        assert len(rows) == 1

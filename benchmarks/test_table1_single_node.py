@@ -1,0 +1,65 @@
+"""Table 1 — single-node runtimes (the 16-core in-house machine).
+
+Paper values (seconds)::
+
+                    SpatialSpark   ISP-MC   Standalone ISP-MC
+    taxi-nycb                682      588                 507
+    taxi-lion-100            696     1061                 983
+    taxi-lion-500            825     5720                4922
+    G10M-wwf                2445    12736               11634
+
+Shapes under reproduction: ISP-MC wins only the scan-dominated taxi-nycb;
+SpatialSpark wins all three refinement-heavy joins with the largest gap
+on taxi-lion-500; standalone ISP-MC undercuts ISP-MC by the 7.3-13.9%
+infrastructure overhead.
+"""
+
+import pytest
+
+from conftest import record
+from repro.bench import run_isp_standalone, run_ispmc, run_spatialspark
+
+WORKLOAD_NAMES = ("taxi-nycb", "taxi-lion-100", "taxi-lion-500", "G10M-wwf")
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_table1_spatialspark(benchmark, workloads, name):
+    record(benchmark, lambda: run_spatialspark(workloads[name], 1), f"T1 SS {name}")
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_table1_ispmc(benchmark, workloads, name):
+    record(benchmark, lambda: run_ispmc(workloads[name], 1), f"T1 ISP {name}")
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_table1_isp_standalone(benchmark, workloads, name):
+    record(benchmark, lambda: run_isp_standalone(workloads[name]), f"T1 STA {name}")
+
+
+def test_table1_shapes(workloads):
+    """The relative magnitudes the paper reports must hold."""
+    times = {}
+    for name in WORKLOAD_NAMES:
+        times[name] = (
+            run_spatialspark(workloads[name], 1).simulated_seconds,
+            run_ispmc(workloads[name], 1).simulated_seconds,
+            run_isp_standalone(workloads[name]).simulated_seconds,
+        )
+    # ISP-MC wins (or ties) the scan-dominated taxi-nycb run...
+    ss, isp, sta = times["taxi-nycb"]
+    assert isp <= ss * 1.1
+    # ...and loses the three refinement-heavy ones.
+    for name in ("taxi-lion-100", "taxi-lion-500", "G10M-wwf"):
+        ss, isp, _ = times[name]
+        assert isp > ss
+    # taxi-lion-500 carries the largest ISP/SS gap of the NearestD pair.
+    gap_100 = times["taxi-lion-100"][1] / times["taxi-lion-100"][0]
+    gap_500 = times["taxi-lion-500"][1] / times["taxi-lion-500"][0]
+    assert gap_500 > 1.5 * gap_100
+    # Infrastructure overhead (ISP-MC over standalone) in a 2-35% band —
+    # the paper measured 7.3-13.9%.
+    for name in WORKLOAD_NAMES:
+        _, isp, sta = times[name]
+        overhead = isp / sta - 1.0
+        assert 0.02 < overhead < 0.35, (name, overhead)

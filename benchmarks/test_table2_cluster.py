@@ -1,0 +1,44 @@
+"""Table 2 — runtimes on the 10-node EC2 cluster.
+
+Paper values (seconds)::
+
+                    SpatialSpark   ISP-MC   ISP/SS
+    taxi-nycb                110      758      6.9
+    taxi-lion-100             65      307      4.7
+    taxi-lion-500            249     1785      7.2
+    G10M-wwf                 735     7728     10.5
+
+Shape under reproduction: SpatialSpark wins every workload at 10 nodes by
+a multiple (the paper's 4.7x-10.5x band), driven by the JTS/GEOS
+refinement gap plus ISP-MC's degradation on the memory-constrained fleet.
+"""
+
+import pytest
+
+from conftest import record
+from repro.bench import run_ispmc, run_spatialspark
+
+WORKLOAD_NAMES = ("taxi-nycb", "taxi-lion-100", "taxi-lion-500", "G10M-wwf")
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_table2_spatialspark(benchmark, workloads, name):
+    record(benchmark, lambda: run_spatialspark(workloads[name], 10), f"T2 SS {name}")
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_table2_ispmc(benchmark, workloads, name):
+    record(benchmark, lambda: run_ispmc(workloads[name], 10), f"T2 ISP {name}")
+
+
+def test_table2_shapes(workloads):
+    gaps = {}
+    for name in WORKLOAD_NAMES:
+        ss = run_spatialspark(workloads[name], 10)
+        isp = run_ispmc(workloads[name], 10)
+        assert ss.result_rows == isp.result_rows
+        gaps[name] = isp.simulated_seconds / ss.simulated_seconds
+    # SpatialSpark wins everywhere, by a multiple on the heavy joins.
+    assert all(gap > 1.5 for gap in gaps.values()), gaps
+    assert gaps["taxi-lion-500"] > 3.0
+    assert gaps["G10M-wwf"] > 3.0

@@ -1,0 +1,44 @@
+"""Cluster scalability sweep — regenerates Fig 4 and Fig 5 interactively.
+
+Runs one workload across 4/6/8/10 simulated EC2 nodes on both engines and
+prints the runtime series plus parallel efficiency, the quantities the
+paper plots in Figs 4-5.  Pass a different workload name to sweep it::
+
+    python examples/cluster_scaling.py taxi-lion-500
+
+Default is taxi-nycb at a small scale so the sweep finishes in seconds.
+"""
+
+import sys
+
+from repro.bench import materialize
+from repro.bench.runner import run_ispmc, run_spatialspark
+from repro.cluster import parallel_efficiency
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "taxi-nycb"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.1
+    nodes_list = (4, 6, 8, 10)
+    mat = materialize(workload, scale=scale)
+    print(f"workload {workload} at scale {scale} "
+          f"({len(mat.left)} x {len(mat.right)} records)")
+    series = {}
+    for label, runner in (("SpatialSpark", run_spatialspark), ("ISP-MC", run_ispmc)):
+        points = []
+        for nodes in nodes_list:
+            result = runner(mat, nodes)
+            points.append((nodes, result.simulated_seconds))
+        series[label] = points
+        cells = "  ".join(f"{n}n:{t:8.1f}s" for n, t in points)
+        efficiency = parallel_efficiency(
+            points[0][1], nodes_list[0], points[-1][1], nodes_list[-1]
+        )
+        print(f"{label:>13}: {cells}  efficiency {efficiency:.0%}")
+    gap = series["ISP-MC"][-1][1] / series["SpatialSpark"][-1][1]
+    print(f"at 10 nodes SpatialSpark is {gap:.1f}x faster than ISP-MC "
+          "(paper: 4.7x-10.5x)")
+
+
+if __name__ == "__main__":
+    main()

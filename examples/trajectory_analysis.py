@@ -1,0 +1,58 @@
+"""Trajectory analytics — the paper's future-work data type, working today.
+
+The conclusion proposes "apply[ing] similar designs to other non-relational
+data types, such as trajectory data".  Trajectories are timestamped
+polylines, so the existing join plans apply unchanged:
+
+1. join trips to census blocks with Intersects (which zones did each trip
+   cross?);
+2. restrict to the morning rush window using the timestamps;
+3. find each rush-hour pickup point's 2 nearest streets with the kNN join.
+
+Run:  python examples/trajectory_analysis.py
+"""
+
+from collections import Counter
+
+from repro.core import SpatialOperator, knn_join, spatial_join
+from repro.data import generate_lion, generate_nycb, generate_trajectories
+from repro.geometry import Point
+
+
+def main() -> None:
+    trajectories, trips = generate_trajectories(400)
+    zones = generate_nycb(60)
+    streets = generate_lion(300)
+
+    # 1. Which zones did each trip cross?
+    crossings = spatial_join(trips.records, zones.records, SpatialOperator.INTERSECTS)
+    per_trip = Counter(trip_id for trip_id, _ in crossings)
+    print(f"trips: {len(trips)}; zone crossings: {len(crossings)} "
+          f"(avg {len(crossings) / len(trips):.1f} zones/trip)")
+
+    # 2. Morning rush (07:00-10:00): which zones are busiest?
+    rush = {t.trip_id for t in trajectories
+            if t.active_during(7 * 3600, 10 * 3600)}
+    rush_zones = Counter(zone for trip_id, zone in crossings if trip_id in rush)
+    print(f"trips active in the morning rush: {len(rush)}")
+    print("busiest zones during the rush:")
+    for zone, hits in rush_zones.most_common(5):
+        print(f"  zone {zone:>4}: crossed by {hits} rush trips")
+
+    # 3. Nearest streets to each rush pickup (kNN join extension).
+    pickups = [
+        (t.trip_id, Point(*t.position_at(t.start_time)))
+        for t in trajectories if t.trip_id in rush
+    ]
+    nearest = knn_join(pickups, streets.records, k=2)
+    sample = nearest[:6]
+    print("nearest streets to rush pickups (trip, street, distance):")
+    for trip_id, street_id, dist in sample:
+        print(f"  trip {trip_id:>4} -> street {street_id:>4} at {dist:8.1f}")
+
+    # Sanity: every rush pickup found its k streets.
+    assert len(nearest) == 2 * len(pickups)
+
+
+if __name__ == "__main__":
+    main()

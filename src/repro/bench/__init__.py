@@ -1,0 +1,43 @@
+"""Benchmark harness reproducing every table and figure of the paper."""
+
+from repro.bench.runner import (
+    RunResult,
+    cluster_spec,
+    run_engine,
+    run_isp_standalone,
+    run_ispmc,
+    run_spatialspark,
+)
+from repro.bench.workloads import WORKLOADS, Workload, materialize
+from repro.bench.calibrate import calibration_report, derive_work_scale, micro_ratio
+from repro.bench.report import (
+    BenchCache,
+    DEFAULT_SCALE,
+    experiments_report,
+    fig4,
+    fig5,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "RunResult",
+    "cluster_spec",
+    "run_engine",
+    "run_spatialspark",
+    "run_ispmc",
+    "run_isp_standalone",
+    "WORKLOADS",
+    "Workload",
+    "materialize",
+    "BenchCache",
+    "DEFAULT_SCALE",
+    "experiments_report",
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "calibration_report",
+    "derive_work_scale",
+    "micro_ratio",
+]

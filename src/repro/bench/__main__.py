@@ -1,0 +1,20 @@
+"""Command-line entry: ``python -m repro.bench [scale]``.
+
+Prints the full reproduction report — Table 1, Table 2, Fig 4, Fig 5 —
+with the paper's numbers inline, at the requested scale factor (default
+0.12, the calibration scale).
+"""
+
+import sys
+
+from repro.bench.report import DEFAULT_SCALE, experiments_report
+
+
+def main(argv: list[str]) -> int:
+    scale = float(argv[1]) if len(argv) > 1 else DEFAULT_SCALE
+    print(experiments_report(scale=scale))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,24 @@
+"""Cluster model: specs, cost accounting and makespan simulation."""
+
+from repro.cluster.model import ClusterSpec, CostModel, EC2_G2_2XLARGE, Resource
+from repro.cluster.metrics import QueryMetrics, StageMetrics, TaskMetrics
+from repro.cluster.simulation import (
+    parallel_efficiency,
+    simulate_dynamic,
+    simulate_static_chunked,
+    simulate_static_round_robin,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "CostModel",
+    "EC2_G2_2XLARGE",
+    "Resource",
+    "QueryMetrics",
+    "StageMetrics",
+    "TaskMetrics",
+    "parallel_efficiency",
+    "simulate_dynamic",
+    "simulate_static_chunked",
+    "simulate_static_round_robin",
+]

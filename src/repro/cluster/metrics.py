@@ -1,0 +1,87 @@
+"""Task/stage/query metrics accounting.
+
+Engines accrue resource-unit counts into :class:`TaskMetrics` while they
+do real work; the simulation layer converts counts to simulated seconds
+via the cost model and composes them into stage and query makespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.model import CostModel
+
+__all__ = ["TaskMetrics", "StageMetrics", "QueryMetrics"]
+
+
+@dataclass
+class TaskMetrics:
+    """Resource counters for one task (one partition / one fragment instance)."""
+
+    counts: dict[str, float] = field(default_factory=dict)
+
+    def add(self, resource: str, units: float) -> None:
+        """Accrue ``units`` of ``resource``."""
+        self.counts[resource] = self.counts.get(resource, 0.0) + units
+
+    def merge(self, other: "TaskMetrics") -> None:
+        """Accumulate another task's counters into this one."""
+        for resource, units in other.counts.items():
+            self.add(resource, units)
+
+    def seconds(self, model: CostModel) -> float:
+        """Simulated duration of this task under ``model``."""
+        return model.task_seconds(self.counts)
+
+    def get(self, resource: str) -> float:
+        """Current count for ``resource`` (0.0 when never accrued)."""
+        return self.counts.get(resource, 0.0)
+
+
+@dataclass
+class StageMetrics:
+    """One scheduling stage: a set of tasks plus stage-level overhead."""
+
+    name: str
+    tasks: list[TaskMetrics] = field(default_factory=list)
+    overhead_seconds: float = 0.0
+    makespan_seconds: float = 0.0
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    def total_task_seconds(self, model: CostModel) -> float:
+        """Sum of all task durations (the serial-equivalent work)."""
+        return sum(task.seconds(model) for task in self.tasks)
+
+
+@dataclass
+class QueryMetrics:
+    """A whole query: ordered stages plus query-level overhead."""
+
+    name: str
+    stages: list[StageMetrics] = field(default_factory=list)
+    overhead_seconds: float = 0.0
+
+    def add_stage(self, stage: StageMetrics) -> None:
+        self.stages.append(stage)
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated runtime: stage makespans + overheads."""
+        return self.overhead_seconds + sum(
+            stage.makespan_seconds + stage.overhead_seconds for stage in self.stages
+        )
+
+    def total_task_seconds(self, model: CostModel) -> float:
+        """Serial-equivalent work across all stages."""
+        return sum(stage.total_task_seconds(model) for stage in self.stages)
+
+    def totals(self) -> dict[str, float]:
+        """Aggregate resource counters over every task (for reports)."""
+        merged = TaskMetrics()
+        for stage in self.stages:
+            for task in stage.tasks:
+                merged.merge(task)
+        return dict(merged.counts)

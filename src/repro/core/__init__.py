@@ -1,0 +1,36 @@
+"""The paper's contribution: spatial joins on Spark and Impala substrates."""
+
+from repro.core.api import spatial_join, spatial_join_pairs
+from repro.core.broadcast_join import (
+    BroadcastSpatialJoin,
+    broadcast_spatial_join,
+    read_geometry_pairs,
+    read_geometry_pairs_wkb,
+)
+from repro.core.isp import SpatialJoinNode, build_spatial_index
+from repro.core.knn_join import broadcast_knn_join, knn_join
+from repro.core.operators import SpatialOperator
+from repro.core.partitioned_join import derive_partitioning, partitioned_spatial_join
+from repro.core.probe import BroadcastIndex, naive_spatial_join, refine_pair
+from repro.core.standalone import StandaloneResult, standalone_spatial_join
+
+__all__ = [
+    "spatial_join",
+    "spatial_join_pairs",
+    "broadcast_spatial_join",
+    "BroadcastSpatialJoin",
+    "read_geometry_pairs",
+    "read_geometry_pairs_wkb",
+    "partitioned_spatial_join",
+    "derive_partitioning",
+    "SpatialOperator",
+    "BroadcastIndex",
+    "naive_spatial_join",
+    "refine_pair",
+    "knn_join",
+    "broadcast_knn_join",
+    "SpatialJoinNode",
+    "build_spatial_index",
+    "StandaloneResult",
+    "standalone_spatial_join",
+]

@@ -1,0 +1,50 @@
+"""Spatial join operators (the paper's predicate vocabulary).
+
+Fig 2 of the paper selects the join predicate with
+``SpatialOperator.Within``; ``NearestD`` is "applied similarly".  We add
+``Intersects``/``Contains`` — both supported by the same filter+refine
+machinery — as the natural extensions the prototypes' UDF list mentions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["SpatialOperator"]
+
+
+class SpatialOperator(enum.Enum):
+    """Predicate joining a left (probe) geometry to a right (build) one."""
+
+    WITHIN = "within"          # probe within build (point-in-polygon joins)
+    NEAREST_D = "nearestd"     # probe within distance D of build (polylines)
+    INTERSECTS = "intersects"  # probe intersects build
+    CONTAINS = "contains"      # probe contains build
+
+    # Scala-style aliases so ports of Fig 2 read naturally.
+    @classmethod
+    def Within(cls) -> "SpatialOperator":
+        return cls.WITHIN
+
+    @classmethod
+    def NearestD(cls) -> "SpatialOperator":
+        return cls.NEAREST_D
+
+    @property
+    def needs_radius(self) -> bool:
+        """True when the operator takes a distance parameter."""
+        return self is SpatialOperator.NEAREST_D
+
+    @staticmethod
+    def from_sql(function_name: str) -> "SpatialOperator":
+        """Map an ST_ function name to an operator."""
+        mapping = {
+            "ST_WITHIN": SpatialOperator.WITHIN,
+            "ST_NEARESTD": SpatialOperator.NEAREST_D,
+            "ST_INTERSECTS": SpatialOperator.INTERSECTS,
+            "ST_CONTAINS": SpatialOperator.CONTAINS,
+        }
+        try:
+            return mapping[function_name.upper()]
+        except KeyError:
+            raise ValueError(f"no spatial operator for {function_name!r}") from None

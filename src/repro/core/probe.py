@@ -1,0 +1,209 @@
+"""Shared filter+refine machinery for indexed spatial joins.
+
+Both prototypes follow the same two-phase plan (Section II):
+
+* **filter** — an STR-packed R-tree over the build (right) side's MBBs,
+  expanded by the search radius for NearestD exactly as Fig 2's
+  ``expandBy(radius)`` does, is probed with each left envelope;
+* **refine** — surviving candidate pairs are checked with the exact
+  predicate by a pluggable refinement engine (fast/JTS-like for
+  SpatialSpark, slow/GEOS-like for ISP-MC).
+
+:class:`BroadcastIndex` packages both phases plus per-probe cost
+accounting so the engines' schedulers can attribute work to tasks, row
+batches and fragment instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable
+
+from repro.cluster.model import Resource
+from repro.errors import ReproError
+from repro.geometry.base import Geometry
+from repro.geometry.engine import GeometryEngine, create_engine
+from repro.geometry.point import Point
+from repro.geometry.algorithms import distance as distance_mod
+from repro.geometry.algorithms import predicates
+from repro.index.rtree import STRtree
+from repro.core.operators import SpatialOperator
+
+__all__ = ["BroadcastIndex", "refine_pair", "naive_spatial_join"]
+
+
+def refine_pair(
+    engine: GeometryEngine,
+    operator: SpatialOperator,
+    probe_geometry: Geometry,
+    build_geometry: Geometry,
+    build_handle: object,
+    radius: float,
+) -> bool:
+    """Exact predicate test for one candidate pair.
+
+    Point probes take the engine's prepared fast paths; non-point probes
+    fall back to the generic computational-geometry predicates (identical
+    results, no preparation benefit — matching how JTS/GEOS treat them).
+    """
+    if isinstance(probe_geometry, Point):
+        if operator is SpatialOperator.WITHIN:
+            return engine.point_within(probe_geometry, build_handle)
+        if operator is SpatialOperator.NEAREST_D:
+            return engine.point_within_distance(probe_geometry, build_handle, radius)
+        if operator is SpatialOperator.INTERSECTS:
+            return predicates.intersects(probe_geometry, build_geometry)
+        if operator is SpatialOperator.CONTAINS:
+            return predicates.within(build_geometry, probe_geometry)
+        raise ReproError(f"unsupported operator {operator}")
+    if operator is SpatialOperator.WITHIN:
+        return predicates.within(probe_geometry, build_geometry)
+    if operator is SpatialOperator.NEAREST_D:
+        return distance_mod.distance(probe_geometry, build_geometry) <= radius
+    if operator is SpatialOperator.INTERSECTS:
+        return predicates.intersects(probe_geometry, build_geometry)
+    if operator is SpatialOperator.CONTAINS:
+        return predicates.within(build_geometry, probe_geometry)
+    raise ReproError(f"unsupported operator {operator}")
+
+
+class BroadcastIndex:
+    """The broadcast build side: an STR-tree over prepared geometries.
+
+    ``entries`` are (payload, geometry) pairs; payloads are whatever the
+    caller wants back from probes (row tuples, ids).  The index prepares
+    each geometry once with the given engine and inserts its envelope —
+    expanded by ``radius`` for NearestD — into the R-tree.
+    """
+
+    def __init__(
+        self,
+        entries: Iterable[tuple[Any, Geometry]],
+        operator: SpatialOperator,
+        radius: float = 0.0,
+        engine: GeometryEngine | str = "fast",
+        node_capacity: int = 10,
+    ):
+        if operator.needs_radius and radius <= 0.0:
+            raise ReproError(f"{operator} requires a positive radius")
+        self.operator = operator
+        self.radius = radius if operator.needs_radius else 0.0
+        self.engine = create_engine(engine) if isinstance(engine, str) else engine
+        self._tree: STRtree = STRtree(node_capacity=node_capacity)
+        self.build_entries = 0
+        self.build_vertex_total = 0
+        for payload, geometry in entries:
+            if geometry.is_empty:
+                continue
+            handle = self.engine.prepare(geometry)
+            envelope = geometry.envelope.expand_by(self.radius)
+            self._tree.insert((payload, geometry, handle), envelope)
+            self.build_entries += 1
+            self.build_vertex_total += geometry.num_points
+        self._tree.build()
+
+    def __len__(self) -> int:
+        return self.build_entries
+
+    @property
+    def tree(self) -> STRtree:
+        return self._tree
+
+    def build_cost_units(self) -> dict[str, float]:
+        """Resource units to charge whoever builds a copy of this index."""
+        return {Resource.INDEX_BUILD: float(self.build_entries)}
+
+    def probe(self, geometry: Geometry) -> list[Any]:
+        """Return payloads of build entries satisfying the predicate."""
+        if geometry.is_empty:
+            return []
+        candidates = self._tree.query(geometry.envelope)
+        matches = []
+        for payload, build_geometry, handle in candidates:
+            if refine_pair(
+                self.engine, self.operator, geometry, build_geometry, handle, self.radius
+            ):
+                matches.append(payload)
+        return matches
+
+    def probe_with_cost(
+        self, geometry: Geometry
+    ) -> tuple[list[Any], dict[str, float]]:
+        """Probe and also return the resource units this probe consumed.
+
+        Used by schedulers that need per-row costs (ISP-MC's static OpenMP
+        chunks; Spark task accounting does the same at task granularity).
+        """
+        counters = self.engine.counters
+        visits_before = self._tree.nodes_visited
+        vertex_before = counters.vertex_ops
+        alloc_before = counters.allocations
+        matches = self.probe(geometry)
+        units: dict[str, float] = {
+            Resource.INDEX_VISIT: float(self._tree.nodes_visited - visits_before),
+            Resource.ROWS_OUT: float(len(matches)),
+        }
+        vertex_delta = counters.vertex_ops - vertex_before
+        if vertex_delta:
+            if self.engine.name == "slow":
+                units[Resource.REFINE_VERTEX_SLOW] = float(vertex_delta)
+            else:
+                units[Resource.REFINE_VERTEX_FAST] = float(vertex_delta)
+        alloc_delta = counters.allocations - alloc_before
+        if alloc_delta:
+            units[Resource.REFINE_ALLOC] = float(alloc_delta)
+        return matches, units
+
+    def nearest(
+        self, point: Point, k: int = 1, max_distance: float = math.inf
+    ) -> list[tuple[Any, float]]:
+        """k-nearest build payloads to a probe point (kNN extension)."""
+
+        def exact(x: float, y: float, item) -> float:
+            _, _, handle = item
+            return self.engine.point_distance(Point(x, y), handle)
+
+        found = self._tree.nearest(
+            point.x, point.y, k=k, max_distance=max_distance, item_distance=exact
+        )
+        return [(payload, dist) for (payload, _, _), dist in found]
+
+
+def naive_spatial_join(
+    left: Iterable[tuple[Any, Geometry]],
+    right: Iterable[tuple[Any, Geometry]],
+    operator: SpatialOperator,
+    radius: float = 0.0,
+) -> list[tuple[Any, Any]]:
+    """Reference O(|L|*|R|) nested-loop join (the baseline of Section II).
+
+    Used by tests as ground truth and by the cross-join ablation; performs
+    an envelope precheck per pair but no indexing.
+    """
+    right_list = [(payload, geom) for payload, geom in right if not geom.is_empty]
+    expand = radius if operator.needs_radius else 0.0
+    results: list[tuple[Any, Any]] = []
+    for left_payload, left_geom in left:
+        if left_geom.is_empty:
+            continue
+        probe_env = left_geom.envelope
+        for right_payload, right_geom in right_list:
+            if not probe_env.intersects(right_geom.envelope.expand_by(expand)):
+                continue
+            if _naive_refine(operator, left_geom, right_geom, radius):
+                results.append((left_payload, right_payload))
+    return results
+
+
+def _naive_refine(
+    operator: SpatialOperator, left: Geometry, right: Geometry, radius: float
+) -> bool:
+    if operator is SpatialOperator.WITHIN:
+        return predicates.within(left, right)
+    if operator is SpatialOperator.NEAREST_D:
+        return distance_mod.distance(left, right) <= radius
+    if operator is SpatialOperator.INTERSECTS:
+        return predicates.intersects(left, right)
+    if operator is SpatialOperator.CONTAINS:
+        return predicates.within(right, left)
+    raise ReproError(f"unsupported operator {operator}")

@@ -1,0 +1,27 @@
+"""Synthetic stand-ins for the paper's evaluation datasets."""
+
+from repro.data.catalog import DATASETS, DatasetSpec, load_dataset
+from repro.data.gbif import WORLD_EXTENT, generate_gbif
+from repro.data.lion import generate_lion
+from repro.data.nycb import generate_nycb
+from repro.data.synthetic import SyntheticDataset, cluster_mixture_points
+from repro.data.taxi import NYC_EXTENT, generate_taxi
+from repro.data.trajectory import Trajectory, generate_trajectories
+from repro.data.wwf import generate_wwf
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "SyntheticDataset",
+    "cluster_mixture_points",
+    "generate_taxi",
+    "generate_nycb",
+    "generate_lion",
+    "generate_gbif",
+    "generate_wwf",
+    "Trajectory",
+    "generate_trajectories",
+    "NYC_EXTENT",
+    "WORLD_EXTENT",
+]

@@ -1,0 +1,121 @@
+"""Shared helpers for the synthetic dataset generators.
+
+Every generator is deterministic given its seed and scale, emits
+(id, geometry) pairs, and can serialise itself to an HDFS WKT text file in
+exactly the layout the paper uses (tab-separated ``id<TAB>WKT``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ReproError
+from repro.geometry.base import Geometry
+from repro.geometry.envelope import Envelope
+from repro.hdfs import SimulatedHDFS, write_text
+
+__all__ = ["SyntheticDataset", "cluster_mixture_points"]
+
+
+@dataclass
+class SyntheticDataset:
+    """A named collection of (id, geometry) records."""
+
+    name: str
+    records: list[tuple[int, Geometry]]
+    extent: Envelope
+    description: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[tuple[int, Geometry]]:
+        return iter(self.records)
+
+    @property
+    def geometries(self) -> list[Geometry]:
+        return [geometry for _, geometry in self.records]
+
+    def total_vertices(self) -> int:
+        """Sum of vertex counts (the paper reports these per dataset)."""
+        return sum(geometry.num_points for _, geometry in self.records)
+
+    def mean_vertices(self) -> float:
+        """Average vertices per record (~9 for nycb, ~279 for wwf)."""
+        if not self.records:
+            return 0.0
+        return self.total_vertices() / len(self.records)
+
+    def to_lines(self, precision: int = 6, separator: str = "\t") -> Iterator[str]:
+        """Serialise records as ``id<sep>WKT`` lines."""
+        from repro.geometry.wkt import dumps
+
+        for record_id, geometry in self.records:
+            yield f"{record_id}{separator}{dumps(geometry, precision=precision)}"
+
+    def write_to_hdfs(
+        self,
+        hdfs: SimulatedHDFS,
+        path: str,
+        precision: int = 6,
+        separator: str = "\t",
+    ) -> int:
+        """Write the dataset to an HDFS text file; returns the byte size."""
+        return write_text(hdfs, path, list(self.to_lines(precision, separator)))
+
+    def write_wkb_to_hdfs(
+        self, hdfs: SimulatedHDFS, path: str, page_size: int = 4096
+    ) -> int:
+        """Write the dataset as a paged binary WKB record file.
+
+        Record ids become positional (record i = id i), matching how the
+        WKB reader pairs records with ``zipWithIndex``.  Pages are the
+        split granularity, so they default small (4 KiB, like SequenceFile
+        sync intervals) — large pages would starve the cluster of tasks.
+        """
+        from repro.geometry.wkb import dumps as wkb_dumps
+        from repro.hdfs import write_records
+
+        return write_records(
+            hdfs,
+            path,
+            (wkb_dumps(geometry) for _, geometry in self.records),
+            page_size=page_size,
+        )
+
+
+def cluster_mixture_points(
+    rng: random.Random,
+    count: int,
+    extent: Envelope,
+    centers: list[tuple[float, float, float]],
+    background_fraction: float = 0.1,
+) -> list[tuple[float, float]]:
+    """Sample points from a Gaussian-mixture-plus-uniform model.
+
+    ``centers`` holds (x, y, sigma) triples; ``background_fraction`` of
+    points are uniform over the extent (the paper's taxi pickups are
+    heavily Manhattan-clustered with a diffuse borough background, GBIF
+    occurrences cluster on survey hotspots).  Samples falling outside the
+    extent are clamped to it, preserving the cluster skew at the borders.
+    """
+    if not centers:
+        raise ReproError("need at least one cluster center")
+    if not 0.0 <= background_fraction <= 1.0:
+        raise ReproError(f"background_fraction must be in [0,1], got {background_fraction}")
+    points = []
+    for _ in range(count):
+        if rng.random() < background_fraction:
+            x = rng.uniform(extent.min_x, extent.max_x)
+            y = rng.uniform(extent.min_y, extent.max_y)
+        else:
+            cx, cy, sigma = centers[rng.randrange(len(centers))]
+            x = rng.gauss(cx, sigma)
+            y = rng.gauss(cy, sigma)
+            x = min(max(x, extent.min_x), extent.max_x)
+            y = min(max(y, extent.min_y), extent.max_y)
+        points.append((x, y))
+    return points

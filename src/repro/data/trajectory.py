@@ -1,0 +1,150 @@
+"""Synthetic taxi trajectories — the paper's last future-work data type.
+
+The conclusion names "apply[ing] similar designs to other non-relational
+data types, such as trajectory data" as future work.  A trajectory here
+is a timestamped polyline: the trip's path through the street grid plus
+per-vertex epoch seconds.  Spatially it behaves as a LineString, so every
+join plan in :mod:`repro.core` works on trajectories unchanged (their
+envelope filters, their refinement runs through the non-point fallbacks);
+the timestamps enable the time-window filtering the example shows.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.data.synthetic import SyntheticDataset
+from repro.data.taxi import NYC_EXTENT, _HUBS
+from repro.errors import ReproError
+from repro.geometry.envelope import Envelope
+from repro.geometry.linestring import LineString
+
+__all__ = ["Trajectory", "generate_trajectories"]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A trip: a path with one epoch timestamp per vertex."""
+
+    trip_id: int
+    path: LineString
+    timestamps: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.timestamps) != self.path.num_points:
+            raise ReproError(
+                f"trajectory {self.trip_id}: {len(self.timestamps)} timestamps "
+                f"for {self.path.num_points} vertices"
+            )
+        if any(b < a for a, b in zip(self.timestamps, self.timestamps[1:])):
+            raise ReproError(f"trajectory {self.trip_id}: timestamps not monotone")
+
+    @property
+    def start_time(self) -> float:
+        return self.timestamps[0]
+
+    @property
+    def end_time(self) -> float:
+        return self.timestamps[-1]
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def mean_speed(self) -> float:
+        """Path length over duration (0 for instantaneous trips)."""
+        if self.duration <= 0.0:
+            return 0.0
+        return self.path.length() / self.duration
+
+    def active_during(self, t_start: float, t_end: float) -> bool:
+        """True when the trip overlaps the time window [t_start, t_end]."""
+        return self.start_time <= t_end and t_start <= self.end_time
+
+    def position_at(self, t: float) -> tuple[float, float]:
+        """Linearly interpolated position at time ``t`` (clamped)."""
+        ts = self.timestamps
+        coords = self.path.coords
+        if t <= ts[0]:
+            return (float(coords[0, 0]), float(coords[0, 1]))
+        if t >= ts[-1]:
+            return (float(coords[-1, 0]), float(coords[-1, 1]))
+        for i in range(len(ts) - 1):
+            if ts[i] <= t <= ts[i + 1]:
+                span = ts[i + 1] - ts[i]
+                frac = 0.0 if span == 0 else (t - ts[i]) / span
+                x = coords[i, 0] + frac * (coords[i + 1, 0] - coords[i, 0])
+                y = coords[i, 1] + frac * (coords[i + 1, 1] - coords[i, 1])
+                return (float(x), float(y))
+        raise ReproError("unreachable: t inside range but no segment found")
+
+
+def generate_trajectories(
+    count: int,
+    seed: int = 20150406,
+    extent: Envelope = NYC_EXTENT,
+    mean_vertices: int = 8,
+    day_seconds: float = 86_400.0,
+    mean_speed: float = 20.0,
+) -> tuple[list[Trajectory], SyntheticDataset]:
+    """Generate taxi-like trajectories plus their LineString dataset view.
+
+    Trips start near a hub and random-walk with hub-biased drift; start
+    times spread over one day with rush-hour peaks.  Returns the
+    trajectory objects and a :class:`SyntheticDataset` of their paths so
+    the existing join machinery and HDFS writers apply directly.
+    """
+    if count < 1:
+        raise ReproError(f"count must be >= 1, got {count}")
+    if mean_vertices < 2:
+        raise ReproError(f"mean_vertices must be >= 2, got {mean_vertices}")
+    rng = random.Random(seed)
+    trajectories: list[Trajectory] = []
+    records = []
+    step = extent.width / 150.0
+    for trip_id in range(count):
+        hub_x, hub_y, sigma = _HUBS[rng.randrange(len(_HUBS))]
+        x = min(max(rng.gauss(hub_x, sigma), extent.min_x), extent.max_x)
+        y = min(max(rng.gauss(hub_y, sigma), extent.min_y), extent.max_y)
+        dest_x, dest_y, _ = _HUBS[rng.randrange(len(_HUBS))]
+        n = max(2, mean_vertices + rng.randint(-2, 3))
+        coords = [(x, y)]
+        for _ in range(n - 1):
+            # Drift toward the destination hub with noise.
+            dx = dest_x - x
+            dy = dest_y - y
+            norm = math.hypot(dx, dy) or 1.0
+            x += step * (dx / norm) + rng.gauss(0, step * 0.4)
+            y += step * (dy / norm) + rng.gauss(0, step * 0.4)
+            x = min(max(x, extent.min_x), extent.max_x)
+            y = min(max(y, extent.min_y), extent.max_y)
+            coords.append((x, y))
+        path = LineString(coords)
+        # Rush-hour mixture: morning and evening peaks plus background.
+        roll = rng.random()
+        if roll < 0.35:
+            start = rng.gauss(8.5 * 3600, 3600)
+        elif roll < 0.70:
+            start = rng.gauss(18.0 * 3600, 4500)
+        else:
+            start = rng.uniform(0, day_seconds)
+        start = min(max(start, 0.0), day_seconds)
+        timestamps = [start]
+        for (x1, y1), (x2, y2) in zip(coords[:-1], coords[1:]):
+            hop = math.hypot(x2 - x1, y2 - y1) / max(
+                rng.gauss(mean_speed, mean_speed * 0.2), mean_speed * 0.3
+            )
+            timestamps.append(timestamps[-1] + hop)
+        trajectory = Trajectory(trip_id, path, tuple(timestamps))
+        trajectories.append(trajectory)
+        records.append((trip_id, path))
+    dataset = SyntheticDataset(
+        name="trips",
+        records=records,
+        extent=extent,
+        description="Synthetic taxi trajectories (timestamped polylines)",
+        metadata={"seed": seed, "mean_vertices": mean_vertices},
+    )
+    return trajectories, dataset

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometry construction or unsupported geometric operation."""
+
+
+class WKTParseError(GeometryError):
+    """Malformed Well-Known Text input.
+
+    Carries the byte offset where parsing failed so callers (e.g. the
+    HDFS text scanners, which must tolerate dirty rows like the paper's
+    ``Try(new WKTReader().read(...)).isSuccess`` filter) can report
+    precise positions.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class WKBParseError(GeometryError):
+    """Malformed Well-Known Binary input."""
+
+
+class IndexError_(ReproError):
+    """Spatial index construction or query failure."""
+
+
+class HDFSError(ReproError):
+    """Simulated-HDFS failure (missing path, bad block, replica loss)."""
+
+
+class SparkError(ReproError):
+    """Mini-Spark job, stage or task failure."""
+
+
+class ImpalaError(ReproError):
+    """Mini-Impala frontend or backend failure."""
+
+
+class SQLParseError(ImpalaError):
+    """Malformed SQL submitted to the Impala frontend."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at token offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(ImpalaError):
+    """Logical or physical planning failure (unknown table, bad predicate)."""
+
+
+class BenchError(ReproError):
+    """Benchmark-harness misconfiguration."""

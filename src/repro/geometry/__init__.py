@@ -1,0 +1,58 @@
+"""Geometry substrate: types, WKT/WKB codecs, predicates, refinement engines.
+
+This package replaces the JTS/GEOS/shapely dependency stack of the paper's
+prototypes with a self-contained pure-Python (plus numpy) implementation.
+"""
+
+from repro.geometry.base import Geometry, GeometryType
+from repro.geometry.envelope import Envelope
+from repro.geometry.point import Point
+from repro.geometry.linestring import LineString
+from repro.geometry.polygon import LinearRing, Polygon
+from repro.geometry.multi import (
+    GeometryCollection,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+)
+from repro.geometry.wkt import WKTReader, WKTWriter
+from repro.geometry.wkt import loads as wkt_loads
+from repro.geometry.wkt import dumps as wkt_dumps
+from repro.geometry.wkb import loads as wkb_loads
+from repro.geometry.wkb import dumps as wkb_dumps
+from repro.geometry.prepared import PreparedLineString, PreparedPolygon, prepare
+from repro.geometry.engine import (
+    EngineCounters,
+    FastGeometryEngine,
+    GeometryEngine,
+    SlowGeometryEngine,
+    create_engine,
+)
+
+__all__ = [
+    "Geometry",
+    "GeometryType",
+    "Envelope",
+    "Point",
+    "LineString",
+    "LinearRing",
+    "Polygon",
+    "MultiPoint",
+    "MultiLineString",
+    "MultiPolygon",
+    "GeometryCollection",
+    "WKTReader",
+    "WKTWriter",
+    "wkt_loads",
+    "wkt_dumps",
+    "wkb_loads",
+    "wkb_dumps",
+    "PreparedPolygon",
+    "PreparedLineString",
+    "prepare",
+    "EngineCounters",
+    "GeometryEngine",
+    "FastGeometryEngine",
+    "SlowGeometryEngine",
+    "create_engine",
+]

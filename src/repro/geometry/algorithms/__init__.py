@@ -1,0 +1,5 @@
+"""Computational-geometry kernels behind the refinement predicates."""
+
+from repro.geometry.algorithms import distance, measures, predicates, segments
+
+__all__ = ["distance", "measures", "predicates", "segments"]

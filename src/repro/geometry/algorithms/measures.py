@@ -1,0 +1,122 @@
+"""Geometric measures: area, length, centroid."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.base import Geometry
+from repro.geometry.linestring import LineString
+from repro.geometry.multi import MultiLineString, MultiPoint, MultiPolygon
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+__all__ = ["area", "length", "centroid"]
+
+
+def area(geometry: Geometry) -> float:
+    """Planar area (0.0 for points and lines)."""
+    if isinstance(geometry, Polygon):
+        return geometry.area()
+    if isinstance(geometry, MultiPolygon):
+        return geometry.area()
+    return 0.0
+
+
+def length(geometry: Geometry) -> float:
+    """Total polyline length, or ring perimeter for polygons."""
+    if isinstance(geometry, LineString):
+        return geometry.length()
+    if isinstance(geometry, MultiLineString):
+        return geometry.length()
+    if isinstance(geometry, Polygon):
+        return sum(
+            LineString(ring.coords).length()
+            for ring in geometry.rings
+            if not ring.is_empty
+        )
+    if isinstance(geometry, MultiPolygon):
+        return sum(length(part) for part in geometry.parts)
+    return 0.0
+
+
+def _polygon_centroid(polygon: Polygon) -> tuple[float, float, float]:
+    """Return (cx*A, cy*A, A) accumulators for a polygon with holes."""
+    cx_total = cy_total = area_total = 0.0
+    for ring, sign in [(polygon.shell, 1.0)] + [(h, -1.0) for h in polygon.holes]:
+        coords = ring.coords
+        x = coords[:-1, 0]
+        y = coords[:-1, 1]
+        x_next = coords[1:, 0]
+        y_next = coords[1:, 1]
+        cross = x * y_next - x_next * y
+        ring_area = float(np.sum(cross) / 2.0)
+        if ring_area == 0.0:
+            continue
+        cx = float(np.sum((x + x_next) * cross) / (6.0 * ring_area))
+        cy = float(np.sum((y + y_next) * cross) / (6.0 * ring_area))
+        weight = sign * abs(ring_area)
+        cx_total += cx * weight
+        cy_total += cy * weight
+        area_total += weight
+    return cx_total, cy_total, area_total
+
+
+def centroid(geometry: Geometry) -> Point:
+    """Centroid of a geometry.
+
+    Polygons use the exact area-weighted formula; linestrings use
+    length-weighted segment midpoints; point sets use the mean.
+    """
+    if geometry.is_empty:
+        return Point.empty()
+    if isinstance(geometry, Point):
+        return Point(geometry.x, geometry.y)
+    if isinstance(geometry, MultiPoint):
+        xs = [p.x for p in geometry.parts if not p.is_empty]
+        ys = [p.y for p in geometry.parts if not p.is_empty]
+        return Point(sum(xs) / len(xs), sum(ys) / len(ys))
+    if isinstance(geometry, LineString):
+        coords = geometry.coords
+        if len(coords) == 1:
+            return Point(float(coords[0, 0]), float(coords[0, 1]))
+        deltas = np.diff(coords, axis=0)
+        seg_lengths = np.hypot(deltas[:, 0], deltas[:, 1])
+        total = float(seg_lengths.sum())
+        if total == 0.0:
+            return Point(float(coords[0, 0]), float(coords[0, 1]))
+        mids = (coords[:-1] + coords[1:]) / 2.0
+        cx = float((mids[:, 0] * seg_lengths).sum() / total)
+        cy = float((mids[:, 1] * seg_lengths).sum() / total)
+        return Point(cx, cy)
+    if isinstance(geometry, MultiLineString):
+        cx_total = cy_total = weight_total = 0.0
+        for part in geometry.parts:
+            if part.is_empty:
+                continue
+            c = centroid(part)
+            w = max(part.length(), 1e-300)
+            cx_total += c.x * w
+            cy_total += c.y * w
+            weight_total += w
+        return Point(cx_total / weight_total, cy_total / weight_total)
+    if isinstance(geometry, Polygon):
+        cx, cy, a = _polygon_centroid(geometry)
+        if a == 0.0:
+            # Degenerate (zero-area) polygon: fall back to vertex mean.
+            coords = geometry.shell.coords[:-1]
+            return Point(float(coords[:, 0].mean()), float(coords[:, 1].mean()))
+        return Point(cx / a, cy / a)
+    if isinstance(geometry, MultiPolygon):
+        cx_total = cy_total = area_total = 0.0
+        for part in geometry.parts:
+            if part.is_empty:
+                continue
+            cx, cy, a = _polygon_centroid(part)
+            cx_total += cx
+            cy_total += cy
+            area_total += a
+        if area_total == 0.0:
+            raise GeometryError("centroid of zero-area multipolygon")
+        return Point(cx_total / area_total, cy_total / area_total)
+    raise GeometryError(f"no centroid for {geometry.geometry_type}")

@@ -1,0 +1,97 @@
+"""Low-level segment primitives: orientation and intersection tests.
+
+These are the computational-geometry kernels underlying the refinement
+predicates.  They are deliberately branch-simple so the fast engine can
+call them in tight loops.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "orientation",
+    "on_segment",
+    "segments_intersect",
+    "segment_intersection_point",
+]
+
+_EPS = 1e-12
+
+
+def orientation(ax: float, ay: float, bx: float, by: float, cx: float, cy: float) -> int:
+    """Return the turn direction of the path a->b->c.
+
+    +1 for counter-clockwise, -1 for clockwise, 0 for collinear (within a
+    relative epsilon to absorb float noise on nearly-collinear street
+    vertices).
+    """
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    scale = abs(bx - ax) + abs(by - ay) + abs(cx - ax) + abs(cy - ay)
+    if abs(cross) <= _EPS * max(scale, 1.0):
+        return 0
+    return 1 if cross > 0.0 else -1
+
+
+def on_segment(
+    ax: float, ay: float, bx: float, by: float, px: float, py: float
+) -> bool:
+    """True when collinear point p lies within the closed segment a-b."""
+    return (
+        min(ax, bx) - _EPS <= px <= max(ax, bx) + _EPS
+        and min(ay, by) - _EPS <= py <= max(ay, by) + _EPS
+    )
+
+
+def segments_intersect(
+    ax: float,
+    ay: float,
+    bx: float,
+    by: float,
+    cx: float,
+    cy: float,
+    dx: float,
+    dy: float,
+) -> bool:
+    """True when closed segments a-b and c-d share at least one point."""
+    o1 = orientation(ax, ay, bx, by, cx, cy)
+    o2 = orientation(ax, ay, bx, by, dx, dy)
+    o3 = orientation(cx, cy, dx, dy, ax, ay)
+    o4 = orientation(cx, cy, dx, dy, bx, by)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(ax, ay, bx, by, cx, cy):
+        return True
+    if o2 == 0 and on_segment(ax, ay, bx, by, dx, dy):
+        return True
+    if o3 == 0 and on_segment(cx, cy, dx, dy, ax, ay):
+        return True
+    if o4 == 0 and on_segment(cx, cy, dx, dy, bx, by):
+        return True
+    return False
+
+
+def segment_intersection_point(
+    ax: float,
+    ay: float,
+    bx: float,
+    by: float,
+    cx: float,
+    cy: float,
+    dx: float,
+    dy: float,
+) -> tuple[float, float] | None:
+    """Return the intersection point of properly crossing segments.
+
+    Returns None for non-intersecting or collinear-overlap cases (the
+    callers that need overlap handling test :func:`segments_intersect`
+    first and treat overlaps separately).
+    """
+    r_x, r_y = bx - ax, by - ay
+    s_x, s_y = dx - cx, dy - cy
+    denom = r_x * s_y - r_y * s_x
+    if abs(denom) <= _EPS:
+        return None
+    t = ((cx - ax) * s_y - (cy - ay) * s_x) / denom
+    u = ((cx - ax) * r_y - (cy - ay) * r_x) / denom
+    if -_EPS <= t <= 1.0 + _EPS and -_EPS <= u <= 1.0 + _EPS:
+        return (ax + t * r_x, ay + t * r_y)
+    return None

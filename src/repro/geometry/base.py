@@ -1,0 +1,139 @@
+"""Geometry abstract base class and the geometry type enumeration.
+
+The geometry model mirrors the subset of the Simple Features hierarchy that
+the paper exercises: points (taxi pickups, GBIF occurrences), linestrings
+(LION street polylines), polygons with holes (census blocks, WWF
+ecoregions), and their Multi* containers.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.geometry.envelope import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.geometry.point import Point
+
+__all__ = ["Geometry", "GeometryType"]
+
+
+class GeometryType(enum.Enum):
+    """Simple Features geometry type tags (also used as WKT keywords)."""
+
+    POINT = "POINT"
+    LINESTRING = "LINESTRING"
+    POLYGON = "POLYGON"
+    MULTIPOINT = "MULTIPOINT"
+    MULTILINESTRING = "MULTILINESTRING"
+    MULTIPOLYGON = "MULTIPOLYGON"
+    GEOMETRYCOLLECTION = "GEOMETRYCOLLECTION"
+
+
+class Geometry(ABC):
+    """Immutable planar geometry.
+
+    Subclasses cache their envelope on first access; all coordinates are
+    Cartesian (the paper treats lon/lat as planar coordinates too — its
+    NearestD distances are expressed in feet on projected NYC data).
+    """
+
+    __slots__ = ("_envelope",)
+
+    def __init__(self) -> None:
+        self._envelope: Envelope | None = None
+
+    @property
+    @abstractmethod
+    def geometry_type(self) -> GeometryType:
+        """The Simple Features type tag of this geometry."""
+
+    @abstractmethod
+    def _compute_envelope(self) -> Envelope:
+        """Compute the tight MBB (cached by :attr:`envelope`)."""
+
+    @property
+    @abstractmethod
+    def is_empty(self) -> bool:
+        """True when the geometry has no coordinates."""
+
+    @property
+    @abstractmethod
+    def num_points(self) -> int:
+        """Total number of vertices, counting every ring/part."""
+
+    @property
+    def envelope(self) -> Envelope:
+        """The geometry's minimum bounding box (cached)."""
+        if self._envelope is None:
+            self._envelope = self._compute_envelope()
+        return self._envelope
+
+    # -- Spatial predicates & measures (dispatch to repro.geometry.algorithms).
+    # These are convenience wrappers so user code can read like the JTS calls
+    # in Fig 2 of the paper (``geom.within(geom_)``); engine code goes through
+    # repro.geometry.engine for instrumented/prepared execution.
+
+    def within(self, other: "Geometry") -> bool:
+        """True when every point of ``self`` lies inside ``other``."""
+        from repro.geometry.algorithms import predicates
+
+        return predicates.within(self, other)
+
+    def contains(self, other: "Geometry") -> bool:
+        """True when every point of ``other`` lies inside ``self``."""
+        from repro.geometry.algorithms import predicates
+
+        return predicates.within(other, self)
+
+    def intersects(self, other: "Geometry") -> bool:
+        """True when the geometries share at least one point."""
+        from repro.geometry.algorithms import predicates
+
+        return predicates.intersects(self, other)
+
+    def distance(self, other: "Geometry") -> float:
+        """Minimum Euclidean distance between the geometries."""
+        from repro.geometry.algorithms import distance as distance_mod
+
+        return distance_mod.distance(self, other)
+
+    def wkt(self) -> str:
+        """Serialise to Well-Known Text."""
+        from repro.geometry import wkt as wkt_mod
+
+        return wkt_mod.dumps(self)
+
+    def wkb(self) -> bytes:
+        """Serialise to Well-Known Binary (little-endian)."""
+        from repro.geometry import wkb as wkb_mod
+
+        return wkb_mod.dumps(self)
+
+    def centroid(self) -> "Point":
+        """The geometry's centroid as a :class:`~repro.geometry.point.Point`."""
+        from repro.geometry.algorithms import measures
+
+        return measures.centroid(self)
+
+    def __repr__(self) -> str:
+        text = self.wkt()
+        if len(text) > 72:
+            text = text[:69] + "..."
+        return f"<{type(self).__name__} {text}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Geometry):
+            return NotImplemented
+        if self.geometry_type is not other.geometry_type:
+            return False
+        return self._coordinates_equal(other)
+
+    @abstractmethod
+    def _coordinates_equal(self, other: "Geometry") -> bool:
+        """Exact coordinate-wise equality against a same-type geometry."""
+
+    def __hash__(self) -> int:  # geometries hash by WKT; cheap enough for tests
+        return hash((self.geometry_type, self.wkt()))

@@ -1,0 +1,125 @@
+"""Multi-part geometries and the GeometryCollection container.
+
+Real-world census and ecoregion layers contain multipolygons (islands,
+disjoint blocks); the paper's WWF ecoregions especially so.  The refinement
+predicates distribute over parts, which these classes implement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+from repro.errors import GeometryError
+from repro.geometry.base import Geometry, GeometryType
+from repro.geometry.envelope import Envelope
+from repro.geometry.linestring import LineString
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+__all__ = ["MultiPoint", "MultiLineString", "MultiPolygon", "GeometryCollection"]
+
+PartT = TypeVar("PartT", bound=Geometry)
+
+
+class _MultiGeometry(Geometry):
+    """Shared behaviour for homogeneous multi-part geometries."""
+
+    __slots__ = ("parts",)
+
+    _part_type: type = Geometry
+
+    def __init__(self, parts: Iterable[Geometry]):
+        super().__init__()
+        self.parts = tuple(parts)
+        for part in self.parts:
+            if not isinstance(part, self._part_type):
+                raise GeometryError(
+                    f"{type(self).__name__} parts must be {self._part_type.__name__}, "
+                    f"got {type(part).__name__}"
+                )
+
+    @property
+    def is_empty(self) -> bool:
+        return all(part.is_empty for part in self.parts)
+
+    @property
+    def num_points(self) -> int:
+        return sum(part.num_points for part in self.parts)
+
+    def __len__(self) -> int:
+        return len(self.parts)
+
+    def __iter__(self):
+        return iter(self.parts)
+
+    def __getitem__(self, index: int) -> Geometry:
+        return self.parts[index]
+
+    def _compute_envelope(self) -> Envelope:
+        envelope = Envelope.empty()
+        for part in self.parts:
+            envelope = envelope.union(part.envelope)
+        return envelope
+
+    def _coordinates_equal(self, other: Geometry) -> bool:
+        assert isinstance(other, _MultiGeometry)
+        return len(self.parts) == len(other.parts) and all(
+            a == b for a, b in zip(self.parts, other.parts)
+        )
+
+
+class MultiPoint(_MultiGeometry):
+    """A set of points."""
+
+    __slots__ = ()
+    _part_type = Point
+
+    @property
+    def geometry_type(self) -> GeometryType:
+        return GeometryType.MULTIPOINT
+
+    @staticmethod
+    def of(coords: Iterable[Sequence[float]]) -> "MultiPoint":
+        """Build from raw ``(x, y)`` pairs."""
+        return MultiPoint(Point(x, y) for x, y in coords)
+
+
+class MultiLineString(_MultiGeometry):
+    """A set of polylines."""
+
+    __slots__ = ()
+    _part_type = LineString
+
+    @property
+    def geometry_type(self) -> GeometryType:
+        return GeometryType.MULTILINESTRING
+
+    def length(self) -> float:
+        """Total length over all parts."""
+        return sum(part.length() for part in self.parts)
+
+
+class MultiPolygon(_MultiGeometry):
+    """A set of polygons (disjoint by Simple Features convention)."""
+
+    __slots__ = ()
+    _part_type = Polygon
+
+    @property
+    def geometry_type(self) -> GeometryType:
+        return GeometryType.MULTIPOLYGON
+
+    def area(self) -> float:
+        """Total area over all parts."""
+        return sum(part.area() for part in self.parts)
+
+
+class GeometryCollection(_MultiGeometry):
+    """A heterogeneous bag of geometries."""
+
+    __slots__ = ()
+    _part_type = Geometry
+
+    @property
+    def geometry_type(self) -> GeometryType:
+        return GeometryType.GEOMETRYCOLLECTION

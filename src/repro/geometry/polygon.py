@@ -1,0 +1,153 @@
+"""Polygon geometry with holes — census blocks and ecoregions in the paper."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.base import Geometry, GeometryType
+from repro.geometry.envelope import Envelope
+from repro.geometry.linestring import coordinate_array
+
+__all__ = ["LinearRing", "Polygon"]
+
+
+class LinearRing:
+    """A closed ring of vertices used as a polygon shell or hole.
+
+    The closing vertex is stored explicitly (first == last), matching the
+    WKT convention.  Rings with fewer than 4 stored vertices (triangle +
+    closure) are rejected.
+    """
+
+    __slots__ = ("coords",)
+
+    def __init__(self, coords: Iterable[Sequence[float]]):
+        array = coordinate_array(coords)
+        if len(array) != 0:
+            if len(array) < 3:
+                raise GeometryError(f"a ring needs >= 3 distinct vertices, got {len(array)}")
+            if not np.array_equal(array[0], array[-1]):
+                array = np.vstack([array, array[:1]])
+            if len(array) < 4:
+                raise GeometryError("a closed ring needs >= 4 stored vertices")
+        self.coords = array
+        self.coords.setflags(write=False)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.coords) == 0
+
+    @property
+    def num_points(self) -> int:
+        return len(self.coords)
+
+    def signed_area(self) -> float:
+        """Shoelace signed area: positive for counter-clockwise rings."""
+        if self.is_empty:
+            return 0.0
+        x = self.coords[:, 0]
+        y = self.coords[:, 1]
+        return float(np.sum(x[:-1] * y[1:] - x[1:] * y[:-1]) / 2.0)
+
+    def is_ccw(self) -> bool:
+        """True when the ring winds counter-clockwise."""
+        return self.signed_area() > 0.0
+
+    def envelope(self) -> Envelope:
+        if self.is_empty:
+            return Envelope.empty()
+        return Envelope(
+            float(self.coords[:, 0].min()),
+            float(self.coords[:, 1].min()),
+            float(self.coords[:, 0].max()),
+            float(self.coords[:, 1].max()),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearRing):
+            return NotImplemented
+        return self.coords.shape == other.coords.shape and bool(
+            np.array_equal(self.coords, other.coords)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.coords.tobytes())
+
+
+class Polygon(Geometry):
+    """A polygon with one exterior shell and zero or more interior holes.
+
+    The refinement predicates the paper measures — point-in-polygon for the
+    ``Within`` joins — walk every ring, so the per-polygon vertex count
+    (avg ~9 for nycb, ~279 for wwf) directly drives refinement cost.
+    """
+
+    __slots__ = ("shell", "holes")
+
+    def __init__(
+        self,
+        shell: Iterable[Sequence[float]] | LinearRing,
+        holes: Iterable[Iterable[Sequence[float]] | LinearRing] = (),
+    ):
+        super().__init__()
+        self.shell = shell if isinstance(shell, LinearRing) else LinearRing(shell)
+        self.holes = tuple(
+            hole if isinstance(hole, LinearRing) else LinearRing(hole) for hole in holes
+        )
+        if self.shell.is_empty and self.holes:
+            raise GeometryError("polygon with empty shell cannot have holes")
+
+    @staticmethod
+    def empty() -> "Polygon":
+        return Polygon(LinearRing([]))
+
+    @staticmethod
+    def from_envelope(envelope: Envelope) -> "Polygon":
+        """Build the rectangular polygon covering ``envelope``."""
+        if envelope.is_empty:
+            return Polygon.empty()
+        return Polygon(
+            [
+                (envelope.min_x, envelope.min_y),
+                (envelope.max_x, envelope.min_y),
+                (envelope.max_x, envelope.max_y),
+                (envelope.min_x, envelope.max_y),
+                (envelope.min_x, envelope.min_y),
+            ]
+        )
+
+    @property
+    def geometry_type(self) -> GeometryType:
+        return GeometryType.POLYGON
+
+    @property
+    def is_empty(self) -> bool:
+        return self.shell.is_empty
+
+    @property
+    def num_points(self) -> int:
+        return self.shell.num_points + sum(hole.num_points for hole in self.holes)
+
+    @property
+    def rings(self) -> tuple[LinearRing, ...]:
+        """Shell followed by holes."""
+        return (self.shell, *self.holes)
+
+    def area(self) -> float:
+        """Unsigned area of shell minus holes."""
+        if self.is_empty:
+            return 0.0
+        area = abs(self.shell.signed_area())
+        for hole in self.holes:
+            area -= abs(hole.signed_area())
+        return area
+
+    def _compute_envelope(self) -> Envelope:
+        return self.shell.envelope()
+
+    def _coordinates_equal(self, other: Geometry) -> bool:
+        assert isinstance(other, Polygon)
+        return self.shell == other.shell and self.holes == other.holes

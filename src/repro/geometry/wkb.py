@@ -1,0 +1,163 @@
+"""Well-Known Binary reader and writer.
+
+Section III of the paper notes that SpatialSpark keeps geometry as WKT
+strings "to provide a fair comparison with ISP-MC" and that a binary
+in-memory / on-HDFS representation "is left for our future work".  This
+module implements that future-work item; the ``a3`` ablation benchmark
+compares WKT vs WKB scan-and-parse cost.
+
+The encoding follows the OGC WKB spec (byte order flag, uint32 type tag,
+float64 coordinates), 2-D geometries only.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import WKBParseError
+from repro.geometry.base import Geometry, GeometryType
+from repro.geometry.linestring import LineString
+from repro.geometry.multi import (
+    GeometryCollection,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import LinearRing, Polygon
+
+__all__ = ["loads", "dumps"]
+
+_TYPE_CODES = {
+    GeometryType.POINT: 1,
+    GeometryType.LINESTRING: 2,
+    GeometryType.POLYGON: 3,
+    GeometryType.MULTIPOINT: 4,
+    GeometryType.MULTILINESTRING: 5,
+    GeometryType.MULTIPOLYGON: 6,
+    GeometryType.GEOMETRYCOLLECTION: 7,
+}
+_CODE_TYPES = {code: tag for tag, code in _TYPE_CODES.items()}
+
+_LITTLE = 1
+_BIG = 0
+
+
+class _Cursor:
+    """Sequential reader over a bytes buffer with endianness tracking."""
+
+    __slots__ = ("data", "pos", "prefix")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+        self.prefix = "<"
+
+    def read_byte_order(self) -> None:
+        if self.pos >= len(self.data):
+            raise WKBParseError("truncated WKB: missing byte-order flag")
+        flag = self.data[self.pos]
+        self.pos += 1
+        if flag == _LITTLE:
+            self.prefix = "<"
+        elif flag == _BIG:
+            self.prefix = ">"
+        else:
+            raise WKBParseError(f"invalid byte-order flag {flag}")
+
+    def read(self, fmt: str):
+        full = self.prefix + fmt
+        size = struct.calcsize(full)
+        if self.pos + size > len(self.data):
+            raise WKBParseError(
+                f"truncated WKB: need {size} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}"
+            )
+        values = struct.unpack_from(full, self.data, self.pos)
+        self.pos += size
+        return values
+
+    def uint32(self) -> int:
+        return self.read("I")[0]
+
+    def coords(self, count: int) -> list[tuple[float, float]]:
+        values = self.read(f"{2 * count}d")
+        return [(values[i], values[i + 1]) for i in range(0, 2 * count, 2)]
+
+
+def dumps(geometry: Geometry) -> bytes:
+    """Serialise a geometry to little-endian WKB."""
+    return b"".join(_encode(geometry))
+
+
+def _encode(geometry: Geometry) -> Iterator[bytes]:
+    tag = geometry.geometry_type
+    yield struct.pack("<BI", _LITTLE, _TYPE_CODES[tag])
+    if tag is GeometryType.POINT:
+        if geometry.is_empty:
+            # OGC convention: empty point encodes as NaN coordinates.
+            yield struct.pack("<2d", float("nan"), float("nan"))
+        else:
+            yield struct.pack("<2d", geometry.x, geometry.y)
+    elif tag is GeometryType.LINESTRING:
+        yield struct.pack("<I", len(geometry.coords))
+        yield geometry.coords.astype("<f8").tobytes()
+    elif tag is GeometryType.POLYGON:
+        rings = [ring for ring in geometry.rings if not ring.is_empty]
+        yield struct.pack("<I", len(rings))
+        for ring in rings:
+            yield struct.pack("<I", len(ring.coords))
+            yield ring.coords.astype("<f8").tobytes()
+    elif tag in (
+        GeometryType.MULTIPOINT,
+        GeometryType.MULTILINESTRING,
+        GeometryType.MULTIPOLYGON,
+        GeometryType.GEOMETRYCOLLECTION,
+    ):
+        yield struct.pack("<I", len(geometry.parts))
+        for part in geometry.parts:
+            yield from _encode(part)
+    else:  # pragma: no cover - the enum is closed
+        raise WKBParseError(f"cannot serialise geometry type {tag}")
+
+
+def loads(data: bytes) -> Geometry:
+    """Parse one WKB geometry; raises :class:`WKBParseError` on bad input."""
+    cursor = _Cursor(bytes(data))
+    geometry = _decode(cursor)
+    if cursor.pos != len(cursor.data):
+        raise WKBParseError(
+            f"trailing bytes after geometry (offset {cursor.pos} of {len(cursor.data)})"
+        )
+    return geometry
+
+
+def _decode(cursor: _Cursor) -> Geometry:
+    cursor.read_byte_order()
+    code = cursor.uint32()
+    tag = _CODE_TYPES.get(code)
+    if tag is None:
+        raise WKBParseError(f"unknown geometry type code {code}")
+    if tag is GeometryType.POINT:
+        (x, y) = cursor.coords(1)[0]
+        if x != x and y != y:  # NaN, NaN encodes POINT EMPTY
+            return Point.empty()
+        return Point(x, y)
+    if tag is GeometryType.LINESTRING:
+        return LineString(cursor.coords(cursor.uint32()))
+    if tag is GeometryType.POLYGON:
+        num_rings = cursor.uint32()
+        if num_rings == 0:
+            return Polygon.empty()
+        rings = [LinearRing(cursor.coords(cursor.uint32())) for _ in range(num_rings)]
+        return Polygon(rings[0], rings[1:])
+    count = cursor.uint32()
+    parts = [_decode(cursor) for _ in range(count)]
+    if tag is GeometryType.MULTIPOINT:
+        return MultiPoint(parts)
+    if tag is GeometryType.MULTILINESTRING:
+        return MultiLineString(parts)
+    if tag is GeometryType.MULTIPOLYGON:
+        return MultiPolygon(parts)
+    return GeometryCollection(parts)

@@ -1,0 +1,125 @@
+"""Line-oriented text records over simulated HDFS blocks.
+
+Hadoop's ``TextInputFormat`` rule for records straddling block boundaries:
+a split owner reads *past* its end to finish the last line, and every
+split except the first discards the partial line at its start.  Both the
+Spark ``textFile`` RDD and the Impala HDFS scan node rely on this module,
+so both engines see the identical record stream for a given file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.hdfs.filesystem import SimulatedHDFS
+
+__all__ = ["write_text", "read_lines", "read_split_lines", "split_boundaries"]
+
+
+def write_text(
+    fs: SimulatedHDFS, path: str, lines: "Iterator[str] | list[str]",
+    block_size: int | None = None,
+) -> int:
+    """Write newline-terminated lines to a file; returns the byte size.
+
+    Every line — including empty ones — is terminated by ``\\n`` (POSIX
+    text-file convention), so the line list round-trips exactly through
+    :func:`read_lines`.
+    """
+    lines = list(lines)
+    payload = "\n".join(lines) + "\n" if lines else ""
+    data = payload.encode("utf-8")
+    fs.write(path, data, block_size=block_size)
+    return len(data)
+
+
+def read_lines(fs: SimulatedHDFS, path: str) -> list[str]:
+    """Read a whole file as a list of lines (no trailing newline chars)."""
+    text = fs.read(path).decode("utf-8")
+    if not text:
+        return []
+    if text.endswith("\n"):
+        text = text[:-1]
+    return text.split("\n")
+
+
+def split_boundaries(fs: SimulatedHDFS, path: str, min_splits: int = 1) -> list[tuple[int, int]]:
+    """Return (offset, length) byte splits for a file.
+
+    Defaults to one split per HDFS block; when ``min_splits`` exceeds the
+    block count, blocks are subdivided evenly (mirroring how Spark's
+    ``textFile(path, minPartitions)`` requests more splits than blocks).
+    """
+    status = fs.status(path)
+    if status.size == 0:
+        return [(0, 0)]
+    base = [(b.offset, b.length) for b in status.blocks]
+    if len(base) >= min_splits:
+        return base
+    per_split = max(1, status.size // min_splits)
+    splits = []
+    offset = 0
+    while offset < status.size:
+        length = min(per_split, status.size - offset)
+        # Last split absorbs the remainder to avoid a tiny tail split.
+        if status.size - (offset + length) < per_split // 2:
+            length = status.size - offset
+        splits.append((offset, length))
+        offset += length
+    return splits
+
+
+def read_split_lines(
+    fs: SimulatedHDFS, path: str, offset: int, length: int
+) -> list[str]:
+    """Return the complete lines owned by the split ``[offset, offset+length)``.
+
+    Ownership follows the TextInputFormat rule: a line belongs to the split
+    containing its first byte; a split that starts mid-line skips forward
+    to the next newline, and every split reads past its end to complete its
+    final line.
+    """
+    status = fs.status(path)
+    size = status.size
+    if size == 0 or length <= 0:
+        return []
+    start = offset
+    if start > 0:
+        # Skip the partial line: find the first newline at or after start-1.
+        probe = start - 1
+        chunk = b""
+        while probe < size:
+            chunk = fs.read_range(path, probe, min(64 * 1024, size - probe))
+            newline = chunk.find(b"\n")
+            if newline >= 0:
+                start = probe + newline + 1
+                break
+            probe += len(chunk)
+        else:
+            return []
+        if start >= offset + length and start >= size:
+            return []
+        if start >= offset + length:
+            # The whole split was inside one line owned by a predecessor…
+            # …unless the line *starts* inside this split, handled above.
+            return []
+    end = offset + length
+    if start >= size:
+        return []
+    # Read from start to the end of the line containing byte end-1; when
+    # the split already ends on a newline there is nothing to extend.
+    stop = end
+    if stop < size and fs.read_range(path, stop - 1, 1) != b"\n":
+        while stop < size:
+            chunk = fs.read_range(path, stop, min(64 * 1024, size - stop))
+            newline = chunk.find(b"\n")
+            if newline >= 0:
+                stop = stop + newline + 1
+                break
+            stop += len(chunk)
+    data = fs.read_range(path, start, stop - start).decode("utf-8")
+    if not data:
+        return []
+    if data.endswith("\n"):
+        data = data[:-1]
+    return data.split("\n")

@@ -1,0 +1,34 @@
+"""Mini-Impala substrate: SQL frontend, planner, row-batch backend."""
+
+from repro.impala.catalog import Column, ColumnType, Metastore, Table
+from repro.impala.coordinator import ImpalaBackend, QueryResult
+from repro.impala.exec_nodes import (
+    Aggregator,
+    CrossJoinNode,
+    FilterNode,
+    InstanceContext,
+    ScanNode,
+)
+from repro.impala.parser import parse
+from repro.impala.planner import PhysicalPlan, Planner
+from repro.impala.rowbatch import BATCH_SIZE, RowBatch, batches_of
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Metastore",
+    "Table",
+    "ImpalaBackend",
+    "QueryResult",
+    "Aggregator",
+    "CrossJoinNode",
+    "FilterNode",
+    "InstanceContext",
+    "ScanNode",
+    "parse",
+    "PhysicalPlan",
+    "Planner",
+    "BATCH_SIZE",
+    "RowBatch",
+    "batches_of",
+]

@@ -1,0 +1,129 @@
+"""Metastore: table schemas and HDFS locations.
+
+Plays the role of the Hive metastore the Impala frontend consults when
+turning a logical plan into a physical one (Section IV): table -> columns,
+delimiter, and the HDFS path whose blocks become scan ranges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.hdfs import SimulatedHDFS
+
+__all__ = ["ColumnType", "Column", "Table", "Metastore"]
+
+
+class ColumnType(enum.Enum):
+    """Impala column types the ISP-MC dialect needs.
+
+    Geometry is stored as STRING (WKT) — the paper's workaround for
+    Impala's lack of user-defined types ("we represent geometry as
+    strings to bypass this problem", Section IV).
+    """
+
+    BIGINT = "BIGINT"
+    DOUBLE = "DOUBLE"
+    STRING = "STRING"
+    BOOLEAN = "BOOLEAN"
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name and a type."""
+
+    name: str
+    type: ColumnType
+
+
+@dataclass(frozen=True)
+class Table:
+    """A registered external text table."""
+
+    name: str
+    columns: tuple[Column, ...]
+    path: str
+    delimiter: str = "\t"
+
+    def column_index(self, name: str) -> int:
+        """Position of ``name`` in the row tuple; raises on unknown names."""
+        for i, column in enumerate(self.columns):
+            if column.name == name:
+                return i
+        raise PlanError(f"table {self.name} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """True when the table defines a column called ``name``."""
+        return any(column.name == name for column in self.columns)
+
+    def parse_row(self, line: str) -> tuple | None:
+        """Convert one text line to a typed row tuple; None on bad rows.
+
+        Mirrors Impala's text scanners: rows with the wrong field count or
+        unconvertible numerics become NULL-row skips rather than errors.
+        """
+        fields = line.split(self.delimiter)
+        if len(fields) != len(self.columns):
+            return None
+        values: list = []
+        for field_text, column in zip(fields, self.columns):
+            if column.type is ColumnType.BIGINT:
+                try:
+                    values.append(int(field_text))
+                except ValueError:
+                    return None
+            elif column.type is ColumnType.DOUBLE:
+                try:
+                    values.append(float(field_text))
+                except ValueError:
+                    return None
+            elif column.type is ColumnType.BOOLEAN:
+                values.append(field_text.strip().lower() in ("true", "1"))
+            else:
+                values.append(field_text)
+        return tuple(values)
+
+
+class Metastore:
+    """Name -> table registry with existence validation against HDFS."""
+
+    def __init__(self, hdfs: SimulatedHDFS):
+        self._hdfs = hdfs
+        self._tables: dict[str, Table] = {}
+
+    def create_table(
+        self,
+        name: str,
+        columns: list[tuple[str, ColumnType]],
+        path: str,
+        delimiter: str = "\t",
+    ) -> Table:
+        """Register an external table over an existing HDFS file."""
+        if name in self._tables:
+            raise PlanError(f"table {name!r} already exists")
+        if not self._hdfs.exists(path):
+            raise PlanError(f"no HDFS file at {path!r} for table {name!r}")
+        table = Table(
+            name, tuple(Column(n, t) for n, t in columns), path, delimiter
+        )
+        self._tables[name] = table
+        return table
+
+    def get(self, name: str) -> Table:
+        """Look up a table; raises :class:`PlanError` when missing."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise PlanError(f"unknown table {name!r}") from None
+
+    def drop_table(self, name: str) -> None:
+        """Unregister a table (the HDFS file is left in place)."""
+        if name not in self._tables:
+            raise PlanError(f"unknown table {name!r}")
+        del self._tables[name]
+
+    def tables(self) -> list[str]:
+        """Sorted names of all registered tables."""
+        return sorted(self._tables)

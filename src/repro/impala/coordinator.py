@@ -1,0 +1,535 @@
+"""Impala backend: coordinator + worker instances with static scheduling.
+
+Execution follows Section IV of the paper:
+
+1. the frontend parses and plans the query (once, on the coordinator);
+2. scan ranges are bound to fragment instances (one per node) **before
+   execution starts** — round-robin, never rebalanced;
+3. the build (right) side is scanned by every instance's share of ranges
+   and broadcast; each instance builds an in-memory R-tree from the
+   broadcast row batches;
+4. each instance probes its left rows batch-by-batch, with OpenMP-static
+   multi-core refinement, and ships results (or partial aggregates) to
+   the coordinator, which merges/sorts/projects.
+
+The query's simulated runtime is frontend planning + fragment startup
+(LLVM JIT et al.) + the *maximum* instance time (static inter-node
+scheduling: everyone waits for the straggler) + coordinator merge time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.model import ClusterSpec, CostModel, Resource
+from repro.errors import ImpalaError, PlanError
+from repro.hdfs import SimulatedHDFS, split_boundaries
+from repro.impala.catalog import Metastore
+from repro.impala.exec_nodes import (
+    Aggregator,
+    CrossJoinNode,
+    ExecNode,
+    FilterNode,
+    InstanceContext,
+    ScanNode,
+)
+from repro.impala.exprs import TupleDescriptor, compile_expr
+from repro.impala.parser import parse
+from repro.impala.planner import PhysicalPlan, Planner
+from repro.impala.rowbatch import RowBatch
+from repro.spark.shuffle import estimate_bytes
+from repro.spark.taskcontext import task_scope
+
+__all__ = ["QueryResult", "ImpalaBackend"]
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the accounting needed by the benchmark harness."""
+
+    columns: list[str]
+    rows: list[tuple]
+    simulated_seconds: float
+    instances: list[InstanceContext] = field(default_factory=list)
+    plan: PhysicalPlan | None = None
+    coordinator_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def straggler_seconds(self) -> float:
+        """The slowest instance's time (the static-scheduling bottleneck)."""
+        return max((i.total_seconds for i in self.instances), default=0.0)
+
+    @property
+    def mean_instance_seconds(self) -> float:
+        """Average instance time (straggler/mean gauges the imbalance)."""
+        if not self.instances:
+            return 0.0
+        return sum(i.total_seconds for i in self.instances) / len(self.instances)
+
+
+class ImpalaBackend:
+    """A mini-Impala cluster: metastore, planner, coordinator, workers."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        hdfs: SimulatedHDFS | None = None,
+        cost_model: CostModel | None = None,
+        engine: str = "slow",
+        assignment: str = "round_robin",
+        build_cost_weight: float = 1.0,
+    ):
+        if assignment not in ("contiguous", "round_robin"):
+            raise ImpalaError(
+                f"assignment must be contiguous|round_robin, got {assignment!r}"
+            )
+        self.cluster = cluster
+        self.hdfs = hdfs or SimulatedHDFS(
+            datanodes=tuple(f"node{i}" for i in range(cluster.num_nodes))
+        )
+        self.cost_model = cost_model or CostModel()
+        self.engine_name = engine
+        self.assignment = assignment
+        # Representativity correction for right-side work at reduced
+        # benchmark scale; see MaterializedWorkload.build_cost_weight.
+        self.build_cost_weight = build_cost_weight
+        self.metastore = Metastore(self.hdfs)
+        self._planner = Planner(self.metastore)
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse, plan and run one SELECT (or describe it, for EXPLAIN)."""
+        statement = parse(sql)
+        plan = self._planner.plan(statement)
+        if plan.explain:
+            lines = self.explain_plan(plan)
+            return QueryResult(
+                columns=["Explain"],
+                rows=[(line,) for line in lines],
+                simulated_seconds=self.cost_model.impala_plan_base,
+                plan=plan,
+            )
+        return self._execute_plan(plan)
+
+    def explain_plan(self, plan: PhysicalPlan) -> list[str]:
+        """Render the physical plan the way ``EXPLAIN`` prints it."""
+        lines = [f"PLAN (instances={self.cluster.num_nodes}, "
+                 f"assignment={self.assignment})"]
+        indent = "  "
+        lines.append(f"{indent}EXCHANGE [MERGE] -> coordinator")
+        cursor = indent * 2
+        if plan.aggregate is not None:
+            keys = ", ".join(str(e) for e in plan.aggregate.key_exprs) or "<global>"
+            aggs = ", ".join(
+                f"{name}({arg if arg is not None else '*'})"
+                for name, arg, _ in plan.aggregate.functions
+            )
+            lines.append(f"{cursor}AGGREGATE [FINALIZE] group by: {keys}; {aggs}")
+            if plan.having is not None:
+                lines.append(f"{cursor}HAVING {plan.having}")
+            lines.append(f"{cursor}AGGREGATE [PARTIAL] (per instance)")
+            cursor += indent
+        if plan.residual:
+            conj = " AND ".join(str(c) for c in plan.residual)
+            lines.append(f"{cursor}FILTER {conj}")
+        if plan.join is not None:
+            pred = plan.join.predicate
+            kind = "SPATIAL JOIN [R-tree, BROADCAST]" if plan.join.indexed else                 "CROSS JOIN [single-core, BROADCAST]"
+            lines.append(
+                f"{cursor}{kind} {pred.function}({pred.probe_column}, "
+                f"{pred.build_column}"
+                + (f", {pred.radius}" if pred.radius else "") + ")"
+            )
+            cursor += indent
+            build_filters = " AND ".join(
+                str(c) for c in plan.join.build.conjuncts
+            )
+            lines.append(
+                f"{cursor}SCAN {plan.join.build.table.name} [BROADCAST]"
+                + (f" filter: {build_filters}" if build_filters else "")
+            )
+        probe_filters = " AND ".join(str(c) for c in plan.probe.conjuncts)
+        lines.append(
+            f"{cursor}SCAN {plan.probe.table.name} "
+            f"[{len(self._assign_ranges(plan.probe.table.path, [None] * self.cluster.num_nodes))}x ranges, static]"
+            + (f" filter: {probe_filters}" if probe_filters else "")
+        )
+        return lines
+
+    # -- execution ---------------------------------------------------------------
+
+    def _execute_plan(self, plan: PhysicalPlan) -> QueryResult:
+        model = self.cost_model
+        instances = [
+            InstanceContext(node_id=i, cores=self.cluster.cores_per_node, cost_model=model)
+            for i in range(self.cluster.num_nodes)
+        ]
+        probe_ranges = self._assign_ranges(plan.probe.table.path, instances)
+        row_descriptor = plan.row_descriptor
+        shared_index = None
+        if plan.join is not None:
+            shared_index = self._build_side(plan, instances)
+        # Probe fragments: real execution once per instance's ranges.
+        residual_eval = self._compile_conjuncts(plan.residual, row_descriptor)
+        aggregators: list[Aggregator] = []
+        # Projection pushdown: instances materialise only the SELECT
+        # columns plus precomputed ORDER BY keys, not whole joined rows
+        # (which would re-ship every WKT string to the coordinator).
+        # Aggregated queries exchange partial states instead, and their
+        # aggregate-bearing projections never compile as row scalars.
+        if plan.aggregate is None:
+            projector = self._compile_projection(plan, row_descriptor)
+            order_key_fns = [
+                compile_expr(item.expr, row_descriptor) for item in plan.order_by
+            ]
+        else:
+            projector = None
+            order_key_fns = []
+        instance_keyed_rows: list[list[tuple[tuple, tuple]]] = []
+        for instance in instances:
+            with task_scope(instance.metrics):
+                root = self._instance_pipeline(
+                    plan, instance, probe_ranges[instance.node_id],
+                    shared_index, residual_eval,
+                )
+                if plan.aggregate is not None:
+                    aggregator = self._new_aggregator(plan, row_descriptor)
+                    for batch in root.batches():
+                        for row in batch:
+                            aggregator.accumulate(row)
+                    aggregators.append(aggregator)
+                    exchange = sum(
+                        estimate_bytes((k, s)) for k, s in aggregator.partials()
+                    )
+                else:
+                    keyed = [
+                        (tuple(fn(row) for fn in order_key_fns), projector(row))
+                        for row in root.rows()
+                    ]
+                    instance_keyed_rows.append(keyed)
+                    exchange = sum(estimate_bytes(r) for r in keyed)
+                # Result exchange crosses the network only on a real
+                # cluster; single-node results land in a local buffer.
+                if self.cluster.num_nodes > 1:
+                    instance.charge_serial(Resource.SHUFFLE_BYTES, exchange)
+        # Coordinator: merge, sort, limit, project.
+        coordinator_seconds = 0.0
+        if plan.aggregate is not None:
+            final = self._new_aggregator(plan, row_descriptor)
+            for aggregator in aggregators:
+                for key, states in aggregator.partials():
+                    final.merge(key, states)
+            output_rows = list(final.finalize())
+            output_rows = self._project_aggregate(plan, output_rows)
+            if plan.having is not None:
+                having = self._compile_output_expr(plan, plan.having)
+                output_rows = [row for row in output_rows if having(row) is True]
+            coordinator_seconds += model.task_seconds(
+                {Resource.ROWS_OUT: len(output_rows) * 4.0}
+            )
+            output_rows = self._order_and_limit_agg(plan, output_rows)
+        else:
+            merged = [kr for keyed in instance_keyed_rows for kr in keyed]
+            coordinator_seconds += model.task_seconds(
+                {Resource.ROWS_OUT: float(len(merged))}
+            )
+            for i in reversed(range(len(plan.order_by))):
+                ascending = plan.order_by[i].ascending
+                merged.sort(
+                    key=lambda kr, i=i: _null_safe_key(kr[0][i]),
+                    reverse=not ascending,
+                )
+            if plan.limit is not None:
+                merged = merged[: plan.limit]
+            output_rows = [projected for _, projected in merged]
+        pressure = (
+            model.impala_memory_pressure_factor
+            if self.cluster.mem_per_node_gb
+            <= model.impala_memory_pressure_threshold_gb
+            else 1.0
+        )
+        simulated = (
+            model.impala_plan_base
+            + model.impala_fragment_startup
+            + max((i.total_seconds for i in instances), default=0.0)
+            * model.impala_infra_factor
+            * pressure
+            + coordinator_seconds
+        )
+        return QueryResult(
+            columns=list(plan.output_names),
+            rows=output_rows,
+            simulated_seconds=simulated,
+            instances=instances,
+            plan=plan,
+            coordinator_seconds=coordinator_seconds,
+        )
+
+    # -- fragment construction --------------------------------------------------
+
+    def _assign_ranges(
+        self, path: str, instances: list[InstanceContext]
+    ) -> list[list[tuple[int, int]]]:
+        """Static scan-range assignment — fixed at 'plan time', never moved.
+
+        ``contiguous`` (default) gives each instance a contiguous run of
+        the file's blocks, the locality-driven placement a pipelined HDFS
+        writer produces (consecutive blocks share replicas); with
+        spatially-ordered files this is the inter-node skew behind the
+        paper's "some Impala instances take much longer" observation.
+        ``round_robin`` interleaves blocks — the a2 ablation's milder
+        static policy.
+        """
+        ranges = split_boundaries(self.hdfs, path, min_splits=len(instances))
+        assigned: list[list[tuple[int, int]]] = [[] for _ in instances]
+        if self.assignment == "round_robin":
+            for i, scan_range in enumerate(ranges):
+                assigned[i % len(instances)].append(scan_range)
+            return assigned
+        n = len(ranges)
+        workers = len(instances)
+        base = n // workers
+        remainder = n % workers
+        start = 0
+        for w in range(workers):
+            size = base + (1 if w < remainder else 0)
+            assigned[w] = ranges[start : start + size]
+            start += size
+        return assigned
+
+    def _build_side(
+        self, plan: PhysicalPlan, instances: list[InstanceContext]
+    ):
+        """Scan + broadcast + index the right side.
+
+        The scan is distributed (each instance reads its own ranges); the
+        resulting rows are broadcast, so *every* instance is charged for
+        receiving the full row set, parsing its WKT and building its own
+        R-tree copy — we build one real index and bill each instance.
+        """
+        from repro.core.isp import build_spatial_index
+
+        join = plan.join
+        build_ranges = self._assign_ranges(join.build.table.path, instances)
+        build_filter = self._compile_conjuncts(
+            join.build.conjuncts, join.build.descriptor
+        )
+        all_rows: list[tuple] = []
+        for instance in instances:
+            with task_scope(instance.metrics):
+                scan = ScanNode(
+                    instance,
+                    self.hdfs,
+                    join.build.table,
+                    build_ranges[instance.node_id],
+                    row_filter=build_filter,
+                )
+                for batch in scan.batches():
+                    all_rows.extend(batch.rows)
+        geometry_slot = join.build.descriptor.resolve(join.predicate.build_column)
+        from repro.core.operators import SpatialOperator
+
+        operator = SpatialOperator.from_sql(join.predicate.function)
+        index, wkt_bytes, _ = build_spatial_index(
+            all_rows, geometry_slot, operator, join.predicate.radius, self.engine_name
+        )
+        weight = self.build_cost_weight
+        broadcast_bytes = sum(estimate_bytes(r) for r in all_rows) * weight
+        for instance in instances:
+            if self.cluster.num_nodes > 1:
+                instance.charge_serial(Resource.BROADCAST_BYTES, broadcast_bytes)
+            instance.charge_serial(Resource.WKT_BYTES, wkt_bytes * weight)
+        return index
+
+    def _instance_pipeline(
+        self,
+        plan: PhysicalPlan,
+        instance: InstanceContext,
+        scan_ranges: list[tuple[int, int]],
+        shared_index,
+        residual_eval,
+    ) -> ExecNode:
+        probe_filter = self._compile_conjuncts(
+            plan.probe.conjuncts, plan.probe.descriptor
+        )
+        scan = ScanNode(
+            instance, self.hdfs, plan.probe.table, scan_ranges, row_filter=probe_filter
+        )
+        root: ExecNode = scan
+        if plan.join is not None:
+            probe_slot = plan.probe.descriptor.resolve(plan.join.predicate.probe_column)
+            if plan.join.indexed:
+                from repro.core.isp import SpatialJoinNode
+
+                root = SpatialJoinNode(
+                    instance,
+                    root,
+                    shared_index,
+                    probe_slot,
+                    build_cost_weight=self.build_cost_weight,
+                )
+            else:
+                # Naive fallback: Impala's single-core cross join + UDF filter.
+                root = self._cross_join(plan, instance, root, shared_index)
+        if residual_eval is not None:
+            root = FilterNode(instance, root, residual_eval)
+        return root
+
+    def _cross_join(self, plan, instance, probe_node, shared_index) -> ExecNode:
+        join = plan.join
+        build_rows = [item[0] for item, _ in shared_index.tree.iter_all()]
+        predicate = self._join_predicate_eval(plan)
+        return CrossJoinNode(instance, probe_node, build_rows, residual=predicate)
+
+    def _join_predicate_eval(self, plan: PhysicalPlan):
+        """Compile the spatial predicate as a scalar over joined rows."""
+        from repro.impala.ast_nodes import FunctionCall, Literal
+
+        pred = plan.join.predicate
+        args: list = [pred.probe_column, pred.build_column]
+        if pred.function == "ST_NEARESTD":
+            args.append(Literal(pred.radius))
+        call = FunctionCall(pred.function, tuple(args))
+        return compile_expr(call, plan.row_descriptor)
+
+    # -- expression plumbing --------------------------------------------------------
+
+    @staticmethod
+    def _compile_conjuncts(conjuncts, descriptor) -> Callable | None:
+        if not conjuncts:
+            return None
+        compiled = [compile_expr(c, descriptor) for c in conjuncts]
+        if len(compiled) == 1:
+            return compiled[0]
+
+        def evaluate(row):
+            for func in compiled:
+                if func(row) is not True:
+                    return False
+            return True
+
+        return evaluate
+
+    def _new_aggregator(self, plan: PhysicalPlan, descriptor: TupleDescriptor):
+        spec = plan.aggregate
+        key_getters = [compile_expr(e, descriptor) for e in spec.key_exprs]
+        agg_specs = []
+        for name, arg, distinct in spec.functions:
+            getter = compile_expr(arg, descriptor) if arg is not None else None
+            agg_specs.append((name, getter, distinct))
+        return Aggregator(key_getters, agg_specs)
+
+    def _project_aggregate(self, plan: PhysicalPlan, rows: list[tuple]) -> list[tuple]:
+        """Reorder (keys..., aggs...) rows into SELECT-list order."""
+        from repro.impala.ast_nodes import FunctionCall
+
+        spec = plan.aggregate
+        layout: list[tuple[str, int]] = []
+        key_cursor = 0
+        agg_cursor = 0
+        num_keys = len(spec.key_exprs)
+        for item in plan.projection:
+            expr = item.expr
+            if isinstance(expr, FunctionCall) and expr.name in (
+                "COUNT", "SUM", "MIN", "MAX", "AVG",
+            ):
+                layout.append(("agg", num_keys + agg_cursor))
+                agg_cursor += 1
+            else:
+                layout.append(("key", key_cursor))
+                key_cursor += 1
+        return [tuple(row[idx] for _, idx in layout) for row in rows]
+
+    def _order_and_limit_agg(self, plan: PhysicalPlan, rows: list[tuple]) -> list[tuple]:
+        if plan.order_by:
+            for item in reversed(plan.order_by):
+                index = self._output_position(plan, item.expr)
+                rows.sort(key=lambda r: _null_safe_key(r[index]), reverse=not item.ascending)
+        if plan.limit is not None:
+            rows = rows[: plan.limit]
+        return rows
+
+    def _compile_output_expr(self, plan: PhysicalPlan, expr):
+        """Compile an expression over the *output* rows of an aggregation.
+
+        Any subexpression matching a SELECT item (by structure) or an
+        output alias collapses to a positional reference; the remainder
+        must be literals and scalar operators.
+        """
+        from repro.impala.ast_nodes import BinaryOp, ColumnRef, Literal, UnaryOp
+
+        for i, item in enumerate(plan.projection):
+            if item.expr == expr:
+                return lambda row, i=i: row[i]
+        if isinstance(expr, ColumnRef) and expr.table is None:
+            for i, name in enumerate(plan.output_names):
+                if name == expr.column:
+                    return lambda row, i=i: row[i]
+        if isinstance(expr, Literal):
+            return lambda row, value=expr.value: value
+        if isinstance(expr, UnaryOp):
+            operand = self._compile_output_expr(plan, expr.operand)
+            if expr.op == "NOT":
+                return lambda row: None if operand(row) is None else not operand(row)
+            if expr.op == "-":
+                return lambda row: None if operand(row) is None else -operand(row)
+        if isinstance(expr, BinaryOp):
+            left = self._compile_output_expr(plan, expr.left)
+            right = self._compile_output_expr(plan, expr.right)
+            from repro.impala.exprs import _sql_and, _sql_or
+
+            ops = {
+                "=": lambda a, b: a == b, "<>": lambda a, b: a != b,
+                "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+                ">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+                "+": lambda a, b: a + b, "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b, "/": lambda a, b: a / b,
+            }
+            if expr.op == "AND":
+                return lambda row: _sql_and(left(row), right(row))
+            if expr.op == "OR":
+                return lambda row: _sql_or(left(row), right(row))
+            if expr.op in ops:
+                func = ops[expr.op]
+
+                def evaluate(row, func=func, left=left, right=right):
+                    a = left(row)
+                    b = right(row)
+                    if a is None or b is None:
+                        return None
+                    return func(a, b)
+
+                return evaluate
+        raise PlanError(
+            f"HAVING/output expression {expr} must reference grouped output"
+        )
+
+    def _output_position(self, plan: PhysicalPlan, expr) -> int:
+        from repro.impala.ast_nodes import ColumnRef
+
+        if isinstance(expr, ColumnRef) and expr.table is None:
+            for i, name in enumerate(plan.output_names):
+                if name == expr.column:
+                    return i
+        for i, item in enumerate(plan.projection):
+            if item.expr == expr:
+                return i
+        raise PlanError(f"ORDER BY {expr} does not match any output column")
+
+    def _compile_projection(self, plan: PhysicalPlan, descriptor: TupleDescriptor):
+        getters = [compile_expr(item.expr, descriptor) for item in plan.projection]
+
+        def project(row):
+            return tuple(g(row) for g in getters)
+
+        return project
+
+
+def _null_safe_key(value):
+    """Sort NULLs last regardless of direction (Impala's default)."""
+    return (value is None, value)

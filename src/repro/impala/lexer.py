@@ -1,0 +1,104 @@
+"""SQL lexer for the Impala frontend.
+
+Tokenises the SQL dialect the ISP-MC prototype understands: standard
+SELECT queries plus the ``SPATIAL JOIN`` keyword the paper adds to the
+grammar (Section IV) and the ``ST_*`` spatial predicates of Fig 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SQLParseError
+
+__all__ = ["Token", "TokenType", "tokenize", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    """Lexical categories the parser dispatches on."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "AS", "JOIN", "SPATIAL",
+        "HAVING", "EXPLAIN",
+        "INNER", "ON", "GROUP", "ORDER", "BY", "ASC", "DESC", "LIMIT",
+        "COUNT", "SUM", "MIN", "MAX", "AVG", "DISTINCT", "BETWEEN", "IN",
+        "IS", "NULL", "TRUE", "FALSE", "LIKE",
+    }
+)
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", ".", "+", "-", "/")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error reporting)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split a SQL string into tokens; raises :class:`SQLParseError`."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = sql.find("'", i + 1)
+            if end < 0:
+                raise SQLParseError("unterminated string literal", i)
+            tokens.append(Token(TokenType.STRING, sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            start = i
+            seen_dot = False
+            while i < n and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+                if sql[i] == ".":
+                    seen_dot = True
+                i += 1
+            if i < n and sql[i] in "eE":
+                i += 1
+                if i < n and sql[i] in "+-":
+                    i += 1
+                while i < n and sql[i].isdigit():
+                    i += 1
+            tokens.append(Token(TokenType.NUMBER, sql[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        for symbol in _SYMBOLS:
+            if sql.startswith(symbol, i):
+                tokens.append(Token(TokenType.SYMBOL, symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise SQLParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens

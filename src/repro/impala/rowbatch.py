@@ -1,0 +1,51 @@
+"""Row batches: the unit of data flow between Impala exec nodes.
+
+Section IV of the paper stresses "the fundamental role of the row batch
+structure in determining data flows between parent and child AST nodes";
+ISP-MC builds its R-tree from the right side's row batches and probes it
+batch-by-batch, with OpenMP statically splitting each batch across cores.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["RowBatch", "BATCH_SIZE", "batches_of"]
+
+BATCH_SIZE = 1024  # Impala's default row-batch capacity
+
+
+class RowBatch:
+    """A bounded list of row tuples flowing between exec nodes."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: list[tuple] | None = None):
+        self.rows: list[tuple] = rows if rows is not None else []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    @property
+    def is_full(self) -> bool:
+        """True once the batch reaches its capacity."""
+        return len(self.rows) >= BATCH_SIZE
+
+    def add(self, row: tuple) -> None:
+        """Append one row tuple."""
+        self.rows.append(row)
+
+
+def batches_of(rows: Iterable[tuple], batch_size: int = BATCH_SIZE) -> Iterator[RowBatch]:
+    """Re-batch a row stream into :class:`RowBatch` chunks."""
+    batch = RowBatch()
+    for row in rows:
+        batch.add(row)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = RowBatch()
+    if len(batch):
+        yield batch

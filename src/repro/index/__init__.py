@@ -1,0 +1,26 @@
+"""Spatial indexing substrate: R-trees, grid, quadtree, partitioners."""
+
+from repro.index.rtree import STRtree, RTreeNode
+from repro.index.dynamic_rtree import RTree
+from repro.index.grid import GridIndex
+from repro.index.quadtree import QuadTree
+from repro.index.partitioner import (
+    BinarySplitPartitioner,
+    FixedGridPartitioner,
+    SortTilePartitioner,
+    SpatialPartitioning,
+    reference_point_in,
+)
+
+__all__ = [
+    "STRtree",
+    "RTreeNode",
+    "RTree",
+    "GridIndex",
+    "QuadTree",
+    "SpatialPartitioning",
+    "FixedGridPartitioner",
+    "BinarySplitPartitioner",
+    "SortTilePartitioner",
+    "reference_point_in",
+]

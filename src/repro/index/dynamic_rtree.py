@@ -1,0 +1,272 @@
+"""Insertion-based dynamic R-tree with quadratic split (Guttman).
+
+The STR tree (:mod:`repro.index.rtree`) is bulk-loaded and immutable —
+ideal for broadcast joins where the right side is known up front.  Some
+workflows (streaming partitioner statistics, incremental index tests)
+need insert-as-you-go; this class provides the classic Guttman R-tree
+with quadratic split for them.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from repro.errors import IndexError_
+from repro.geometry.envelope import Envelope
+
+__all__ = ["RTree"]
+
+T = TypeVar("T")
+
+
+class _Node(Generic[T]):
+    __slots__ = ("envelope", "children", "entries", "parent")
+
+    def __init__(self, leaf: bool):
+        self.envelope = Envelope.empty()
+        self.children: list["_Node[T]"] | None = None if leaf else []
+        self.entries: list[tuple[T, Envelope]] | None = [] if leaf else None
+        self.parent: "_Node[T] | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+    def fanout(self) -> int:
+        return len(self.entries) if self.is_leaf else len(self.children)
+
+    def recompute_envelope(self) -> None:
+        envelope = Envelope.empty()
+        if self.is_leaf:
+            for _, env in self.entries:
+                envelope = envelope.union(env)
+        else:
+            for child in self.children:
+                envelope = envelope.union(child.envelope)
+        self.envelope = envelope
+
+
+class RTree(Generic[T]):
+    """A dynamic R-tree supporting insert, delete and envelope queries."""
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 4:
+            raise IndexError_(f"max_entries must be >= 4, got {max_entries}")
+        self._max = max_entries
+        self._min = max(2, max_entries // 2)
+        self._root: _Node[T] = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, item: T, envelope: Envelope) -> None:
+        """Insert an item; empty envelopes are rejected."""
+        if envelope.is_empty:
+            raise IndexError_("cannot insert an empty envelope")
+        leaf = self._choose_leaf(self._root, envelope)
+        leaf.entries.append((item, envelope))
+        leaf.envelope = leaf.envelope.union(envelope)
+        self._size += 1
+        if leaf.fanout() > self._max:
+            self._split(leaf)
+        else:
+            self._propagate_envelope(leaf.parent, envelope)
+
+    def _propagate_envelope(self, node: _Node[T] | None, envelope: Envelope) -> None:
+        while node is not None:
+            node.envelope = node.envelope.union(envelope)
+            node = node.parent
+
+    def _choose_leaf(self, node: _Node[T], envelope: Envelope) -> _Node[T]:
+        while not node.is_leaf:
+            best = None
+            best_growth = float("inf")
+            best_area = float("inf")
+            for child in node.children:
+                grown = child.envelope.union(envelope)
+                growth = grown.area - child.envelope.area
+                if growth < best_growth or (
+                    growth == best_growth and child.envelope.area < best_area
+                ):
+                    best = child
+                    best_growth = growth
+                    best_area = child.envelope.area
+            node = best
+        return node
+
+    def _split(self, node: _Node[T]) -> None:
+        # Gather the node's members as (payload, envelope) pairs.
+        if node.is_leaf:
+            members: list[tuple[object, Envelope]] = list(node.entries)
+        else:
+            members = [(child, child.envelope) for child in node.children]
+        seed_a, seed_b = self._pick_seeds(members)
+        group_a = [members[seed_a]]
+        group_b = [members[seed_b]]
+        env_a = members[seed_a][1]
+        env_b = members[seed_b][1]
+        rest = [m for i, m in enumerate(members) if i not in (seed_a, seed_b)]
+        while rest:
+            # Must a group take everything to reach the minimum fill?
+            if len(group_a) + len(rest) == self._min:
+                group_a.extend(rest)
+                for _, env in rest:
+                    env_a = env_a.union(env)
+                rest = []
+                break
+            if len(group_b) + len(rest) == self._min:
+                group_b.extend(rest)
+                for _, env in rest:
+                    env_b = env_b.union(env)
+                rest = []
+                break
+            # Quadratic: pick the member with the greatest preference.
+            best_idx = 0
+            best_diff = -1.0
+            for i, (_, env) in enumerate(rest):
+                d_a = env_a.union(env).area - env_a.area
+                d_b = env_b.union(env).area - env_b.area
+                diff = abs(d_a - d_b)
+                if diff > best_diff:
+                    best_diff = diff
+                    best_idx = i
+            member = rest.pop(best_idx)
+            d_a = env_a.union(member[1]).area - env_a.area
+            d_b = env_b.union(member[1]).area - env_b.area
+            if d_a < d_b or (d_a == d_b and len(group_a) <= len(group_b)):
+                group_a.append(member)
+                env_a = env_a.union(member[1])
+            else:
+                group_b.append(member)
+                env_b = env_b.union(member[1])
+        sibling = _Node(leaf=node.is_leaf)
+        if node.is_leaf:
+            node.entries = [m for m in group_a]
+            sibling.entries = [m for m in group_b]
+        else:
+            node.children = [m[0] for m in group_a]
+            sibling.children = [m[0] for m in group_b]
+            for child in sibling.children:
+                child.parent = sibling
+            for child in node.children:
+                child.parent = node
+        node.recompute_envelope()
+        sibling.recompute_envelope()
+        parent = node.parent
+        if parent is None:
+            new_root = _Node(leaf=False)
+            new_root.children = [node, sibling]
+            node.parent = new_root
+            sibling.parent = new_root
+            new_root.recompute_envelope()
+            self._root = new_root
+            return
+        parent.children.append(sibling)
+        sibling.parent = parent
+        parent.recompute_envelope()
+        if parent.fanout() > self._max:
+            self._split(parent)
+        else:
+            node = parent.parent
+            while node is not None:
+                node.recompute_envelope()
+                node = node.parent
+
+    def _pick_seeds(self, members: list[tuple[object, Envelope]]) -> tuple[int, int]:
+        worst = -1.0
+        seeds = (0, 1)
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                combined = members[i][1].union(members[j][1])
+                waste = combined.area - members[i][1].area - members[j][1].area
+                if waste > worst:
+                    worst = waste
+                    seeds = (i, j)
+        return seeds
+
+    def query(self, envelope: Envelope) -> list[T]:
+        """Return items whose envelopes intersect the query envelope."""
+        results: list[T] = []
+        if envelope.is_empty:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.envelope.intersects(envelope):
+                continue
+            if node.is_leaf:
+                results.extend(
+                    item for item, env in node.entries if env.intersects(envelope)
+                )
+            else:
+                stack.extend(node.children)
+        return results
+
+    def delete(self, item: T, envelope: Envelope) -> bool:
+        """Remove one matching entry; returns True when found.
+
+        Underfull nodes are handled by re-inserting orphaned entries
+        (the condense step of Guttman's algorithm).
+        """
+        target = self._find_leaf(self._root, item, envelope)
+        if target is None:
+            return False
+        target.entries = [
+            (stored, env)
+            for stored, env in target.entries
+            if not (stored == item and env == envelope)
+        ]
+        self._size -= 1
+        orphans: list[tuple[T, Envelope]] = []
+        node = target
+        while node.parent is not None:
+            parent = node.parent
+            if node.fanout() < self._min:
+                parent.children.remove(node)
+                orphans.extend(self._collect_entries(node))
+            else:
+                node.recompute_envelope()
+            parent.recompute_envelope()
+            node = parent
+        if not self._root.is_leaf and self._root.fanout() == 1:
+            self._root = self._root.children[0]
+            self._root.parent = None
+        self._size -= len(orphans)
+        for orphan_item, orphan_env in orphans:
+            self.insert(orphan_item, orphan_env)
+        return True
+
+    def _collect_entries(self, node: _Node[T]) -> list[tuple[T, Envelope]]:
+        if node.is_leaf:
+            return list(node.entries)
+        collected: list[tuple[T, Envelope]] = []
+        for child in node.children:
+            collected.extend(self._collect_entries(child))
+        return collected
+
+    def _find_leaf(
+        self, node: _Node[T], item: T, envelope: Envelope
+    ) -> _Node[T] | None:
+        if not node.envelope.intersects(envelope):
+            return None
+        if node.is_leaf:
+            for stored, env in node.entries:
+                if stored == item and env == envelope:
+                    return node
+            return None
+        for child in node.children:
+            found = self._find_leaf(child, item, envelope)
+            if found is not None:
+                return found
+        return None
+
+    def iter_all(self) -> Iterator[tuple[T, Envelope]]:
+        """Yield every (item, envelope) entry in the tree."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.children)

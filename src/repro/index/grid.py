@@ -1,0 +1,110 @@
+"""Uniform grid index.
+
+A simple alternative to the R-tree for the filtering phase; HadoopGIS-style
+systems partition space into fixed tiles, and the grid index is also what
+the spatial partitioners use to estimate density histograms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generic, Iterable, Iterator, TypeVar
+
+from repro.errors import IndexError_
+from repro.geometry.envelope import Envelope
+
+__all__ = ["GridIndex"]
+
+T = TypeVar("T")
+
+
+class GridIndex(Generic[T]):
+    """A uniform ``nx`` x ``ny`` grid over a fixed extent.
+
+    Items are registered in every cell their envelope overlaps, so queries
+    must deduplicate (done here via id-based seen sets).  Cell lists keep
+    (item, envelope) pairs for exact envelope filtering at query time.
+    """
+
+    def __init__(self, extent: Envelope, nx: int, ny: int):
+        if extent.is_empty:
+            raise IndexError_("grid extent may not be empty")
+        if nx < 1 or ny < 1:
+            raise IndexError_(f"grid must have >= 1 cell per axis, got {nx}x{ny}")
+        self.extent = extent
+        self.nx = nx
+        self.ny = ny
+        self._cell_w = extent.width / nx if extent.width > 0 else 1.0
+        self._cell_h = extent.height / ny if extent.height > 0 else 1.0
+        self._cells: dict[tuple[int, int], list[tuple[T, Envelope]]] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _clamp_x(self, col: int) -> int:
+        return min(max(col, 0), self.nx - 1)
+
+    def _clamp_y(self, row: int) -> int:
+        return min(max(row, 0), self.ny - 1)
+
+    def cell_of(self, x: float, y: float) -> tuple[int, int]:
+        """Return the (col, row) cell containing the point (clamped)."""
+        col = self._clamp_x(int((x - self.extent.min_x) / self._cell_w))
+        row = self._clamp_y(int((y - self.extent.min_y) / self._cell_h))
+        return col, row
+
+    def cells_overlapping(self, envelope: Envelope) -> Iterator[tuple[int, int]]:
+        """Yield every cell the envelope overlaps (clamped to the grid)."""
+        if envelope.is_empty:
+            return
+        col_lo = self._clamp_x(int((envelope.min_x - self.extent.min_x) / self._cell_w))
+        col_hi = self._clamp_x(
+            int(math.floor((envelope.max_x - self.extent.min_x) / self._cell_w))
+        )
+        row_lo = self._clamp_y(int((envelope.min_y - self.extent.min_y) / self._cell_h))
+        row_hi = self._clamp_y(
+            int(math.floor((envelope.max_y - self.extent.min_y) / self._cell_h))
+        )
+        for col in range(col_lo, col_hi + 1):
+            for row in range(row_lo, row_hi + 1):
+                yield (col, row)
+
+    def insert(self, item: T, envelope: Envelope) -> None:
+        """Register an item in every overlapping cell."""
+        if envelope.is_empty:
+            raise IndexError_("cannot insert an empty envelope")
+        for cell in self.cells_overlapping(envelope):
+            self._cells.setdefault(cell, []).append((item, envelope))
+        self._size += 1
+
+    def extend(self, entries: Iterable[tuple[T, Envelope]]) -> None:
+        """Insert many (item, envelope) pairs."""
+        for item, envelope in entries:
+            self.insert(item, envelope)
+
+    def query(self, envelope: Envelope) -> list[T]:
+        """Return distinct items whose envelopes intersect the query."""
+        seen: set[int] = set()
+        results: list[T] = []
+        for cell in self.cells_overlapping(envelope):
+            for item, item_env in self._cells.get(cell, ()):
+                if id(item) in seen:
+                    continue
+                if item_env.intersects(envelope):
+                    seen.add(id(item))
+                    results.append(item)
+        return results
+
+    def query_point(self, x: float, y: float) -> list[T]:
+        """Return items whose envelopes contain the point."""
+        cell = self.cell_of(x, y)
+        return [
+            item
+            for item, env in self._cells.get(cell, ())
+            if env.contains_point(x, y)
+        ]
+
+    def cell_counts(self) -> dict[tuple[int, int], int]:
+        """Histogram of entries per occupied cell (partitioners use this)."""
+        return {cell: len(entries) for cell, entries in self._cells.items()}

@@ -1,0 +1,131 @@
+"""Point-region quadtree.
+
+Used by the sampling-based partitioners to derive balanced spatial splits
+from a point sample, and available as an alternative point index.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from repro.errors import IndexError_
+from repro.geometry.envelope import Envelope
+
+__all__ = ["QuadTree"]
+
+T = TypeVar("T")
+
+
+class _QuadNode(Generic[T]):
+    __slots__ = ("extent", "points", "children", "depth")
+
+    def __init__(self, extent: Envelope, depth: int):
+        self.extent = extent
+        self.points: list[tuple[float, float, T]] | None = []
+        self.children: list["_QuadNode[T]"] | None = None
+        self.depth = depth
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.points is not None
+
+
+class QuadTree(Generic[T]):
+    """A PR quadtree over points with a leaf capacity and max depth.
+
+    Points exactly on split lines go to the lower/left quadrant, keeping
+    the decomposition deterministic.
+    """
+
+    def __init__(self, extent: Envelope, capacity: int = 32, max_depth: int = 16):
+        if extent.is_empty:
+            raise IndexError_("quadtree extent may not be empty")
+        if capacity < 1:
+            raise IndexError_(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._max_depth = max_depth
+        self._root: _QuadNode[T] = _QuadNode(extent, 0)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, x: float, y: float, item: T) -> None:
+        """Insert a point; raises when outside the tree extent."""
+        if not self._root.extent.contains_point(x, y):
+            raise IndexError_(f"point ({x}, {y}) lies outside the quadtree extent")
+        node = self._root
+        while not node.is_leaf:
+            node = self._child_for(node, x, y)
+        node.points.append((x, y, item))
+        self._size += 1
+        if len(node.points) > self._capacity and node.depth < self._max_depth:
+            self._subdivide(node)
+
+    def _child_for(self, node: _QuadNode[T], x: float, y: float) -> _QuadNode[T]:
+        cx, cy = node.extent.center
+        index = (1 if x > cx else 0) | (2 if y > cy else 0)
+        return node.children[index]
+
+    def _subdivide(self, node: _QuadNode[T]) -> None:
+        extent = node.extent
+        cx, cy = extent.center
+        quadrants = [
+            Envelope(extent.min_x, extent.min_y, cx, cy),
+            Envelope(cx, extent.min_y, extent.max_x, cy),
+            Envelope(extent.min_x, cy, cx, extent.max_y),
+            Envelope(cx, cy, extent.max_x, extent.max_y),
+        ]
+        node.children = [_QuadNode(q, node.depth + 1) for q in quadrants]
+        points = node.points
+        node.points = None
+        for x, y, item in points:
+            child = self._child_for(node, x, y)
+            child.points.append((x, y, item))
+        # A pathological all-identical-point leaf can still exceed capacity;
+        # children deeper than max_depth simply hold oversized leaves.
+        for child in node.children:
+            if len(child.points) > self._capacity and child.depth < self._max_depth:
+                self._subdivide(child)
+
+    def query(self, envelope: Envelope) -> list[T]:
+        """Return items at points inside the query envelope."""
+        results: list[T] = []
+        if envelope.is_empty:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.extent.intersects(envelope):
+                continue
+            if node.is_leaf:
+                results.extend(
+                    item
+                    for x, y, item in node.points
+                    if envelope.contains_point(x, y)
+                )
+            else:
+                stack.extend(node.children)
+        return results
+
+    def leaf_extents(self) -> Iterator[tuple[Envelope, int]]:
+        """Yield (extent, point-count) for every leaf — partitioner input."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield (node.extent, len(node.points))
+            else:
+                stack.extend(node.children)
+
+    def depth(self) -> int:
+        """Maximum leaf depth currently present."""
+        best = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                best = max(best, node.depth)
+            else:
+                stack.extend(node.children)
+        return best

@@ -1,0 +1,287 @@
+"""STR-packed static R-tree — the paper's ``STRtree`` filtering index.
+
+Fig 2 of the paper builds a JTS ``STRtree`` over the broadcast right side
+and probes it with every left-side envelope; ISP-MC does the same in its
+SpatialJoin node.  This implementation uses Sort-Tile-Recursive bulk
+loading (Leutenegger et al.) and supports envelope queries, point queries
+and nearest-neighbour search with envelope-distance pruning.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Generic, Iterable, Iterator, Sequence, TypeVar
+
+from repro.errors import IndexError_
+from repro.geometry.envelope import Envelope
+
+__all__ = ["STRtree", "RTreeNode"]
+
+T = TypeVar("T")
+
+
+class RTreeNode(Generic[T]):
+    """A node of the packed R-tree.
+
+    Leaf nodes carry ``items`` (payload, envelope) pairs; interior nodes
+    carry ``children``.  Exposed for tests and for the cost model, which
+    counts node visits.
+    """
+
+    __slots__ = ("envelope", "children", "items", "level")
+
+    def __init__(
+        self,
+        envelope: Envelope,
+        children: list["RTreeNode[T]"] | None = None,
+        items: list[tuple[T, Envelope]] | None = None,
+        level: int = 0,
+    ):
+        self.envelope = envelope
+        self.children = children
+        self.items = items
+        self.level = level
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.items is not None
+
+
+class STRtree(Generic[T]):
+    """Sort-Tile-Recursive bulk-loaded R-tree over (item, envelope) pairs.
+
+    The tree is immutable once built.  ``node_capacity`` defaults to 10,
+    matching JTS's STRtree default.  Statistics (`nodes_visited`) accrue
+    across queries and feed the cluster cost model; call
+    :meth:`reset_stats` between measured phases.
+    """
+
+    def __init__(
+        self,
+        entries: Iterable[tuple[T, Envelope]] = (),
+        node_capacity: int = 10,
+    ):
+        if node_capacity < 2:
+            raise IndexError_(f"node_capacity must be >= 2, got {node_capacity}")
+        self._node_capacity = node_capacity
+        self._entries: list[tuple[T, Envelope]] = [
+            (item, env) for item, env in entries if not env.is_empty
+        ]
+        self._root: RTreeNode[T] | None = None
+        self._built = False
+        self.nodes_visited = 0
+
+    def insert(self, item: T, envelope: Envelope) -> None:
+        """Add an entry; only legal before the first query (STR is static)."""
+        if self._built:
+            raise IndexError_("STRtree cannot be modified after it has been built")
+        if not envelope.is_empty:
+            self._entries.append((item, envelope))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def root(self) -> RTreeNode[T] | None:
+        """The root node (builds the tree on first access); None when empty."""
+        self.build()
+        return self._root
+
+    def build(self) -> None:
+        """Bulk-load the tree (idempotent; also triggered by first query)."""
+        if self._built:
+            return
+        self._built = True
+        if not self._entries:
+            self._root = None
+            return
+        leaves = self._pack_leaves()
+        level = 1
+        nodes = leaves
+        while len(nodes) > 1:
+            nodes = self._pack_interior(nodes, level)
+            level += 1
+        self._root = nodes[0]
+
+    def _pack_leaves(self) -> list[RTreeNode[T]]:
+        entries = sorted(
+            self._entries, key=lambda entry: (entry[1].min_x + entry[1].max_x)
+        )
+        slice_count = max(1, math.ceil(math.sqrt(math.ceil(len(entries) / self._node_capacity))))
+        slice_size = max(1, math.ceil(len(entries) / slice_count))
+        leaves: list[RTreeNode[T]] = []
+        for start in range(0, len(entries), slice_size):
+            vertical = sorted(
+                entries[start : start + slice_size],
+                key=lambda entry: (entry[1].min_y + entry[1].max_y),
+            )
+            for leaf_start in range(0, len(vertical), self._node_capacity):
+                chunk = vertical[leaf_start : leaf_start + self._node_capacity]
+                envelope = Envelope.empty()
+                for _, env in chunk:
+                    envelope = envelope.union(env)
+                leaves.append(RTreeNode(envelope, items=chunk, level=0))
+        return leaves
+
+    def _pack_interior(
+        self, nodes: list[RTreeNode[T]], level: int
+    ) -> list[RTreeNode[T]]:
+        nodes = sorted(nodes, key=lambda n: (n.envelope.min_x + n.envelope.max_x))
+        slice_count = max(1, math.ceil(math.sqrt(math.ceil(len(nodes) / self._node_capacity))))
+        slice_size = max(1, math.ceil(len(nodes) / slice_count))
+        parents: list[RTreeNode[T]] = []
+        for start in range(0, len(nodes), slice_size):
+            vertical = sorted(
+                nodes[start : start + slice_size],
+                key=lambda n: (n.envelope.min_y + n.envelope.max_y),
+            )
+            for group_start in range(0, len(vertical), self._node_capacity):
+                chunk = vertical[group_start : group_start + self._node_capacity]
+                envelope = Envelope.empty()
+                for child in chunk:
+                    envelope = envelope.union(child.envelope)
+                parents.append(RTreeNode(envelope, children=chunk, level=level))
+        return parents
+
+    def reset_stats(self) -> None:
+        """Zero the node-visit counter."""
+        self.nodes_visited = 0
+
+    def query(self, envelope: Envelope) -> list[T]:
+        """Return items whose envelopes intersect the query envelope."""
+        return [item for item, _ in self.query_entries(envelope)]
+
+    def query_entries(self, envelope: Envelope) -> list[tuple[T, Envelope]]:
+        """Like :meth:`query` but returning (item, envelope) pairs."""
+        self.build()
+        results: list[tuple[T, Envelope]] = []
+        if self._root is None or envelope.is_empty:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.nodes_visited += 1
+            if not node.envelope.intersects(envelope):
+                continue
+            if node.is_leaf:
+                for item, item_env in node.items:
+                    if item_env.intersects(envelope):
+                        results.append((item, item_env))
+            else:
+                stack.extend(node.children)
+        return results
+
+    def query_point(self, x: float, y: float) -> list[T]:
+        """Return items whose envelopes contain the point."""
+        return self.query(Envelope.of_point(x, y))
+
+    def iter_all(self) -> Iterator[tuple[T, Envelope]]:
+        """Iterate over every stored entry (build not required)."""
+        return iter(self._entries)
+
+    def nearest(
+        self,
+        x: float,
+        y: float,
+        k: int = 1,
+        max_distance: float = math.inf,
+        item_distance: Callable[[float, float, T], float] | None = None,
+    ) -> list[tuple[T, float]]:
+        """Return up to ``k`` nearest items with their distances.
+
+        Traversal is best-first over envelope distance; when
+        ``item_distance`` is given it supplies the exact item distance
+        (e.g. point-to-polyline), otherwise the envelope distance is used.
+        Items farther than ``max_distance`` are excluded — this implements
+        the paper's NearestD semantics when called with ``max_distance=D``.
+        """
+        self.build()
+        if self._root is None or k < 1:
+            return []
+        # Heap entries: (lower-bound distance, tiebreak, node-or-entry).
+        counter = 0
+        heap: list[tuple[float, int, object]] = [
+            (self._root.envelope.distance_to_point(x, y), counter, self._root)
+        ]
+        results: list[tuple[T, float]] = []
+        while heap and len(results) < k:
+            bound, _, payload = heapq.heappop(heap)
+            if bound > max_distance:
+                break
+            if isinstance(payload, RTreeNode):
+                self.nodes_visited += 1
+                if payload.is_leaf:
+                    for item, env in payload.items:
+                        if item_distance is not None:
+                            dist = item_distance(x, y, item)
+                        else:
+                            dist = env.distance_to_point(x, y)
+                        if dist <= max_distance:
+                            counter += 1
+                            heapq.heappush(heap, (dist, counter, ("item", item)))
+                else:
+                    for child in payload.children:
+                        counter += 1
+                        heapq.heappush(
+                            heap,
+                            (child.envelope.distance_to_point(x, y), counter, child),
+                        )
+            else:
+                _, item = payload
+                results.append((item, bound))
+        return results
+
+    def join(
+        self, other: "STRtree", expand: float = 0.0
+    ) -> list[tuple[T, object]]:
+        """Candidate pairs via synchronized dual-tree traversal.
+
+        The classic R-tree join of the spatial-join literature the paper
+        surveys ([1], Jacox & Samet): descend both trees simultaneously,
+        pruning whole subtree pairs whose node envelopes are disjoint.
+        ``expand`` inflates this tree's envelopes (NearestD's radius
+        push-down).  Returns (item_a, item_b) pairs whose envelopes
+        intersect — the filter phase when *both* sides are indexed.
+        """
+        self.build()
+        other.build()
+        if self._root is None or other._root is None:
+            return []
+        results: list[tuple[T, object]] = []
+        stack: list[tuple[RTreeNode, RTreeNode]] = [(self._root, other._root)]
+        while stack:
+            node_a, node_b = stack.pop()
+            self.nodes_visited += 1
+            other.nodes_visited += 1
+            if not node_a.envelope.expand_by(expand).intersects(node_b.envelope):
+                continue
+            if node_a.is_leaf and node_b.is_leaf:
+                for item_a, env_a in node_a.items:
+                    env_a = env_a.expand_by(expand)
+                    for item_b, env_b in node_b.items:
+                        if env_a.intersects(env_b):
+                            results.append((item_a, item_b))
+            elif node_a.is_leaf:
+                stack.extend((node_a, child) for child in node_b.children)
+            elif node_b.is_leaf:
+                stack.extend((child, node_b) for child in node_a.children)
+            else:
+                # Descend the larger-area node (the standard heuristic).
+                if node_a.envelope.area >= node_b.envelope.area:
+                    stack.extend((child, node_b) for child in node_a.children)
+                else:
+                    stack.extend((node_a, child) for child in node_b.children)
+        return results
+
+    def depth(self) -> int:
+        """Height of the tree (0 for an empty tree, 1 for a single leaf)."""
+        self.build()
+        if self._root is None:
+            return 0
+        depth = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            depth += 1
+        return depth

@@ -1,0 +1,34 @@
+"""Mini-Spark substrate: RDDs, DAG scheduler, shuffle, broadcast."""
+
+from repro.spark.broadcast import Broadcast
+from repro.spark.context import SparkContext
+from repro.spark.rdd import (
+    BinaryRecordsRDD,
+    CoGroupedRDD,
+    MapPartitionsRDD,
+    ParallelCollectionRDD,
+    RDD,
+    ShuffledRDD,
+    TextFileRDD,
+    UnionRDD,
+)
+from repro.spark.shuffle import HashPartitioner, RangePartitioner, estimate_bytes
+from repro.spark.taskcontext import current_task, task_scope
+
+__all__ = [
+    "Broadcast",
+    "SparkContext",
+    "RDD",
+    "BinaryRecordsRDD",
+    "ParallelCollectionRDD",
+    "TextFileRDD",
+    "MapPartitionsRDD",
+    "ShuffledRDD",
+    "CoGroupedRDD",
+    "UnionRDD",
+    "HashPartitioner",
+    "RangePartitioner",
+    "estimate_bytes",
+    "current_task",
+    "task_scope",
+]

@@ -1,0 +1,40 @@
+"""Broadcast variables.
+
+Fig 2 of the paper broadcasts the right-side STRtree to every executor
+(``sc.broadcast(strtree)``).  In this single-process simulation the value
+is shared by reference; the *cost* of shipping it to each node is charged
+by the context when the broadcast is created, using the same byte
+estimator as the shuffle path.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+__all__ = ["Broadcast"]
+
+T = TypeVar("T")
+
+
+class Broadcast(Generic[T]):
+    """A read-only value replicated to every executor node."""
+
+    __slots__ = ("_value", "id", "size_bytes", "_destroyed")
+
+    def __init__(self, broadcast_id: int, value: T, size_bytes: int):
+        self.id = broadcast_id
+        self._value = value
+        self.size_bytes = size_bytes
+        self._destroyed = False
+
+    @property
+    def value(self) -> T:
+        """The broadcast payload."""
+        if self._destroyed:
+            raise RuntimeError(f"broadcast {self.id} has been destroyed")
+        return self._value
+
+    def destroy(self) -> None:
+        """Release the payload (subsequent access raises)."""
+        self._destroyed = True
+        self._value = None

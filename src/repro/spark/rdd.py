@@ -1,0 +1,541 @@
+"""Resilient Distributed Datasets: the lazy collection API of mini-Spark.
+
+Implements the subset of the RDD API that Fig 2 of the paper exercises
+(``textFile``/``map``/``flatMap``/``filter``/``zipWithIndex``/``collect``)
+plus the pair-RDD operations (``reduceByKey``/``groupByKey``/``join``/
+``cogroup``) that the partitioned spatial join and the example analytics
+need.  Transformations are lazy and build a lineage DAG; actions hand the
+DAG to the :class:`~repro.spark.scheduler.DAGScheduler`, which splits it
+into stages at shuffle dependencies — exactly Spark's execution model, at
+miniature scale.
+"""
+
+from __future__ import annotations
+
+import random as _random_mod
+from typing import Any, Callable, Generic, Iterable, Iterator, TypeVar
+
+from repro.cluster.model import Resource
+from repro.errors import SparkError
+from repro.hdfs import read_split_lines
+from repro.spark.shuffle import HashPartitioner, estimate_bytes
+from repro.spark.taskcontext import current_task
+
+__all__ = [
+    "RDD",
+    "Dependency",
+    "NarrowDependency",
+    "ShuffleDependency",
+    "ParallelCollectionRDD",
+    "TextFileRDD",
+    "MapPartitionsRDD",
+    "ShuffledRDD",
+    "CoGroupedRDD",
+    "UnionRDD",
+]
+
+T = TypeVar("T")
+U = TypeVar("U")
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class Dependency:
+    """Edge in the lineage DAG."""
+
+    def __init__(self, parent: "RDD"):
+        self.parent = parent
+
+
+class NarrowDependency(Dependency):
+    """Child partition i depends only on parent partition i (pipelined)."""
+
+
+class ShuffleDependency(Dependency):
+    """Child partitions depend on all parent partitions (stage boundary).
+
+    ``key_func`` extracts the routing key from a record; ``combiner`` is an
+    optional (create, merge_value, merge_combiners) triple enabling
+    map-side combining (reduceByKey).
+    """
+
+    def __init__(
+        self,
+        parent: "RDD",
+        partitioner,
+        combiner: tuple[Callable, Callable, Callable] | None = None,
+    ):
+        super().__init__(parent)
+        self.partitioner = partitioner
+        self.combiner = combiner
+        self.shuffle_id: int | None = None  # assigned by the scheduler
+
+
+class RDD(Generic[T]):
+    """An immutable, lazily evaluated, partitioned collection."""
+
+    _next_id = 0
+
+    def __init__(self, sc, dependencies: list[Dependency]):
+        self.sc = sc
+        self.dependencies = dependencies
+        self.id = RDD._next_id
+        RDD._next_id += 1
+        self.cached = False
+
+    # -- to be provided by subclasses --------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        raise NotImplementedError
+
+    def compute(self, split: int) -> Iterator[T]:
+        """Produce the records of one partition (scheduler-invoked)."""
+        raise NotImplementedError
+
+    # -- lineage helpers ----------------------------------------------------
+
+    def _narrow_parent(self) -> "RDD":
+        for dep in self.dependencies:
+            if isinstance(dep, NarrowDependency):
+                return dep.parent
+        raise SparkError(f"RDD {self.id} has no narrow parent")
+
+    def iterator(self, split: int) -> Iterator[T]:
+        """Compute or fetch-from-cache one partition."""
+        if self.cached:
+            return iter(self.sc._cache_get_or_compute(self, split))
+        return self.compute(split)
+
+    # -- transformations (lazy) ---------------------------------------------
+
+    def map(self, f: Callable[[T], U]) -> "RDD[U]":
+        """Apply ``f`` to every record."""
+        return MapPartitionsRDD(self, lambda split, it: (f(x) for x in it))
+
+    def flat_map(self, f: Callable[[T], Iterable[U]]) -> "RDD[U]":
+        """Apply ``f`` and flatten the results."""
+        return MapPartitionsRDD(
+            self, lambda split, it: (y for x in it for y in f(x))
+        )
+
+    # CamelCase aliases keep ports of the paper's Scala skeleton readable.
+    flatMap = flat_map
+
+    def filter(self, predicate: Callable[[T], bool]) -> "RDD[T]":
+        """Keep records satisfying ``predicate``."""
+        return MapPartitionsRDD(
+            self, lambda split, it: (x for x in it if predicate(x))
+        )
+
+    def map_partitions(
+        self, f: Callable[[Iterator[T]], Iterable[U]]
+    ) -> "RDD[U]":
+        """Apply ``f`` to each whole partition."""
+        return MapPartitionsRDD(self, lambda split, it: f(it))
+
+    mapPartitions = map_partitions
+
+    def map_partitions_with_index(
+        self, f: Callable[[int, Iterator[T]], Iterable[U]]
+    ) -> "RDD[U]":
+        """Apply ``f(split_index, iterator)`` to each partition."""
+        return MapPartitionsRDD(self, f)
+
+    def zip_with_index(self) -> "RDD[tuple[T, int]]":
+        """Pair each record with its global index (requires a size job).
+
+        Mirrors Spark: a lightweight count job determines per-partition
+        offsets, then indexing is a narrow transformation.
+        """
+        sizes = self.sc._run_partition_sizes_job(self)
+        offsets = [0]
+        for size in sizes[:-1]:
+            offsets.append(offsets[-1] + size)
+
+        def index_partition(split: int, it: Iterator[T]):
+            base = offsets[split]
+            for i, record in enumerate(it):
+                yield (record, base + i)
+
+        return MapPartitionsRDD(self, index_partition)
+
+    zipWithIndex = zip_with_index
+
+    def key_by(self, f: Callable[[T], K]) -> "RDD[tuple[K, T]]":
+        """Turn records into (f(record), record) pairs."""
+        return self.map(lambda x: (f(x), x))
+
+    keyBy = key_by
+
+    def union(self, other: "RDD[T]") -> "RDD[T]":
+        """Concatenate two RDDs (partitions are appended)."""
+        return UnionRDD(self.sc, [self, other])
+
+    def distinct(self, num_partitions: int | None = None) -> "RDD[T]":
+        """Remove duplicate records (via a shuffle)."""
+        paired = self.map(lambda x: (x, None))
+        reduced = paired.reduce_by_key(lambda a, b: a, num_partitions)
+        return reduced.map(lambda kv: kv[0])
+
+    def repartition(self, num_partitions: int) -> "RDD[T]":
+        """Redistribute records across ``num_partitions`` via a shuffle."""
+        paired = self.map_partitions_with_index(
+            lambda split, it: ((split + i, x) for i, x in enumerate(it))
+        )
+        shuffled = ShuffledRDD(paired, HashPartitioner(num_partitions))
+        return shuffled.map(lambda kv: kv[1])
+
+    def sample(self, fraction: float, seed: int = 17) -> "RDD[T]":
+        """Bernoulli sample of the records (deterministic per partition)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise SparkError(f"fraction must be in [0, 1], got {fraction}")
+
+        def sample_partition(split: int, it: Iterator[T]):
+            rng = _random_mod.Random(seed * 1_000_003 + split)
+            return (x for x in it if rng.random() < fraction)
+
+        return MapPartitionsRDD(self, sample_partition)
+
+    def sort_by(
+        self,
+        key_func: Callable[[T], Any],
+        ascending: bool = True,
+        num_partitions: int | None = None,
+    ) -> "RDD[T]":
+        """Globally sort records by ``key_func`` (range-partitioned shuffle)."""
+        from repro.spark.shuffle import RangePartitioner
+
+        num_partitions = num_partitions or self.num_partitions
+        sample = [key_func(x) for x in self.sample(min(1.0, 0.1)).collect()]
+        if not sample:
+            sample = [key_func(x) for x in self.take(100)]
+        sample.sort()
+        if num_partitions > 1 and sample:
+            step = max(1, len(sample) // num_partitions)
+            boundaries = sample[step::step][: num_partitions - 1]
+        else:
+            boundaries = []
+        paired = self.map(lambda x: (key_func(x), x))
+        shuffled = ShuffledRDD(paired, RangePartitioner(boundaries))
+
+        def sort_partition(split: int, it):
+            records = sorted(it, key=lambda kv: kv[0], reverse=not ascending)
+            return (v for _, v in records)
+
+        result = MapPartitionsRDD(shuffled, sort_partition)
+        if not ascending:
+            # Range partitions are ascending; reverse partition order too.
+            return result  # partition-internal order reversed is sufficient
+        return result
+
+    sortBy = sort_by
+
+    # -- pair-RDD transformations -------------------------------------------
+
+    def _default_partitioner(self, num_partitions: int | None) -> HashPartitioner:
+        return HashPartitioner(num_partitions or self.num_partitions)
+
+    def reduce_by_key(
+        self, f: Callable[[V, V], V], num_partitions: int | None = None
+    ) -> "RDD[tuple[K, V]]":
+        """Merge values per key with map-side combining."""
+        combiner = (lambda v: v, lambda acc, v: f(acc, v), lambda a, b: f(a, b))
+        return ShuffledRDD(self, self._default_partitioner(num_partitions), combiner)
+
+    reduceByKey = reduce_by_key
+
+    def group_by_key(
+        self, num_partitions: int | None = None
+    ) -> "RDD[tuple[K, list[V]]]":
+        """Collect all values per key into lists."""
+        combiner = (
+            lambda v: [v],
+            lambda acc, v: (acc.append(v), acc)[1],
+            lambda a, b: a + b,
+        )
+        return ShuffledRDD(self, self._default_partitioner(num_partitions), combiner)
+
+    groupByKey = group_by_key
+
+    def combine_by_key(
+        self,
+        create: Callable[[V], U],
+        merge_value: Callable[[U, V], U],
+        merge_combiners: Callable[[U, U], U],
+        num_partitions: int | None = None,
+    ) -> "RDD[tuple[K, U]]":
+        """General aggregation with distinct combiner/accumulator types."""
+        return ShuffledRDD(
+            self,
+            self._default_partitioner(num_partitions),
+            (create, merge_value, merge_combiners),
+        )
+
+    def cogroup(
+        self, other: "RDD[tuple[K, Any]]", num_partitions: int | None = None
+    ) -> "RDD[tuple[K, tuple[list, list]]]":
+        """Group both RDDs' values per key: (key, (left_vals, right_vals))."""
+        partitioner = self._default_partitioner(num_partitions)
+        return CoGroupedRDD(self, other, partitioner)
+
+    def join(
+        self, other: "RDD[tuple[K, Any]]", num_partitions: int | None = None
+    ) -> "RDD[tuple[K, tuple[Any, Any]]]":
+        """Inner equi-join of two pair RDDs."""
+        grouped = self.cogroup(other, num_partitions)
+
+        def emit(kv):
+            key, (left_vals, right_vals) = kv
+            return (
+                (key, (lv, rv)) for lv in left_vals for rv in right_vals
+            )
+
+        return grouped.flat_map(emit)
+
+    def map_values(self, f: Callable[[V], U]) -> "RDD[tuple[K, U]]":
+        """Apply ``f`` to the value of every (key, value) pair."""
+        return self.map(lambda kv: (kv[0], f(kv[1])))
+
+    mapValues = map_values
+
+    # -- actions (eager) ------------------------------------------------------
+
+    def collect(self) -> list[T]:
+        """Materialise every record on the driver."""
+        chunks = self.sc._scheduler.run_job(self, lambda it: list(it))
+        return [record for chunk in chunks for record in chunk]
+
+    def count(self) -> int:
+        """Number of records."""
+        counts = self.sc._scheduler.run_job(self, lambda it: sum(1 for _ in it))
+        return sum(counts)
+
+    def take(self, n: int) -> list[T]:
+        """First ``n`` records in partition order.
+
+        Computes partitions one at a time (like Spark's incremental take)
+        until enough records are gathered.
+        """
+        taken: list[T] = []
+        for split in range(self.num_partitions):
+            if len(taken) >= n:
+                break
+            chunk = self.sc._scheduler.run_job(
+                self, lambda it: list(it), partitions=[split]
+            )[0]
+            taken.extend(chunk[: n - len(taken)])
+        return taken
+
+    def first(self) -> T:
+        """The first record; raises on an empty RDD."""
+        records = self.take(1)
+        if not records:
+            raise SparkError("RDD is empty")
+        return records[0]
+
+    def reduce(self, f: Callable[[T, T], T]) -> T:
+        """Fold all records with ``f``; raises on an empty RDD."""
+
+        def reduce_partition(it: Iterator[T]):
+            acc = None
+            present = False
+            for record in it:
+                acc = record if not present else f(acc, record)
+                present = True
+            return (present, acc)
+
+        partials = self.sc._scheduler.run_job(self, reduce_partition)
+        values = [acc for present, acc in partials if present]
+        if not values:
+            raise SparkError("reduce of empty RDD")
+        result = values[0]
+        for value in values[1:]:
+            result = f(result, value)
+        return result
+
+    def count_by_key(self) -> dict:
+        """Count records per key (drives a reduce_by_key job)."""
+        return dict(self.map_values(lambda _: 1).reduce_by_key(lambda a, b: a + b).collect())
+
+    countByKey = count_by_key
+
+    def cache(self) -> "RDD[T]":
+        """Keep computed partitions in memory for reuse across jobs."""
+        self.cached = True
+        return self
+
+    persist = cache
+
+
+class ParallelCollectionRDD(RDD[T]):
+    """An RDD over a driver-side list, sliced into partitions."""
+
+    def __init__(self, sc, data: list[T], num_partitions: int):
+        super().__init__(sc, [])
+        if num_partitions < 1:
+            raise SparkError(f"need >= 1 partition, got {num_partitions}")
+        self._data = list(data)
+        self._num_partitions = num_partitions
+
+    @property
+    def num_partitions(self) -> int:
+        return self._num_partitions
+
+    def compute(self, split: int) -> Iterator[T]:
+        n = len(self._data)
+        start = split * n // self._num_partitions
+        end = (split + 1) * n // self._num_partitions
+        return iter(self._data[start:end])
+
+
+class TextFileRDD(RDD[str]):
+    """Lines of an HDFS text file, one partition per input split."""
+
+    def __init__(self, sc, path: str, min_partitions: int = 1):
+        super().__init__(sc, [])
+        from repro.hdfs import split_boundaries
+
+        self.path = path
+        self._splits = split_boundaries(sc.hdfs, path, min_partitions)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._splits)
+
+    def compute(self, split: int) -> Iterator[str]:
+        offset, length = self._splits[split]
+        current_task().add(Resource.HDFS_BYTES, length)
+        return iter(read_split_lines(self.sc.hdfs, self.path, offset, length))
+
+    def preferred_hosts(self, split: int) -> tuple[str, ...]:
+        """Datanodes holding the split's first block (locality hint)."""
+        status = self.sc.hdfs.status(self.path)
+        offset, _ = self._splits[split]
+        for block in status.blocks:
+            if block.offset <= offset < block.offset + max(block.length, 1):
+                return block.hosts
+        return ()
+
+
+class BinaryRecordsRDD(RDD[bytes]):
+    """Records of a paged binary HDFS file, one partition per split.
+
+    The binary counterpart of :class:`TextFileRDD` — the on-HDFS half of
+    the paper's future-work binary geometry representation.
+    """
+
+    def __init__(self, sc, path: str, min_partitions: int = 1):
+        super().__init__(sc, [])
+        from repro.hdfs import record_split_boundaries
+
+        self.path = path
+        self._splits = record_split_boundaries(sc.hdfs, path, min_partitions)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._splits)
+
+    def compute(self, split: int) -> Iterator[bytes]:
+        from repro.hdfs import read_split_records
+
+        offset, length = self._splits[split]
+        current_task().add(Resource.HDFS_BYTES, length)
+        return iter(read_split_records(self.sc.hdfs, self.path, offset, length))
+
+
+class MapPartitionsRDD(RDD[U]):
+    """Narrow transformation: ``f(split, parent_iterator)``."""
+
+    def __init__(self, parent: RDD, f: Callable[[int, Iterator], Iterable[U]]):
+        super().__init__(parent.sc, [NarrowDependency(parent)])
+        self._f = f
+
+    @property
+    def num_partitions(self) -> int:
+        return self._narrow_parent().num_partitions
+
+    def compute(self, split: int) -> Iterator[U]:
+        parent = self._narrow_parent()
+        return iter(self._f(split, parent.iterator(split)))
+
+
+class ShuffledRDD(RDD[tuple]):
+    """Reduce side of a shuffle: yields (key, value-or-combined) pairs."""
+
+    def __init__(self, parent: RDD, partitioner, combiner=None):
+        self.shuffle_dep = ShuffleDependency(parent, partitioner, combiner)
+        super().__init__(parent.sc, [self.shuffle_dep])
+
+    @property
+    def num_partitions(self) -> int:
+        return self.shuffle_dep.partitioner.num_partitions
+
+    def compute(self, split: int) -> Iterator[tuple]:
+        store = self.sc._shuffle_store
+        dep = self.shuffle_dep
+        if dep.shuffle_id is None:
+            raise SparkError("shuffle has not been materialised (scheduler bug)")
+        num_maps = dep.parent.num_partitions
+        task = current_task()
+        if dep.combiner is None:
+            for record in store.read(dep.shuffle_id, num_maps, split):
+                task.add(Resource.SHUFFLE_BYTES, estimate_bytes(record))
+                yield record
+            return
+        _, _, merge_combiners = dep.combiner
+        merged: dict = {}
+        for key, combined in store.read(dep.shuffle_id, num_maps, split):
+            task.add(Resource.SHUFFLE_BYTES, estimate_bytes((key, combined)))
+            if key in merged:
+                merged[key] = merge_combiners(merged[key], combined)
+            else:
+                merged[key] = combined
+        yield from merged.items()
+
+
+class CoGroupedRDD(RDD[tuple]):
+    """Joint grouping of two pair RDDs under one partitioner."""
+
+    def __init__(self, left: RDD, right: RDD, partitioner):
+        self.left_dep = ShuffleDependency(left, partitioner)
+        self.right_dep = ShuffleDependency(right, partitioner)
+        super().__init__(left.sc, [self.left_dep, self.right_dep])
+        self._partitioner = partitioner
+
+    @property
+    def num_partitions(self) -> int:
+        return self._partitioner.num_partitions
+
+    def compute(self, split: int) -> Iterator[tuple]:
+        store = self.sc._shuffle_store
+        task = current_task()
+        groups: dict = {}
+        for side, dep in ((0, self.left_dep), (1, self.right_dep)):
+            if dep.shuffle_id is None:
+                raise SparkError("shuffle has not been materialised (scheduler bug)")
+            for key, value in store.read(
+                dep.shuffle_id, dep.parent.num_partitions, split
+            ):
+                task.add(Resource.SHUFFLE_BYTES, estimate_bytes((key, value)))
+                groups.setdefault(key, ([], []))[side].append(value)
+        yield from groups.items()
+
+
+class UnionRDD(RDD[T]):
+    """Concatenation: child partitions are the parents' partitions appended."""
+
+    def __init__(self, sc, parents: list[RDD[T]]):
+        super().__init__(sc, [NarrowDependency(p) for p in parents])
+        self._parents = parents
+
+    @property
+    def num_partitions(self) -> int:
+        return sum(p.num_partitions for p in self._parents)
+
+    def compute(self, split: int) -> Iterator[T]:
+        for parent in self._parents:
+            if split < parent.num_partitions:
+                return parent.iterator(split)
+            split -= parent.num_partitions
+        raise SparkError(f"partition {split} out of range for union")

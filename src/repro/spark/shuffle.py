@@ -1,0 +1,147 @@
+"""Shuffle machinery: partitioners, in-memory shuffle blocks, size estimates.
+
+Spark splits a job into stages at shuffle dependencies; map-side tasks
+write their output bucketed by reduce partition, and reduce-side tasks
+fetch their bucket from every map task.  We keep the blocks in an
+in-memory store (the simulation is single-process) and account the bytes
+moved so the cost model can charge network time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.errors import SparkError
+
+__all__ = ["HashPartitioner", "RangePartitioner", "ShuffleStore", "estimate_bytes"]
+
+
+def estimate_bytes(record: Any) -> int:
+    """Cheap serialized-size estimate for shuffle/broadcast accounting.
+
+    Not exact serialisation — a stable, fast heuristic: containers are the
+    sum of their elements plus a small header, geometries weigh in at 16
+    bytes per vertex (two float64 coordinates), scalars at 8.
+    """
+    if record is None:
+        return 1
+    if isinstance(record, (bytes, bytearray)):
+        return len(record)
+    if isinstance(record, str):
+        return len(record)
+    if isinstance(record, (int, float, bool)):
+        return 8
+    if isinstance(record, (tuple, list)):
+        return 8 + sum(estimate_bytes(item) for item in record)
+    if isinstance(record, dict):
+        return 16 + sum(
+            estimate_bytes(k) + estimate_bytes(v) for k, v in record.items()
+        )
+    num_points = getattr(record, "num_points", None)
+    if num_points is not None:
+        return 24 + 16 * int(num_points)
+    return 64  # opaque object
+
+
+class HashPartitioner:
+    """Route keys to ``hash(key) % num_partitions``."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise SparkError(f"need >= 1 partition, got {num_partitions}")
+        self.num_partitions = num_partitions
+
+    def partition(self, key: Hashable) -> int:
+        return hash(key) % self.num_partitions
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HashPartitioner)
+            and other.num_partitions == self.num_partitions
+        )
+
+    def __hash__(self) -> int:
+        return hash(("hash", self.num_partitions))
+
+
+class RangePartitioner:
+    """Route ordered keys into contiguous ranges given sorted boundaries.
+
+    ``boundaries`` has ``num_partitions - 1`` entries; key k goes to the
+    first partition whose boundary exceeds it (binary search).
+    """
+
+    def __init__(self, boundaries: list):
+        self.boundaries = list(boundaries)
+        self.num_partitions = len(self.boundaries) + 1
+
+    def partition(self, key) -> int:
+        lo, hi = 0, len(self.boundaries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if key <= self.boundaries[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RangePartitioner)
+            and other.boundaries == self.boundaries
+        )
+
+    def __hash__(self) -> int:
+        return hash(("range", tuple(self.boundaries)))
+
+
+class ShuffleStore:
+    """In-memory shuffle block store.
+
+    Blocks are keyed ``(shuffle_id, map_partition, reduce_partition)``;
+    byte counters are tracked per shuffle for cost accounting.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: dict[tuple[int, int, int], list] = {}
+        self._bytes_by_shuffle: dict[int, int] = {}
+        self._next_shuffle_id = 0
+
+    def new_shuffle_id(self) -> int:
+        shuffle_id = self._next_shuffle_id
+        self._next_shuffle_id += 1
+        return shuffle_id
+
+    def write(
+        self,
+        shuffle_id: int,
+        map_partition: int,
+        bucketed: dict[int, list],
+    ) -> int:
+        """Store one map task's buckets; returns bytes written."""
+        written = 0
+        for reduce_partition, records in bucketed.items():
+            self._blocks[(shuffle_id, map_partition, reduce_partition)] = records
+            written += sum(estimate_bytes(r) for r in records)
+        self._bytes_by_shuffle[shuffle_id] = (
+            self._bytes_by_shuffle.get(shuffle_id, 0) + written
+        )
+        return written
+
+    def read(
+        self, shuffle_id: int, num_map_partitions: int, reduce_partition: int
+    ) -> Iterable:
+        """Yield every record destined for ``reduce_partition``."""
+        for map_partition in range(num_map_partitions):
+            block = self._blocks.get((shuffle_id, map_partition, reduce_partition))
+            if block:
+                yield from block
+
+    def bytes_for(self, shuffle_id: int) -> int:
+        """Total bytes written for a shuffle."""
+        return self._bytes_by_shuffle.get(shuffle_id, 0)
+
+    def clear(self) -> None:
+        """Drop all blocks (between benchmark runs)."""
+        self._blocks.clear()
+        self._bytes_by_shuffle.clear()

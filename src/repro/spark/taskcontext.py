@@ -1,0 +1,42 @@
+"""Per-task metric context.
+
+While an executor computes a partition, instrumented code anywhere in the
+stack (WKT readers, refinement engines, join operators) accrues resource
+counts against the *current task* without threading a handle through every
+call — mirroring how Spark's ``TaskContext.get()`` works.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator
+
+from repro.cluster.metrics import TaskMetrics
+
+__all__ = ["current_task", "task_scope"]
+
+_LOCAL = threading.local()
+
+
+def current_task() -> TaskMetrics:
+    """The metrics sink for the task being computed.
+
+    Outside any task (driver-side code, plain unit tests) a throwaway
+    sink is returned, so instrumented code never needs a null check.
+    """
+    task = getattr(_LOCAL, "task", None)
+    if task is None:
+        return TaskMetrics()
+    return task
+
+
+@contextlib.contextmanager
+def task_scope(task: TaskMetrics) -> Iterator[TaskMetrics]:
+    """Install ``task`` as the current task for the duration of the block."""
+    previous = getattr(_LOCAL, "task", None)
+    _LOCAL.task = task
+    try:
+        yield task
+    finally:
+        _LOCAL.task = previous

@@ -1,0 +1,181 @@
+"""Cluster model: specs, cost accounting, makespan simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    ClusterSpec,
+    CostModel,
+    EC2_G2_2XLARGE,
+    QueryMetrics,
+    Resource,
+    StageMetrics,
+    TaskMetrics,
+    parallel_efficiency,
+    simulate_dynamic,
+    simulate_static_chunked,
+    simulate_static_round_robin,
+)
+from repro.errors import BenchError
+
+
+class TestClusterSpec:
+    def test_paper_fleet(self):
+        spec = EC2_G2_2XLARGE(10)
+        assert spec.total_cores == 80
+        assert spec.mem_per_node_gb == 15.0
+
+    def test_scaled(self):
+        spec = EC2_G2_2XLARGE(10).scaled(4)
+        assert spec.num_nodes == 4
+        assert spec.cores_per_node == 8
+
+    def test_validation(self):
+        with pytest.raises(BenchError):
+            ClusterSpec(num_nodes=0)
+        with pytest.raises(BenchError):
+            ClusterSpec(num_nodes=1, cores_per_node=0)
+
+
+class TestCostModel:
+    def test_task_seconds_scales_with_work_scale(self):
+        fast = CostModel(work_scale=1.0)
+        slow = CostModel(work_scale=100.0)
+        counts = {Resource.WKT_BYTES: 1000.0}
+        assert slow.task_seconds(counts) == pytest.approx(
+            100.0 * fast.task_seconds(counts)
+        )
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(BenchError):
+            CostModel().task_seconds({"warp_drive": 1.0})
+
+    def test_empty_counts_is_zero(self):
+        assert CostModel().task_seconds({}) == 0.0
+
+    def test_slow_refinement_dearer_than_fast(self):
+        model = CostModel()
+        fast = model.task_seconds({Resource.REFINE_VERTEX_FAST: 100.0})
+        slow = model.task_seconds(
+            {Resource.REFINE_VERTEX_SLOW: 100.0, Resource.REFINE_ALLOC: 100.0}
+        )
+        # The calibrated JTS-vs-GEOS micro gap of Section V.B (3.3-3.9x).
+        assert 3.0 <= slow / fast <= 4.5
+
+
+class TestTaskMetrics:
+    def test_add_and_get(self):
+        task = TaskMetrics()
+        task.add(Resource.WKT_BYTES, 10)
+        task.add(Resource.WKT_BYTES, 5)
+        assert task.get(Resource.WKT_BYTES) == 15
+        assert task.get(Resource.ROWS_OUT) == 0.0
+
+    def test_merge(self):
+        a = TaskMetrics({Resource.WKT_BYTES: 10})
+        b = TaskMetrics({Resource.WKT_BYTES: 2, Resource.ROWS_OUT: 1})
+        a.merge(b)
+        assert a.get(Resource.WKT_BYTES) == 12
+        assert a.get(Resource.ROWS_OUT) == 1
+
+    def test_query_metrics_aggregation(self):
+        query = QueryMetrics("q")
+        stage = StageMetrics("s")
+        stage.tasks.append(TaskMetrics({Resource.ROWS_OUT: 5}))
+        stage.tasks.append(TaskMetrics({Resource.ROWS_OUT: 7}))
+        stage.makespan_seconds = 2.0
+        stage.overhead_seconds = 0.5
+        query.add_stage(stage)
+        query.overhead_seconds = 1.0
+        assert query.simulated_seconds == pytest.approx(3.5)
+        assert query.totals() == {Resource.ROWS_OUT: 12}
+
+
+class TestSimulation:
+    def test_dynamic_single_worker_is_sum(self):
+        assert simulate_dynamic([1, 2, 3], 1) == 6.0
+
+    def test_dynamic_many_workers_is_max(self):
+        assert simulate_dynamic([1, 2, 3], 10) == 3.0
+
+    def test_dynamic_balances(self):
+        # 4 tasks of 1s on 2 workers -> 2s.
+        assert simulate_dynamic([1, 1, 1, 1], 2) == 2.0
+
+    def test_dynamic_per_task_overhead(self):
+        assert simulate_dynamic([1, 1], 2, per_task_overhead=0.5) == 1.5
+
+    def test_dynamic_empty(self):
+        assert simulate_dynamic([], 4) == 0.0
+
+    def test_round_robin_straggles_on_periodic_skew(self):
+        # Expensive task every third position, aligned with 3 workers:
+        # round-robin piles all of them on worker 0.
+        tasks = [10, 1, 1] * 6
+        static = simulate_static_round_robin(tasks, 3)
+        dynamic = simulate_dynamic(tasks, 3)
+        assert static == 60.0
+        assert dynamic < static
+
+    def test_chunked_straggles_on_clustered_skew(self):
+        # All the expensive tasks sit in one contiguous run (spatially
+        # sorted data): contiguous chunking gives them to one worker.
+        tasks = [10.0] * 8 + [1.0] * 24
+        chunked = simulate_static_chunked(tasks, 4)
+        dynamic = simulate_dynamic(tasks, 4)
+        assert chunked == 80.0
+        assert dynamic < chunked
+
+    def test_chunked_even_split(self):
+        assert simulate_static_chunked([1.0] * 8, 4) == 2.0
+
+    def test_chunked_remainder_distribution(self):
+        # 10 equal tasks over 4 workers: chunks of 3,3,2,2.
+        assert simulate_static_chunked([1.0] * 10, 4) == 3.0
+
+    def test_workers_validation(self):
+        with pytest.raises(BenchError):
+            simulate_dynamic([1.0], 0)
+        with pytest.raises(BenchError):
+            simulate_static_round_robin([1.0], 0)
+        with pytest.raises(BenchError):
+            simulate_static_chunked([1.0], 0)
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_makespan_bounds(self, tasks, workers):
+        """Any schedule sits between max(task) and sum(tasks)."""
+        lower = max(tasks)
+        upper = sum(tasks)
+        for policy in (
+            simulate_dynamic,
+            simulate_static_round_robin,
+            simulate_static_chunked,
+        ):
+            makespan = policy(tasks, workers)
+            assert lower - 1e-9 <= makespan <= upper + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_dynamic_at_most_twice_optimal(self, tasks, workers):
+        """Greedy list scheduling is a 2-approximation of the optimum."""
+        optimal_lower = max(max(tasks), sum(tasks) / workers)
+        assert simulate_dynamic(tasks, workers) <= 2 * optimal_lower + 1e-9
+
+
+class TestParallelEfficiency:
+    def test_perfect_scaling(self):
+        assert parallel_efficiency(100.0, 4, 40.0, 10) == pytest.approx(1.0)
+
+    def test_no_scaling(self):
+        assert parallel_efficiency(100.0, 4, 100.0, 10) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(BenchError):
+            parallel_efficiency(0.0, 4, 10.0, 10)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry import LineString, Point, Polygon
+from repro.geometry.envelope import Envelope
+
+
+@pytest.fixture
+def unit_square() -> Polygon:
+    """A 10x10 square at the origin."""
+    return Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+
+
+@pytest.fixture
+def square_with_hole() -> Polygon:
+    """A 10x10 square with a 2x2 hole in the middle."""
+    return Polygon(
+        [(0, 0), (10, 0), (10, 10), (0, 10)],
+        holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+    )
+
+
+@pytest.fixture
+def l_shape() -> Polygon:
+    """A concave L-shaped polygon."""
+    return Polygon([(0, 0), (10, 0), (10, 4), (4, 4), (4, 10), (0, 10)])
+
+
+@pytest.fixture
+def diagonal_line() -> LineString:
+    """A three-vertex polyline."""
+    return LineString([(0, 0), (5, 5), (10, 0)])
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for randomised (but stable) tests."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def random_points(rng) -> list[Point]:
+    """200 points scattered over [-2, 12]^2 (some outside the square)."""
+    return [
+        Point(rng.uniform(-2, 12), rng.uniform(-2, 12)) for _ in range(200)
+    ]
+
+
+@pytest.fixture
+def world() -> Envelope:
+    return Envelope(0.0, 0.0, 100.0, 100.0)

@@ -1,0 +1,107 @@
+"""Property-based join invariants (hypothesis).
+
+The central correctness claim of the repository — every join plan equals
+the naive nested loop — asserted over *randomised* inputs rather than the
+fixed scenarios of the other test modules.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SpatialOperator, naive_spatial_join, spatial_join
+from repro.geometry import LineString, Point, Polygon
+
+coordinate = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def point_sets(draw):
+    n = draw(st.integers(min_value=0, max_value=40))
+    return [
+        (i, Point(draw(coordinate), draw(coordinate))) for i in range(n)
+    ]
+
+
+@st.composite
+def box_sets(draw):
+    n = draw(st.integers(min_value=0, max_value=15))
+    boxes = []
+    for i in range(n):
+        x = draw(coordinate)
+        y = draw(coordinate)
+        w = draw(st.floats(min_value=0.5, max_value=40.0))
+        h = draw(st.floats(min_value=0.5, max_value=40.0))
+        boxes.append(
+            (i, Polygon([(x, y), (x + w, y), (x + w, y + h), (x, y + h)]))
+        )
+    return boxes
+
+
+@st.composite
+def line_sets(draw):
+    n = draw(st.integers(min_value=0, max_value=15))
+    lines = []
+    for i in range(n):
+        coords = [
+            (draw(coordinate), draw(coordinate))
+            for _ in range(draw(st.integers(min_value=2, max_value=5)))
+        ]
+        lines.append((i, LineString(coords)))
+    return lines
+
+
+class TestJoinEqualsNaive:
+    @given(point_sets(), box_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_within_indexed(self, points, boxes):
+        indexed = sorted(spatial_join(points, boxes, SpatialOperator.WITHIN))
+        naive = sorted(naive_spatial_join(points, boxes, SpatialOperator.WITHIN))
+        assert indexed == naive
+
+    @given(point_sets(), box_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_within_dual_tree(self, points, boxes):
+        dual = sorted(
+            spatial_join(points, boxes, SpatialOperator.WITHIN, method="dual-tree")
+        )
+        naive = sorted(naive_spatial_join(points, boxes, SpatialOperator.WITHIN))
+        assert dual == naive
+
+    @given(point_sets(), line_sets(), st.floats(min_value=0.5, max_value=30.0))
+    @settings(max_examples=60, deadline=None)
+    def test_nearestd(self, points, lines, radius):
+        indexed = sorted(
+            spatial_join(points, lines, SpatialOperator.NEAREST_D, radius=radius)
+        )
+        naive = sorted(
+            naive_spatial_join(points, lines, SpatialOperator.NEAREST_D, radius=radius)
+        )
+        assert indexed == naive
+
+    @given(point_sets(), box_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_engines_agree(self, points, boxes):
+        fast = sorted(spatial_join(points, boxes, engine="fast"))
+        slow = sorted(spatial_join(points, boxes, engine="slow"))
+        assert fast == slow
+
+    @given(point_sets(), box_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_intersects_superset_of_within(self, points, boxes):
+        """For points, Within == Intersects on closed polygons."""
+        within = set(spatial_join(points, boxes, SpatialOperator.WITHIN))
+        intersects = set(spatial_join(points, boxes, SpatialOperator.INTERSECTS))
+        assert within <= intersects
+
+    @given(point_sets(), line_sets(),
+           st.floats(min_value=0.5, max_value=10.0),
+           st.floats(min_value=10.0, max_value=30.0))
+    @settings(max_examples=40, deadline=None)
+    def test_nearestd_monotone_in_radius(self, points, lines, small, large):
+        """Growing D can only add pairs, never remove them."""
+        small_pairs = set(
+            spatial_join(points, lines, SpatialOperator.NEAREST_D, radius=small)
+        )
+        large_pairs = set(
+            spatial_join(points, lines, SpatialOperator.NEAREST_D, radius=large)
+        )
+        assert small_pairs <= large_pairs

@@ -1,0 +1,293 @@
+"""Cross-engine join integration: every plan produces the same pairs."""
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import (
+    SpatialOperator,
+    broadcast_spatial_join,
+    naive_spatial_join,
+    partitioned_spatial_join,
+    read_geometry_pairs,
+    spatial_join,
+    spatial_join_pairs,
+    standalone_spatial_join,
+)
+from repro.core.partitioned_join import derive_partitioning
+from repro.errors import ReproError
+from repro.geometry import LineString, Point, Polygon
+from repro.hdfs import SimulatedHDFS, write_text
+from repro.spark import SparkContext
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """Points, polygons and streets plus their serialised HDFS files."""
+    rng = random.Random(1234)
+    points = [(i, Point(rng.uniform(0, 100), rng.uniform(0, 100))) for i in range(350)]
+    polys = []
+    for row in range(5):
+        for col in range(5):
+            x0, y0 = col * 20.0, row * 20.0
+            polys.append(
+                (row * 5 + col,
+                 Polygon([(x0, y0), (x0 + 20, y0), (x0 + 20, y0 + 20), (x0, y0 + 20)]))
+            )
+    streets = [
+        (i, LineString([(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(3)]))
+        for i in range(30)
+    ]
+    fs = SimulatedHDFS(block_size=2048)
+    write_text(fs, "/points.txt", [f"{i}\t{g.wkt()}" for i, g in points])
+    write_text(fs, "/polys.txt", [f"{i}\t{g.wkt()}" for i, g in polys])
+    write_text(fs, "/streets.txt", [f"{i}\t{g.wkt()}" for i, g in streets])
+    within_truth = sorted(naive_spatial_join(points, polys, SpatialOperator.WITHIN))
+    neard_truth = sorted(
+        naive_spatial_join(points, streets, SpatialOperator.NEAREST_D, radius=7.0)
+    )
+    return {
+        "fs": fs,
+        "points": points,
+        "polys": polys,
+        "streets": streets,
+        "within_truth": within_truth,
+        "neard_truth": neard_truth,
+    }
+
+
+def fresh_sc(scenario, nodes=3):
+    return SparkContext(ClusterSpec(nodes, 4), hdfs=scenario["fs"])
+
+
+class TestInMemoryAPI:
+    def test_within(self, scenario):
+        got = spatial_join(scenario["points"], scenario["polys"])
+        assert sorted(got) == scenario["within_truth"]
+
+    def test_nearestd(self, scenario):
+        got = spatial_join(
+            scenario["points"], scenario["streets"], "nearestd", radius=7.0
+        )
+        assert sorted(got) == scenario["neard_truth"]
+
+    def test_naive_method(self, scenario):
+        got = spatial_join(
+            scenario["points"][:50], scenario["polys"], method="naive"
+        )
+        expected = naive_spatial_join(
+            scenario["points"][:50], scenario["polys"], SpatialOperator.WITHIN
+        )
+        assert sorted(got) == sorted(expected)
+
+    def test_wkt_string_inputs(self):
+        got = spatial_join(
+            [(0, "POINT (1 1)")],
+            [("cell", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")],
+        )
+        assert got == [(0, "cell")]
+
+    def test_positional_variant(self):
+        got = spatial_join_pairs(
+            ["POINT (1 1)", "POINT (9 9)"],
+            ["POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"],
+        )
+        assert got == [(0, 0)]
+
+    def test_bad_operator(self):
+        with pytest.raises(ReproError):
+            spatial_join([], [], "teleport")
+
+    def test_bad_method(self):
+        with pytest.raises(ReproError):
+            spatial_join([], [], method="quantum")
+
+    def test_bad_geometry_type(self):
+        with pytest.raises(ReproError):
+            spatial_join([(0, 42)], [])
+
+
+class TestBroadcastJoin:
+    def test_within_from_hdfs(self, scenario):
+        sc = fresh_sc(scenario)
+        left = read_geometry_pairs(sc, "/points.txt", 1)
+        right = read_geometry_pairs(sc, "/polys.txt", 1)
+        pairs = broadcast_spatial_join(sc, left, right, SpatialOperator.WITHIN)
+        assert sorted(pairs.collect()) == scenario["within_truth"]
+
+    def test_nearestd_from_hdfs(self, scenario):
+        sc = fresh_sc(scenario)
+        left = read_geometry_pairs(sc, "/points.txt", 1)
+        right = read_geometry_pairs(sc, "/streets.txt", 1)
+        pairs = broadcast_spatial_join(
+            sc, left, right, SpatialOperator.NEAREST_D, radius=7.0
+        )
+        assert sorted(pairs.collect()) == scenario["neard_truth"]
+
+    def test_slow_engine_same_result(self, scenario):
+        sc = fresh_sc(scenario)
+        left = read_geometry_pairs(sc, "/points.txt", 1)
+        right = read_geometry_pairs(sc, "/polys.txt", 1)
+        pairs = broadcast_spatial_join(
+            sc, left, right, SpatialOperator.WITHIN, engine="slow"
+        )
+        assert sorted(pairs.collect()) == scenario["within_truth"]
+
+    def test_missing_radius_rejected(self, scenario):
+        sc = fresh_sc(scenario)
+        left = sc.parallelize(scenario["points"], 2)
+        right = sc.parallelize(scenario["streets"], 2)
+        with pytest.raises(ReproError):
+            broadcast_spatial_join(sc, left, right, SpatialOperator.NEAREST_D)
+
+    def test_dirty_rows_dropped(self, scenario):
+        sc = fresh_sc(scenario)
+        write_text(sc.hdfs, "/dirty.txt",
+                   ["0\tPOINT (1 1)", "1\tBROKEN WKT", "2\tPOINT (2 2)", "3"])
+        pairs = read_geometry_pairs(sc, "/dirty.txt", 1).collect()
+        assert [i for i, _ in pairs] == [0, 2]
+
+
+class TestPartitionedJoin:
+    @pytest.mark.parametrize("tiles", [1, 4, 9, 16])
+    def test_within_any_tiling(self, scenario, tiles):
+        sc = fresh_sc(scenario)
+        left = sc.parallelize(scenario["points"], 4)
+        right = sc.parallelize(scenario["polys"], 2)
+        pairs = partitioned_spatial_join(
+            sc, left, right, SpatialOperator.WITHIN, num_tiles=tiles
+        )
+        assert sorted(pairs.collect()) == scenario["within_truth"]
+
+    def test_nearestd(self, scenario):
+        sc = fresh_sc(scenario)
+        left = sc.parallelize(scenario["points"], 4)
+        right = sc.parallelize(scenario["streets"], 2)
+        pairs = partitioned_spatial_join(
+            sc, left, right, SpatialOperator.NEAREST_D, radius=7.0, num_tiles=9
+        )
+        assert sorted(pairs.collect()) == scenario["neard_truth"]
+
+    def test_no_duplicates_even_with_replication(self, scenario):
+        sc = fresh_sc(scenario)
+        left = sc.parallelize(scenario["points"], 4)
+        right = sc.parallelize(scenario["polys"], 2)
+        pairs = partitioned_spatial_join(
+            sc, left, right, SpatialOperator.WITHIN, num_tiles=16
+        ).collect()
+        assert len(pairs) == len(set(pairs))
+
+    def test_explicit_partitioning(self, scenario):
+        sc = fresh_sc(scenario)
+        left = sc.parallelize(scenario["points"], 4)
+        right = sc.parallelize(scenario["polys"], 2)
+        partitioning = derive_partitioning(left, num_tiles=8)
+        pairs = partitioned_spatial_join(
+            sc, left, right, SpatialOperator.WITHIN, partitioning=partitioning
+        )
+        assert sorted(pairs.collect()) == scenario["within_truth"]
+
+    def test_empty_left_rejected_by_derive(self, scenario):
+        sc = fresh_sc(scenario)
+        empty = sc.parallelize([], 2)
+        with pytest.raises(ReproError):
+            derive_partitioning(empty, 4)
+
+
+class TestStandalone:
+    def test_within(self, scenario):
+        result = standalone_spatial_join(
+            scenario["fs"], "/points.txt", "/polys.txt", SpatialOperator.WITHIN
+        )
+        assert sorted(result.pairs) == scenario["within_truth"]
+
+    def test_nearestd(self, scenario):
+        result = standalone_spatial_join(
+            scenario["fs"], "/points.txt", "/streets.txt",
+            SpatialOperator.NEAREST_D, radius=7.0,
+        )
+        assert sorted(result.pairs) == scenario["neard_truth"]
+
+    def test_dynamic_scheduling_same_pairs(self, scenario):
+        static = standalone_spatial_join(
+            scenario["fs"], "/points.txt", "/polys.txt", SpatialOperator.WITHIN,
+            scheduling="static",
+        )
+        dynamic = standalone_spatial_join(
+            scenario["fs"], "/points.txt", "/polys.txt", SpatialOperator.WITHIN,
+            scheduling="dynamic",
+        )
+        assert sorted(static.pairs) == sorted(dynamic.pairs)
+
+    def test_bad_scheduling(self, scenario):
+        with pytest.raises(ReproError):
+            standalone_spatial_join(
+                scenario["fs"], "/points.txt", "/polys.txt",
+                SpatialOperator.WITHIN, scheduling="wishful",
+            )
+
+    def test_simulated_time_positive(self, scenario):
+        result = standalone_spatial_join(
+            scenario["fs"], "/points.txt", "/polys.txt", SpatialOperator.WITHIN
+        )
+        assert result.simulated_seconds > 0
+
+
+class TestAllPlansAgree:
+    """The repository's central invariant, asserted in one place."""
+
+    def test_four_plans_one_answer(self, scenario):
+        truth = scenario["within_truth"]
+        api = sorted(spatial_join(scenario["points"], scenario["polys"]))
+        sc = fresh_sc(scenario)
+        left = read_geometry_pairs(sc, "/points.txt", 1)
+        right = read_geometry_pairs(sc, "/polys.txt", 1)
+        broadcast = sorted(
+            broadcast_spatial_join(sc, left, right, SpatialOperator.WITHIN).collect()
+        )
+        partitioned = sorted(
+            partitioned_spatial_join(
+                sc, left, right, SpatialOperator.WITHIN, num_tiles=9
+            ).collect()
+        )
+        standalone = sorted(
+            standalone_spatial_join(
+                scenario["fs"], "/points.txt", "/polys.txt", SpatialOperator.WITHIN
+            ).pairs
+        )
+        assert api == truth
+        assert broadcast == truth
+        assert partitioned == truth
+        assert standalone == truth
+
+
+class TestDualTreeMethod:
+    def test_within_matches_index_method(self, scenario):
+        got = sorted(
+            spatial_join(
+                scenario["points"], scenario["polys"], method="dual-tree"
+            )
+        )
+        assert got == scenario["within_truth"]
+
+    def test_nearestd_matches_index_method(self, scenario):
+        got = sorted(
+            spatial_join(
+                scenario["points"], scenario["streets"], "nearestd",
+                radius=7.0, method="dual-tree",
+            )
+        )
+        assert got == scenario["neard_truth"]
+
+    def test_slow_engine_agrees(self, scenario):
+        got = sorted(
+            spatial_join(
+                scenario["points"][:100], scenario["polys"],
+                method="dual-tree", engine="slow",
+            )
+        )
+        expected = sorted(
+            spatial_join(scenario["points"][:100], scenario["polys"])
+        )
+        assert got == expected

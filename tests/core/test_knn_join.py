@@ -1,0 +1,97 @@
+"""kNN spatial join (extension): verified against brute force."""
+
+import math
+import random
+
+import pytest
+
+from repro.bench.runner import cluster_spec
+from repro.core import broadcast_knn_join, knn_join
+from repro.errors import ReproError
+from repro.geometry import LineString, Point
+from repro.spark import SparkContext
+
+
+@pytest.fixture
+def points(rng):
+    return [(i, Point(rng.uniform(0, 100), rng.uniform(0, 100))) for i in range(120)]
+
+
+@pytest.fixture
+def streets(rng):
+    return [
+        (i, LineString([(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(3)]))
+        for i in range(35)
+    ]
+
+
+def brute_knn(points, targets, k, max_distance=math.inf):
+    expected = []
+    for pid, p in points:
+        ranked = sorted(
+            ((p.distance(g), tid) for tid, g in targets),
+            key=lambda t: t[0],
+        )
+        for dist, tid in ranked[:k]:
+            if dist <= max_distance:
+                expected.append((pid, tid, dist))
+    return expected
+
+
+class TestKnnJoin:
+    def test_k1_matches_brute_force(self, points, streets):
+        got = knn_join(points, streets, k=1)
+        expected = brute_knn(points, streets, 1)
+        assert [(l, r) for l, r, _ in got] == [(l, r) for l, r, _ in expected]
+        for (_, _, d_got), (_, _, d_exp) in zip(got, expected):
+            assert d_got == pytest.approx(d_exp, abs=1e-9)
+
+    def test_k3_ordered_by_distance(self, points, streets):
+        got = knn_join(points, streets, k=3)
+        per_left = {}
+        for left_id, _, dist in got:
+            per_left.setdefault(left_id, []).append(dist)
+        for distances in per_left.values():
+            assert distances == sorted(distances)
+            assert len(distances) == 3
+
+    def test_max_distance_caps(self, points, streets):
+        capped = knn_join(points, streets, k=5, max_distance=10.0)
+        assert all(d <= 10.0 for _, _, d in capped)
+        expected = brute_knn(points, streets, 5, max_distance=10.0)
+        assert len(capped) == len(expected)
+
+    def test_point_targets(self, points, rng):
+        sites = [(c, Point(rng.uniform(0, 100), rng.uniform(0, 100))) for c in "abcde"]
+        got = knn_join(points, sites, k=2)
+        expected = brute_knn(points, sites, 2)
+        assert [(l, r) for l, r, _ in got] == [(l, r) for l, r, _ in expected]
+
+    def test_wkt_inputs(self):
+        got = knn_join([(0, "POINT (0 0)")], [("a", "POINT (1 0)"), ("b", "POINT (5 0)")], k=1)
+        assert got == [(0, "a", 1.0)]
+
+    def test_k_validation(self, points, streets):
+        with pytest.raises(ReproError):
+            knn_join(points, streets, k=0)
+
+    def test_non_point_probe_rejected(self, streets):
+        with pytest.raises(ReproError):
+            knn_join([(0, LineString([(0, 0), (1, 1)]))], streets, k=1)
+
+
+class TestBroadcastKnnJoin:
+    def test_matches_local(self, points, streets):
+        sc = SparkContext(cluster_spec(4))
+        left = sc.parallelize(points, 4)
+        right = sc.parallelize(streets, 2)
+        got = sorted(broadcast_knn_join(sc, left, right, k=2).collect())
+        expected = sorted(knn_join(points, streets, k=2))
+        assert [(l, r) for l, r, _ in got] == [(l, r) for l, r, _ in expected]
+
+    def test_charges_simulated_time(self, points, streets):
+        sc = SparkContext(cluster_spec(4))
+        left = sc.parallelize(points, 4)
+        right = sc.parallelize(streets, 2)
+        broadcast_knn_join(sc, left, right, k=1).count()
+        assert sc.simulated_seconds() > 0

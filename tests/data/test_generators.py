@@ -1,0 +1,187 @@
+"""Synthetic dataset generators: statistical signatures of the paper's data."""
+
+import pytest
+
+from repro.data import (
+    DATASETS,
+    NYC_EXTENT,
+    WORLD_EXTENT,
+    generate_gbif,
+    generate_lion,
+    generate_nycb,
+    generate_taxi,
+    generate_wwf,
+    load_dataset,
+)
+from repro.core import SpatialOperator, spatial_join
+from repro.errors import ReproError
+from repro.geometry import LineString, MultiPolygon, Point, Polygon
+
+
+class TestTaxi:
+    def test_count_and_types(self):
+        ds = generate_taxi(500)
+        assert len(ds) == 500
+        assert all(isinstance(g, Point) for _, g in ds)
+
+    def test_within_extent(self):
+        ds = generate_taxi(500)
+        for _, p in ds:
+            assert NYC_EXTENT.contains_point(p.x, p.y)
+
+    def test_deterministic(self):
+        a = generate_taxi(100, seed=7)
+        b = generate_taxi(100, seed=7)
+        assert [g.coords() for _, g in a] == [g.coords() for _, g in b]
+
+    def test_seed_changes_output(self):
+        a = generate_taxi(100, seed=7)
+        b = generate_taxi(100, seed=8)
+        assert [g.coords() for _, g in a] != [g.coords() for _, g in b]
+
+    def test_clustered_density(self):
+        """Manhattan-like core must be denser than the city average."""
+        ds = generate_taxi(5000)
+        core_count = sum(
+            1 for _, p in ds if 60_000 <= p.x <= 80_000 and 75_000 <= p.y <= 115_000
+        )
+        core_fraction = core_count / len(ds)
+        core_area_fraction = (20_000 * 40_000) / NYC_EXTENT.area
+        assert core_fraction > 5 * core_area_fraction
+
+
+class TestNycb:
+    def test_tessellation_no_gaps_no_overlaps(self):
+        blocks = generate_nycb(60)
+        points = generate_taxi(400)
+        pairs = spatial_join(points.records, blocks.records, SpatialOperator.WITHIN)
+        matched = {pid for pid, _ in pairs}
+        # Every pickup lands in at least one block...
+        assert len(matched) == len(points)
+        # ...and interior points land in exactly one (boundary points may
+        # legitimately match two adjacent blocks).
+        from collections import Counter
+
+        multi = sum(1 for c in Counter(p for p, _ in pairs).values() if c > 1)
+        assert multi <= len(points) * 0.02
+
+    def test_mean_vertices_near_target(self):
+        blocks = generate_nycb(100, target_mean_vertices=9.0)
+        assert 7.0 <= blocks.mean_vertices() <= 11.0
+
+    def test_all_polygons(self):
+        assert all(isinstance(g, Polygon) for _, g in generate_nycb(30))
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            generate_nycb(0)
+        with pytest.raises(ReproError):
+            generate_nycb(10, jitter=0.7)
+
+
+class TestLion:
+    def test_count_and_types(self):
+        ds = generate_lion(150)
+        assert len(ds) == 150
+        assert all(isinstance(g, LineString) for _, g in ds)
+
+    def test_vertices_in_range(self):
+        ds = generate_lion(100, mean_vertices=5)
+        assert 3.0 <= ds.mean_vertices() <= 8.0
+
+    def test_hub_density_skew(self):
+        """Streets concentrate near the taxi hubs (the straggler driver)."""
+        ds = generate_lion(2000)
+        core = sum(
+            1
+            for _, line in ds
+            if 55_000 <= line.envelope.center[0] <= 90_000
+            and 65_000 <= line.envelope.center[1] <= 120_000
+        )
+        core_fraction = core / len(ds)
+        area_fraction = (35_000 * 55_000) / NYC_EXTENT.area
+        assert core_fraction > 2 * area_fraction
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            generate_lion(0)
+        with pytest.raises(ReproError):
+            generate_lion(10, mean_vertices=1)
+
+
+class TestGbifWwf:
+    def test_gbif_world_extent(self):
+        ds = generate_gbif(300)
+        for _, p in ds:
+            assert WORLD_EXTENT.contains_point(p.x, p.y)
+
+    def test_gbif_custom_centers(self):
+        centers = [(0.0, 0.0, 1.0)]
+        ds = generate_gbif(500, centers=centers, background_fraction=0.0)
+        near = sum(1 for _, p in ds if abs(p.x) < 5 and abs(p.y) < 5)
+        assert near > 450
+
+    def test_wwf_multipolygons_with_high_vertex_count(self):
+        ds = generate_wwf(20, mean_vertices=279)
+        assert all(isinstance(g, MultiPolygon) for _, g in ds)
+        assert 200 <= ds.mean_vertices() <= 360
+
+    def test_wwf_validation(self):
+        with pytest.raises(ReproError):
+            generate_wwf(0)
+        with pytest.raises(ReproError):
+            generate_wwf(10, mean_vertices=10)
+
+
+class TestCatalog:
+    def test_all_registered_datasets_load(self):
+        for name in DATASETS:
+            ds = load_dataset(name, scale=0.02, cache=False)
+            assert len(ds) >= 1
+
+    def test_scale_changes_count(self):
+        small = load_dataset("taxi", 0.01, cache=False)
+        large = load_dataset("taxi", 0.02, cache=False)
+        assert len(large) == 2 * len(small)
+
+    def test_sqrt_scaling_for_world_datasets(self):
+        spec = DATASETS["wwf"]
+        assert spec.count_at(0.25) == pytest.approx(spec.base_count * 0.5, abs=1)
+
+    def test_representativity(self):
+        spec = DATASETS["taxi"]
+        assert spec.representativity(1.0) == pytest.approx(1000.0)
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("nycb", 0.03)
+        b = load_dataset("nycb", 0.03)
+        assert a is b
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ReproError):
+            load_dataset("atlantis")
+
+    def test_bad_scale(self):
+        with pytest.raises(ReproError):
+            load_dataset("taxi", scale=0.0)
+
+
+class TestSerialisation:
+    def test_to_lines_roundtrip(self):
+        from repro.geometry import wkt_loads
+
+        ds = generate_nycb(10)
+        for line, (record_id, geometry) in zip(ds.to_lines(precision=9), ds):
+            rid, wkt = line.split("\t")
+            assert int(rid) == record_id
+            parsed = wkt_loads(wkt)
+            assert parsed.envelope.distance(geometry.envelope) < 1e-3
+
+    def test_write_to_hdfs(self):
+        from repro.hdfs import SimulatedHDFS, read_lines
+
+        fs = SimulatedHDFS()
+        ds = generate_taxi(25)
+        size = ds.write_to_hdfs(fs, "/taxi.txt")
+        assert size == fs.status("/taxi.txt").size
+        assert len(read_lines(fs, "/taxi.txt")) == 25

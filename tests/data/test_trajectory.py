@@ -1,0 +1,85 @@
+"""Trajectories: the future-work data type, joined with the existing plans."""
+
+import pytest
+
+from repro.core import SpatialOperator, naive_spatial_join, spatial_join
+from repro.data import generate_nycb, generate_trajectories
+from repro.data.trajectory import Trajectory
+from repro.errors import ReproError
+from repro.geometry import LineString
+
+
+@pytest.fixture(scope="module")
+def trips():
+    return generate_trajectories(60)
+
+
+class TestTrajectory:
+    def test_counts_and_monotone_time(self, trips):
+        trajectories, dataset = trips
+        assert len(trajectories) == len(dataset) == 60
+        for t in trajectories:
+            assert t.duration >= 0
+            assert list(t.timestamps) == sorted(t.timestamps)
+
+    def test_mean_speed_positive(self, trips):
+        trajectories, _ = trips
+        assert all(t.mean_speed() > 0 for t in trajectories)
+
+    def test_position_at_clamps(self, trips):
+        trajectories, _ = trips
+        t = trajectories[0]
+        assert t.position_at(t.start_time - 100) == tuple(
+            map(float, t.path.coords[0])
+        )
+        assert t.position_at(t.end_time + 100) == tuple(
+            map(float, t.path.coords[-1])
+        )
+
+    def test_position_at_interpolates(self):
+        path = LineString([(0, 0), (10, 0)])
+        t = Trajectory(0, path, (0.0, 10.0))
+        assert t.position_at(5.0) == (5.0, 0.0)
+
+    def test_active_during(self):
+        t = Trajectory(0, LineString([(0, 0), (1, 1)]), (100.0, 200.0))
+        assert t.active_during(150, 160)
+        assert t.active_during(0, 100)
+        assert not t.active_during(201, 300)
+
+    def test_mismatched_timestamps_rejected(self):
+        with pytest.raises(ReproError):
+            Trajectory(0, LineString([(0, 0), (1, 1)]), (1.0,))
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ReproError):
+            Trajectory(0, LineString([(0, 0), (1, 1)]), (5.0, 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            generate_trajectories(0)
+
+
+class TestTrajectoryJoins:
+    def test_intersects_join_matches_naive(self, trips):
+        """Trajectory-zone joins run through the existing machinery."""
+        _, dataset = trips
+        zones = generate_nycb(30)
+        got = sorted(
+            spatial_join(dataset.records, zones.records, SpatialOperator.INTERSECTS)
+        )
+        expected = sorted(
+            naive_spatial_join(
+                dataset.records, zones.records, SpatialOperator.INTERSECTS
+            )
+        )
+        assert got == expected
+        assert got  # trips cross zones
+
+    def test_every_trip_touches_a_zone(self, trips):
+        _, dataset = trips
+        zones = generate_nycb(30)
+        pairs = spatial_join(
+            dataset.records, zones.records, SpatialOperator.INTERSECTS
+        )
+        assert {tid for tid, _ in pairs} == set(range(60))

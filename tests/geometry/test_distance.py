@@ -1,0 +1,126 @@
+"""Distance kernels: the NearestD refinement path."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    Point,
+    Polygon,
+)
+from repro.geometry.algorithms.distance import (
+    distance,
+    point_linestring_distance,
+    point_linestring_distance_vectorized,
+    point_segment_distance,
+    segment_segment_distance,
+)
+
+
+class TestPointSegment:
+    def test_perpendicular_foot_inside(self):
+        assert point_segment_distance(5, 3, 0, 0, 10, 0) == 3.0
+
+    def test_clamped_to_start(self):
+        assert point_segment_distance(-3, 4, 0, 0, 10, 0) == 5.0
+
+    def test_clamped_to_end(self):
+        assert point_segment_distance(13, 4, 0, 0, 10, 0) == 5.0
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance(3, 4, 0, 0, 0, 0) == 5.0
+
+    def test_point_on_segment(self):
+        assert point_segment_distance(5, 0, 0, 0, 10, 0) == 0.0
+
+
+class TestPointLineString:
+    def test_scalar_and_vectorized_agree(self, diagonal_line, rng):
+        for _ in range(100):
+            x = rng.uniform(-5, 15)
+            y = rng.uniform(-5, 15)
+            scalar = point_linestring_distance(x, y, diagonal_line)
+            vectorized = point_linestring_distance_vectorized(x, y, diagonal_line)
+            assert scalar == pytest.approx(vectorized, abs=1e-12)
+
+    def test_closest_segment_chosen(self):
+        line = LineString([(0, 0), (10, 0), (10, 10)])
+        assert point_linestring_distance(11, 5, line) == 1.0
+
+    def test_empty_line_is_inf(self):
+        assert point_linestring_distance(0, 0, LineString.empty()) == math.inf
+
+
+class TestSegmentSegment:
+    def test_crossing_is_zero(self):
+        assert segment_segment_distance(0, 0, 10, 10, 0, 10, 10, 0) == 0.0
+
+    def test_parallel(self):
+        assert segment_segment_distance(0, 0, 10, 0, 0, 3, 10, 3) == 3.0
+
+    def test_endpoint_to_endpoint(self):
+        assert segment_segment_distance(0, 0, 1, 0, 4, 4, 7, 4) == pytest.approx(5.0)
+
+
+class TestGeometryDistance:
+    def test_point_point(self):
+        assert distance(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_point_line_both_orders(self, diagonal_line):
+        p = Point(5, 10)
+        assert distance(p, diagonal_line) == distance(diagonal_line, p) == 5.0
+
+    def test_point_inside_polygon_is_zero(self, unit_square):
+        assert distance(Point(5, 5), unit_square) == 0.0
+
+    def test_point_outside_polygon(self, unit_square):
+        assert distance(Point(13, 14), unit_square) == 5.0
+
+    def test_point_in_hole_measures_to_hole_boundary(self, square_with_hole):
+        assert distance(Point(5, 5), square_with_hole) == 1.0
+
+    def test_line_line(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(0, 4), (10, 4)])
+        assert distance(a, b) == 4.0
+
+    def test_line_polygon_touching(self, unit_square):
+        line = LineString([(10, 0), (20, 0)])
+        assert distance(line, unit_square) == 0.0
+
+    def test_line_inside_polygon_is_zero(self, unit_square):
+        assert distance(LineString([(2, 2), (3, 3)]), unit_square) == 0.0
+
+    def test_polygon_polygon(self, unit_square):
+        far = Polygon([(13, 0), (20, 0), (20, 10), (13, 10)])
+        assert distance(unit_square, far) == 3.0
+
+    def test_nested_polygons_zero(self, unit_square):
+        inner = Polygon([(4, 4), (6, 4), (6, 6), (4, 6)])
+        assert distance(unit_square, inner) == 0.0
+
+    def test_multi_takes_min(self):
+        mp = MultiPoint.of([(100, 0), (0, 7)])
+        assert distance(Point(0, 0), mp) == 7.0
+
+    def test_multilinestring(self):
+        mls = MultiLineString(
+            [LineString([(5, 5), (6, 6)]), LineString([(0, 2), (2, 2)])]
+        )
+        assert distance(Point(0, 0), mls) == 2.0
+
+    def test_empty_is_inf(self, unit_square):
+        assert distance(Point.empty(), unit_square) == math.inf
+
+    def test_symmetry(self, rng, unit_square, diagonal_line):
+        geoms = [Point(15, 15), diagonal_line, unit_square,
+                 Polygon([(30, 30), (32, 30), (32, 32), (30, 32)])]
+        for i, a in enumerate(geoms):
+            for b in geoms[i + 1:]:
+                assert distance(a, b) == pytest.approx(distance(b, a))
+
+    def test_method_sugar(self, unit_square):
+        assert Point(13, 14).distance(unit_square) == 5.0

@@ -1,0 +1,170 @@
+"""Refinement engines: identical answers, asymmetric cost counters."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    LineString,
+    MultiLineString,
+    MultiPolygon,
+    Point,
+    Polygon,
+    create_engine,
+)
+from repro.geometry.engine import EngineCounters, FastGeometryEngine, SlowGeometryEngine
+
+
+@pytest.fixture(params=["fast", "slow"])
+def engine(request):
+    return create_engine(request.param)
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(create_engine("fast"), FastGeometryEngine)
+        assert isinstance(create_engine("slow"), SlowGeometryEngine)
+
+    def test_paper_aliases(self):
+        assert isinstance(create_engine("jts"), FastGeometryEngine)
+        assert isinstance(create_engine("GEOS"), SlowGeometryEngine)
+
+    def test_unknown(self):
+        with pytest.raises(GeometryError):
+            create_engine("warp")
+
+
+class TestWithin:
+    def test_polygon(self, engine, unit_square, random_points):
+        handle = engine.prepare(unit_square)
+        for p in random_points:
+            assert engine.point_within(p, handle) == p.within(unit_square)
+
+    def test_polygon_with_hole(self, engine, square_with_hole, random_points):
+        handle = engine.prepare(square_with_hole)
+        for p in random_points:
+            assert engine.point_within(p, handle) == p.within(square_with_hole)
+
+    def test_multipolygon(self, engine, unit_square):
+        far = Polygon([(20, 20), (22, 20), (22, 22), (20, 22)])
+        handle = engine.prepare(MultiPolygon([unit_square, far]))
+        assert engine.point_within(Point(21, 21), handle)
+        assert engine.point_within(Point(5, 5), handle)
+        assert not engine.point_within(Point(15, 15), handle)
+
+
+class TestWithinDistance:
+    def test_linestring(self, engine, diagonal_line, random_points):
+        handle = engine.prepare(diagonal_line)
+        for p in random_points:
+            expected = p.distance(diagonal_line) <= 2.0
+            assert engine.point_within_distance(p, handle, 2.0) == expected
+
+    def test_multilinestring(self, engine):
+        mls = MultiLineString(
+            [LineString([(0, 0), (10, 0)]), LineString([(0, 20), (10, 20)])]
+        )
+        handle = engine.prepare(mls)
+        assert engine.point_within_distance(Point(5, 18.5), handle, 2.0)
+        assert not engine.point_within_distance(Point(5, 10), handle, 2.0)
+
+    def test_polygon_inside_is_within_any_distance(self, engine, unit_square):
+        handle = engine.prepare(unit_square)
+        assert engine.point_within_distance(Point(5, 5), handle, 0.001)
+
+    def test_point_handle(self, engine):
+        handle = engine.prepare(Point(0, 0))
+        assert engine.point_within_distance(Point(3, 4), handle, 5.0)
+        assert not engine.point_within_distance(Point(3, 4), handle, 4.9)
+
+
+class TestDistance:
+    def test_linestring(self, engine, diagonal_line, random_points):
+        handle = engine.prepare(diagonal_line)
+        for p in random_points[:50]:
+            assert engine.point_distance(p, handle) == pytest.approx(
+                p.distance(diagonal_line), abs=1e-9
+            )
+
+    def test_point(self, engine):
+        handle = engine.prepare(Point(0, 0))
+        assert engine.point_distance(Point(3, 4), handle) == 5.0
+
+
+class TestEnginesAgree:
+    """The headline invariant: swapping engines never changes results."""
+
+    def test_within_cross_engine(self, square_with_hole, l_shape, random_points):
+        fast = create_engine("fast")
+        slow = create_engine("slow")
+        for polygon in (square_with_hole, l_shape):
+            fast_handle = fast.prepare(polygon)
+            slow_handle = slow.prepare(polygon)
+            for p in random_points:
+                assert fast.point_within(p, fast_handle) == slow.point_within(
+                    p, slow_handle
+                )
+
+    def test_distance_cross_engine(self, diagonal_line, random_points):
+        fast = create_engine("fast")
+        slow = create_engine("slow")
+        fh = fast.prepare(diagonal_line)
+        sh = slow.prepare(diagonal_line)
+        for p in random_points[:80]:
+            assert fast.point_distance(p, fh) == pytest.approx(
+                slow.point_distance(p, sh), abs=1e-9
+            )
+
+
+class TestCounters:
+    def test_fast_counts_predicate_calls(self, unit_square):
+        engine = create_engine("fast")
+        handle = engine.prepare(unit_square)
+        engine.point_within(Point(5, 5), handle)
+        engine.point_within(Point(50, 5), handle)
+        assert engine.counters.predicate_calls == 2
+        assert engine.counters.vertex_ops > 0
+        assert engine.counters.allocations == 0
+
+    def test_slow_counts_allocations(self, unit_square):
+        engine = create_engine("slow")
+        handle = engine.prepare(unit_square)
+        engine.point_within(Point(5, 5), handle)
+        assert engine.counters.allocations > 0
+        assert engine.counters.vertex_ops > 0
+
+    def test_slow_allocates_even_for_far_points_inside_mbb_check(self, unit_square):
+        # GEOS-style: churn happens before the (recomputed) envelope test.
+        engine = create_engine("slow")
+        handle = engine.prepare(unit_square)
+        before = engine.counters.allocations
+        engine.point_within(Point(9.5, 9.5), handle)
+        assert engine.counters.allocations > before
+
+    def test_merge_and_reset(self):
+        a = EngineCounters(predicate_calls=1, vertex_ops=10, allocations=3)
+        b = EngineCounters(predicate_calls=2, vertex_ops=5, allocations=0)
+        a.merge(b)
+        assert (a.predicate_calls, a.vertex_ops, a.allocations) == (3, 15, 3)
+        a.reset()
+        assert a.predicate_calls == 0
+
+    def test_fast_early_exit_charges_fewer_vertices(self):
+        # JTS-style early exit: a probe matching the first segment charges
+        # fewer vertex ops than one matching only the last.
+        line = LineString([(float(i), 0.0) for i in range(20)])
+        engine = create_engine("fast")
+        handle = engine.prepare(line)
+        engine.point_within_distance(Point(0.5, 0.1), handle, 0.5)
+        near_first = engine.counters.vertex_ops
+        engine.counters.reset()
+        engine.point_within_distance(Point(18.5, 0.1), handle, 0.5)
+        near_last = engine.counters.vertex_ops
+        assert near_first < near_last
+
+    def test_slow_no_early_exit(self):
+        # GEOS computes the full minimum distance: all vertices churned.
+        line = LineString([(float(i), 0.0) for i in range(20)])
+        engine = create_engine("slow")
+        handle = engine.prepare(line)
+        engine.point_within_distance(Point(0.5, 0.1), handle, 0.5)
+        assert engine.counters.vertex_ops == 20

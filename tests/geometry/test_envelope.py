@@ -1,0 +1,148 @@
+"""Envelope (MBB) behaviour: the filtering phase's core primitive."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.envelope import Envelope
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        env = Envelope(1, 2, 3, 4)
+        assert (env.min_x, env.min_y, env.max_x, env.max_y) == (1, 2, 3, 4)
+
+    def test_nan_rejected(self):
+        with pytest.raises(GeometryError):
+            Envelope(math.nan, 0, 1, 1)
+
+    def test_empty_is_empty(self):
+        assert Envelope.empty().is_empty
+
+    def test_inverted_bounds_are_empty(self):
+        assert Envelope(5, 0, 1, 1).is_empty
+        assert Envelope(0, 5, 1, 1).is_empty
+
+    def test_of_point_is_degenerate_not_empty(self):
+        env = Envelope.of_point(3, 4)
+        assert not env.is_empty
+        assert env.width == 0.0
+        assert env.height == 0.0
+
+    def test_of_points(self):
+        env = Envelope.of_points([1, 5, 3], [2, 0, 9])
+        assert env == Envelope(1, 0, 5, 9)
+
+    def test_of_points_empty_input(self):
+        assert Envelope.of_points([], []).is_empty
+
+
+class TestMeasures:
+    def test_width_height_area(self):
+        env = Envelope(0, 0, 4, 3)
+        assert env.width == 4
+        assert env.height == 3
+        assert env.area == 12
+        assert env.perimeter == 14
+
+    def test_empty_measures_are_zero(self):
+        empty = Envelope.empty()
+        assert empty.width == 0.0
+        assert empty.height == 0.0
+        assert empty.area == 0.0
+        assert empty.perimeter == 0.0
+
+    def test_center(self):
+        assert Envelope(0, 0, 4, 2).center == (2.0, 1.0)
+
+    def test_center_of_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Envelope.empty().center
+
+
+class TestPredicates:
+    def test_intersects_overlapping(self):
+        assert Envelope(0, 0, 5, 5).intersects(Envelope(3, 3, 8, 8))
+
+    def test_intersects_touching_edge(self):
+        # Boundary contact counts (false negatives would lose join rows).
+        assert Envelope(0, 0, 5, 5).intersects(Envelope(5, 0, 10, 5))
+
+    def test_intersects_touching_corner(self):
+        assert Envelope(0, 0, 5, 5).intersects(Envelope(5, 5, 10, 10))
+
+    def test_disjoint(self):
+        assert not Envelope(0, 0, 1, 1).intersects(Envelope(2, 2, 3, 3))
+
+    def test_empty_intersects_nothing(self):
+        assert not Envelope.empty().intersects(Envelope(0, 0, 1, 1))
+        assert not Envelope(0, 0, 1, 1).intersects(Envelope.empty())
+
+    def test_contains(self):
+        assert Envelope(0, 0, 10, 10).contains(Envelope(2, 2, 8, 8))
+        assert Envelope(0, 0, 10, 10).contains(Envelope(0, 0, 10, 10))
+        assert not Envelope(2, 2, 8, 8).contains(Envelope(0, 0, 10, 10))
+
+    def test_contains_point(self):
+        env = Envelope(0, 0, 5, 5)
+        assert env.contains_point(2.5, 2.5)
+        assert env.contains_point(0, 0)  # boundary included
+        assert env.contains_point(5, 5)
+        assert not env.contains_point(5.01, 2)
+
+
+class TestOperations:
+    def test_expand_by_grows_all_sides(self):
+        env = Envelope(2, 2, 4, 4).expand_by(1)
+        assert env == Envelope(1, 1, 5, 5)
+
+    def test_expand_by_negative_can_empty(self):
+        assert Envelope(0, 0, 1, 1).expand_by(-2).is_empty
+
+    def test_expand_by_on_empty_stays_empty(self):
+        assert Envelope.empty().expand_by(5).is_empty
+
+    def test_union(self):
+        a = Envelope(0, 0, 2, 2)
+        b = Envelope(5, 5, 6, 6)
+        assert a.union(b) == Envelope(0, 0, 6, 6)
+
+    def test_union_with_empty_is_identity(self):
+        a = Envelope(0, 0, 2, 2)
+        assert a.union(Envelope.empty()) == a
+        assert Envelope.empty().union(a) == a
+
+    def test_intersection(self):
+        a = Envelope(0, 0, 5, 5)
+        b = Envelope(3, 3, 8, 8)
+        assert a.intersection(b) == Envelope(3, 3, 5, 5)
+
+    def test_intersection_disjoint_is_empty(self):
+        assert Envelope(0, 0, 1, 1).intersection(Envelope(2, 2, 3, 3)).is_empty
+
+
+class TestDistance:
+    def test_distance_overlapping_is_zero(self):
+        assert Envelope(0, 0, 5, 5).distance(Envelope(3, 3, 8, 8)) == 0.0
+
+    def test_distance_horizontal(self):
+        assert Envelope(0, 0, 1, 1).distance(Envelope(4, 0, 5, 1)) == 3.0
+
+    def test_distance_diagonal(self):
+        d = Envelope(0, 0, 1, 1).distance(Envelope(4, 5, 6, 7))
+        assert d == pytest.approx(5.0)  # 3-4-5 triangle
+
+    def test_distance_to_empty_is_inf(self):
+        assert Envelope(0, 0, 1, 1).distance(Envelope.empty()) == math.inf
+
+    def test_distance_to_point(self):
+        env = Envelope(0, 0, 2, 2)
+        assert env.distance_to_point(1, 1) == 0.0
+        assert env.distance_to_point(5, 1) == 3.0
+        assert env.distance_to_point(5, 6) == pytest.approx(5.0)
+
+    def test_distance_symmetry(self):
+        a = Envelope(0, 0, 1, 1)
+        b = Envelope(7, 3, 9, 4)
+        assert a.distance(b) == b.distance(a)

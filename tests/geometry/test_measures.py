@@ -1,0 +1,97 @@
+"""Area, length, centroid."""
+
+import pytest
+
+from repro.geometry import (
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.algorithms.measures import area, centroid, length
+
+
+class TestArea:
+    def test_polygon(self, unit_square):
+        assert area(unit_square) == 100.0
+
+    def test_polygon_with_hole(self, square_with_hole):
+        assert area(square_with_hole) == 96.0
+
+    def test_point_and_line_are_zero(self, diagonal_line):
+        assert area(Point(1, 1)) == 0.0
+        assert area(diagonal_line) == 0.0
+
+    def test_multipolygon(self, unit_square):
+        mp = MultiPolygon([unit_square, Polygon([(20, 0), (22, 0), (22, 2), (20, 2)])])
+        assert area(mp) == 104.0
+
+
+class TestLength:
+    def test_linestring(self):
+        assert length(LineString([(0, 0), (3, 4), (3, 10)])) == 11.0
+
+    def test_polygon_perimeter(self, unit_square):
+        assert length(unit_square) == 40.0
+
+    def test_polygon_with_hole_includes_hole_ring(self, square_with_hole):
+        assert length(square_with_hole) == 48.0
+
+    def test_point_is_zero(self):
+        assert length(Point(0, 0)) == 0.0
+
+    def test_multilinestring(self):
+        mls = MultiLineString([LineString([(0, 0), (3, 4)]), LineString([(0, 0), (1, 0)])])
+        assert length(mls) == 6.0
+
+
+class TestCentroid:
+    def test_point(self):
+        assert centroid(Point(3, 7)) == Point(3, 7)
+
+    def test_square(self, unit_square):
+        assert centroid(unit_square) == Point(5, 5)
+
+    def test_square_with_symmetric_hole_unchanged(self, square_with_hole):
+        c = centroid(square_with_hole)
+        assert c.x == pytest.approx(5.0)
+        assert c.y == pytest.approx(5.0)
+
+    def test_asymmetric_hole_shifts_centroid(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(6, 4), (9, 4), (9, 6), (6, 6)]],
+        )
+        c = centroid(poly)
+        assert c.x < 5.0  # mass removed on the right
+
+    def test_l_shape(self, l_shape):
+        c = centroid(l_shape)
+        # Decompose: 10x4 bottom bar (area 40, centre (5, 2)) plus 4x6
+        # upper arm (area 24, centre (2, 7)).
+        assert c.x == pytest.approx((5 * 40 + 2 * 24) / 64)
+        assert c.y == pytest.approx((2 * 40 + 7 * 24) / 64)
+
+    def test_linestring_length_weighted(self):
+        line = LineString([(0, 0), (10, 0), (10, 2)])
+        c = centroid(line)
+        assert c.x == pytest.approx((5 * 10 + 10 * 2) / 12)
+        assert c.y == pytest.approx((0 * 10 + 1 * 2) / 12)
+
+    def test_multipoint_mean(self):
+        mp = MultiPoint.of([(0, 0), (4, 0), (2, 6)])
+        assert centroid(mp) == Point(2, 2)
+
+    def test_multipolygon_area_weighted(self):
+        small = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        big = Polygon([(10, 0), (13, 0), (13, 3), (10, 3)])
+        c = centroid(MultiPolygon([small, big]))
+        assert c.x == pytest.approx((0.5 * 1 + 11.5 * 9) / 10)
+
+    def test_empty_geometry(self):
+        assert centroid(Point.empty()).is_empty
+
+    def test_method_sugar(self, unit_square):
+        assert unit_square.centroid() == Point(5, 5)

@@ -1,0 +1,158 @@
+"""Prepared geometries: fast-path correctness against the plain predicates."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import LineString, MultiPolygon, Point, Polygon
+from repro.geometry.algorithms.distance import point_linestring_distance
+from repro.geometry.algorithms.predicates import point_in_polygon
+from repro.geometry.prepared import PreparedLineString, PreparedPolygon, prepare
+
+
+def wiggly_polygon(n: int = 200) -> Polygon:
+    ring = []
+    for i in range(n):
+        theta = 2 * math.pi * i / n
+        r = 10 * (1 + 0.3 * math.sin(5 * theta))
+        ring.append((r * math.cos(theta), r * math.sin(theta)))
+    ring.append(ring[0])
+    return Polygon(ring)
+
+
+class TestPreparedPolygon:
+    def test_agrees_with_plain_predicate_small(self, unit_square, random_points):
+        prepared = PreparedPolygon(unit_square)
+        for p in random_points:
+            assert prepared.contains_point(p.x, p.y) == point_in_polygon(
+                p.x, p.y, unit_square
+            )
+
+    def test_agrees_with_plain_predicate_large(self, rng):
+        poly = wiggly_polygon(300)  # forces the vectorised strip path
+        prepared = PreparedPolygon(poly)
+        for _ in range(300):
+            x = rng.uniform(-14, 14)
+            y = rng.uniform(-14, 14)
+            assert prepared.contains_point(x, y) == point_in_polygon(x, y, poly)
+
+    def test_agrees_with_holes(self, square_with_hole, random_points):
+        prepared = PreparedPolygon(square_with_hole)
+        for p in random_points:
+            assert prepared.contains_point(p.x, p.y) == point_in_polygon(
+                p.x, p.y, square_with_hole
+            )
+
+    def test_boundary_points_contained(self, unit_square):
+        prepared = PreparedPolygon(unit_square)
+        assert prepared.contains_point(0, 5)
+        assert prepared.contains_point(10, 10)
+
+    def test_explicit_strip_count(self, unit_square, random_points):
+        for strips in (1, 2, 7):
+            prepared = PreparedPolygon(unit_square, num_strips=strips)
+            for p in random_points[:50]:
+                assert prepared.contains_point(p.x, p.y) == point_in_polygon(
+                    p.x, p.y, unit_square
+                )
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            PreparedPolygon(Polygon.empty())
+
+    def test_edge_count(self, square_with_hole):
+        assert PreparedPolygon(square_with_hole).edge_count == 8
+
+    def test_count_edges_tested_bounded(self):
+        poly = wiggly_polygon(300)
+        prepared = PreparedPolygon(poly)
+        assert prepared.count_edges_tested(0.0) <= prepared.edge_count
+
+
+class TestPreparedLineString:
+    def test_distance_agrees(self, diagonal_line, rng):
+        prepared = PreparedLineString(diagonal_line)
+        for _ in range(200):
+            x = rng.uniform(-5, 15)
+            y = rng.uniform(-5, 15)
+            assert prepared.distance_to_point(x, y) == pytest.approx(
+                point_linestring_distance(x, y, diagonal_line), abs=1e-12
+            )
+
+    def test_long_line_vectorized_path(self, rng):
+        coords = [(i * 1.0, math.sin(i / 3.0)) for i in range(100)]
+        line = LineString(coords)
+        prepared = PreparedLineString(line)
+        assert prepared._segment_tuples is None  # vectorised path in use
+        for _ in range(100):
+            x = rng.uniform(-5, 105)
+            y = rng.uniform(-3, 3)
+            assert prepared.distance_to_point(x, y) == pytest.approx(
+                point_linestring_distance(x, y, line), abs=1e-9
+            )
+
+    def test_within_distance(self, diagonal_line):
+        prepared = PreparedLineString(diagonal_line)
+        assert prepared.within_distance(5, 6, 1.0)
+        assert not prepared.within_distance(5, 6, 0.5)
+
+    def test_within_distance_counted_early_exit(self):
+        # A point close to the FIRST segment must not examine all of them.
+        coords = [(float(i), 0.0) for i in range(10)]
+        prepared = PreparedLineString(LineString(coords))
+        result, examined = prepared.within_distance_counted(0.5, 0.1, 0.5)
+        assert result
+        assert examined == 1
+
+    def test_within_distance_counted_envelope_prune(self, diagonal_line):
+        prepared = PreparedLineString(diagonal_line)
+        result, examined = prepared.within_distance_counted(100, 100, 1.0)
+        assert not result
+        assert examined == 1  # only the envelope check
+
+    def test_within_distance_counted_no_match_scans_all(self):
+        # Zigzag line: the probe sits within the envelope (so the prune
+        # does not fire) but beyond the threshold of every segment.
+        coords = [(float(i), 2.0 if i % 2 else 0.0) for i in range(10)]
+        prepared = PreparedLineString(LineString(coords))
+        result, examined = prepared.within_distance_counted(20.0, 1.0, 11.0)
+        assert not result
+        assert examined == 9
+
+    def test_counted_vectorized_matches_scalar(self, rng):
+        coords = [(i * 1.0, math.sin(i)) for i in range(80)]
+        line = LineString(coords)
+        prepared = PreparedLineString(line)
+        for _ in range(100):
+            x = rng.uniform(0, 80)
+            y = rng.uniform(-2, 2)
+            result, _ = prepared.within_distance_counted(x, y, 0.8)
+            assert result == (point_linestring_distance(x, y, line) <= 0.8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            PreparedLineString(LineString.empty())
+
+
+class TestPrepareDispatch:
+    def test_polygon(self, unit_square):
+        assert isinstance(prepare(unit_square), PreparedPolygon)
+
+    def test_linestring(self, diagonal_line):
+        assert isinstance(prepare(diagonal_line), PreparedLineString)
+
+    def test_multipolygon(self, unit_square):
+        handles = prepare(MultiPolygon([unit_square]))
+        assert isinstance(handles, list)
+        assert isinstance(handles[0], PreparedPolygon)
+
+    def test_point_passthrough(self):
+        p = Point(1, 2)
+        assert prepare(p) is p
+
+    def test_unsupported(self):
+        from repro.geometry import GeometryCollection
+
+        with pytest.raises(GeometryError):
+            prepare(GeometryCollection([]))

@@ -1,0 +1,200 @@
+"""Property-based tests on the geometry substrate (hypothesis).
+
+These pin down the invariants the join engines lean on: codec roundtrips,
+engine agreement, prepared-vs-plain predicate agreement, and metric
+properties of the distance kernels.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import (
+    LineString,
+    Point,
+    Polygon,
+    create_engine,
+    wkb_dumps,
+    wkb_loads,
+    wkt_dumps,
+    wkt_loads,
+)
+from repro.geometry.algorithms.distance import distance, point_segment_distance
+from repro.geometry.algorithms.predicates import point_in_polygon
+from repro.geometry.envelope import Envelope
+from repro.geometry.prepared import PreparedLineString, PreparedPolygon
+
+coordinate = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+small_coordinate = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+points = st.builds(Point, coordinate, coordinate)
+coords_list = st.lists(
+    st.tuples(small_coordinate, small_coordinate), min_size=2, max_size=12
+)
+linestrings = coords_list.map(LineString)
+
+
+@st.composite
+def convex_polygons(draw):
+    """Random convex polygons via angular sweep around a centre."""
+    cx = draw(small_coordinate)
+    cy = draw(small_coordinate)
+    n = draw(st.integers(min_value=3, max_value=12))
+    radius = draw(st.floats(min_value=0.5, max_value=50.0))
+    # Angles from positive gaps, normalised to < 2*pi, so consecutive
+    # vertices are always angularly separated and never coincide.
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=1.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    total = sum(gaps) * (1.0 + 1e-9)
+    angles = []
+    acc = 0.0
+    for gap in gaps:
+        acc += gap
+        angles.append(2 * math.pi * acc / total)
+    ring = [(cx + radius * math.cos(a), cy + radius * math.sin(a)) for a in angles]
+    return Polygon(ring)
+
+
+class TestCodecRoundtrips:
+    @given(points)
+    def test_wkt_point(self, p):
+        assert wkt_loads(wkt_dumps(p)) == p
+
+    @given(linestrings)
+    def test_wkt_linestring(self, line):
+        assert wkt_loads(wkt_dumps(line)) == line
+
+    @given(convex_polygons())
+    def test_wkt_polygon(self, poly):
+        parsed = wkt_loads(wkt_dumps(poly))
+        assert parsed == poly
+
+    @given(points)
+    def test_wkb_point(self, p):
+        assert wkb_loads(wkb_dumps(p)) == p
+
+    @given(linestrings)
+    def test_wkb_linestring(self, line):
+        assert wkb_loads(wkb_dumps(line)) == line
+
+    @given(convex_polygons())
+    def test_wkb_polygon(self, poly):
+        assert wkb_loads(wkb_dumps(poly)) == poly
+
+
+class TestEnvelopeProperties:
+    @given(coords_list)
+    def test_envelope_contains_all_vertices(self, coords):
+        line = LineString(coords)
+        for x, y in coords:
+            assert line.envelope.contains_point(x, y)
+
+    @given(coords_list, coords_list)
+    def test_union_commutative_and_covering(self, a, b):
+        ea = LineString(a).envelope
+        eb = LineString(b).envelope
+        u = ea.union(eb)
+        assert u == eb.union(ea)
+        assert u.contains(ea) and u.contains(eb)
+
+    @given(coords_list, coords_list)
+    def test_intersects_symmetric(self, a, b):
+        ea = LineString(a).envelope
+        eb = LineString(b).envelope
+        assert ea.intersects(eb) == eb.intersects(ea)
+
+    @given(coords_list, st.floats(min_value=0, max_value=100))
+    def test_expand_preserves_containment(self, coords, d):
+        env = LineString(coords).envelope
+        assert env.expand_by(d).contains(env)
+
+
+class TestPredicateProperties:
+    @given(convex_polygons(), small_coordinate, small_coordinate)
+    @settings(max_examples=200)
+    def test_engines_agree_on_within(self, poly, x, y):
+        fast = create_engine("fast")
+        slow = create_engine("slow")
+        p = Point(x, y)
+        assert fast.point_within(p, fast.prepare(poly)) == slow.point_within(
+            p, slow.prepare(poly)
+        )
+
+    @given(convex_polygons(), small_coordinate, small_coordinate)
+    @settings(max_examples=200)
+    def test_prepared_matches_plain(self, poly, x, y):
+        assert PreparedPolygon(poly).contains_point(x, y) == point_in_polygon(
+            x, y, poly
+        )
+
+    @given(convex_polygons())
+    def test_centroid_inside_convex(self, poly):
+        c = poly.centroid()
+        # The centroid of a convex polygon lies inside it.
+        assert point_in_polygon(c.x, c.y, poly)
+
+    @given(convex_polygons(), small_coordinate, small_coordinate)
+    def test_inside_implies_zero_distance(self, poly, x, y):
+        if point_in_polygon(x, y, poly):
+            assert distance(Point(x, y), poly) == 0.0
+
+
+class TestDistanceProperties:
+    @given(points, points)
+    def test_point_distance_is_euclidean(self, a, b):
+        assert distance(a, b) == math.hypot(a.x - b.x, a.y - b.y)
+
+    @given(linestrings, small_coordinate, small_coordinate)
+    @settings(max_examples=200)
+    def test_prepared_distance_matches_plain(self, line, x, y):
+        from repro.geometry.algorithms.distance import point_linestring_distance
+
+        prepared = PreparedLineString(line)
+        assert math.isclose(
+            prepared.distance_to_point(x, y),
+            point_linestring_distance(x, y, line),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+
+    @given(linestrings, small_coordinate, small_coordinate,
+           st.floats(min_value=0.01, max_value=50))
+    @settings(max_examples=200)
+    def test_within_distance_consistent_with_distance(self, line, x, y, d):
+        from repro.geometry.algorithms.distance import point_linestring_distance
+
+        prepared = PreparedLineString(line)
+        exact = point_linestring_distance(x, y, line)
+        result, _ = prepared.within_distance_counted(x, y, d)
+        if exact <= d * (1 - 1e-9):
+            assert result
+        if exact > d * (1 + 1e-9):
+            assert not result
+
+    @given(small_coordinate, small_coordinate, small_coordinate,
+           small_coordinate, small_coordinate, small_coordinate)
+    def test_point_segment_bounded_by_endpoints(self, px, py, x1, y1, x2, y2):
+        d = point_segment_distance(px, py, x1, y1, x2, y2)
+        d_start = math.hypot(px - x1, py - y1)
+        d_end = math.hypot(px - x2, py - y2)
+        assert d <= min(d_start, d_end) + 1e-9
+        assert d >= 0.0
+
+
+class TestGeneratorlessShapes:
+    @given(st.lists(st.tuples(small_coordinate, small_coordinate),
+                    min_size=1, max_size=30))
+    def test_of_points_envelope_is_tight(self, pts):
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        env = Envelope.of_points(xs, ys)
+        assert env.min_x == min(xs) and env.max_y == max(ys)

@@ -1,0 +1,73 @@
+"""Low-level segment primitives."""
+
+import pytest
+
+from repro.geometry.algorithms.segments import (
+    on_segment,
+    orientation,
+    segment_intersection_point,
+    segments_intersect,
+)
+
+
+class TestOrientation:
+    def test_ccw(self):
+        assert orientation(0, 0, 1, 0, 1, 1) == 1
+
+    def test_cw(self):
+        assert orientation(0, 0, 1, 0, 1, -1) == -1
+
+    def test_collinear(self):
+        assert orientation(0, 0, 1, 1, 2, 2) == 0
+
+    def test_nearly_collinear_treated_as_collinear(self):
+        assert orientation(0, 0, 1e6, 1e6, 2e6, 2e6 + 1e-12) == 0
+
+
+class TestOnSegment:
+    def test_midpoint(self):
+        assert on_segment(0, 0, 10, 10, 5, 5)
+
+    def test_endpoint(self):
+        assert on_segment(0, 0, 10, 10, 10, 10)
+
+    def test_beyond(self):
+        assert not on_segment(0, 0, 10, 10, 11, 11)
+
+
+class TestSegmentsIntersect:
+    def test_proper_crossing(self):
+        assert segments_intersect(0, 0, 10, 10, 0, 10, 10, 0)
+
+    def test_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 1, 5, 5, 6, 6)
+
+    def test_t_junction(self):
+        assert segments_intersect(0, 0, 10, 0, 5, -5, 5, 0)
+
+    def test_shared_endpoint(self):
+        assert segments_intersect(0, 0, 5, 5, 5, 5, 10, 0)
+
+    def test_collinear_overlap(self):
+        assert segments_intersect(0, 0, 5, 0, 3, 0, 8, 0)
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(0, 0, 2, 0, 3, 0, 8, 0)
+
+    def test_parallel(self):
+        assert not segments_intersect(0, 0, 10, 0, 0, 1, 10, 1)
+
+
+class TestIntersectionPoint:
+    def test_proper_crossing(self):
+        p = segment_intersection_point(0, 0, 10, 10, 0, 10, 10, 0)
+        assert p == pytest.approx((5.0, 5.0))
+
+    def test_no_intersection(self):
+        assert segment_intersection_point(0, 0, 1, 1, 5, 0, 6, 1) is None
+
+    def test_parallel_returns_none(self):
+        assert segment_intersection_point(0, 0, 10, 0, 0, 1, 10, 1) is None
+
+    def test_would_cross_beyond_segment(self):
+        assert segment_intersection_point(0, 0, 1, 1, 0, 10, 10, 0) is None

@@ -1,0 +1,219 @@
+"""Geometry type construction, envelopes, equality, measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    GeometryCollection,
+    GeometryType,
+    LineString,
+    LinearRing,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.envelope import Envelope
+
+
+class TestPoint:
+    def test_coords(self):
+        p = Point(3, 4)
+        assert p.coords() == (3.0, 4.0)
+        assert p.num_points == 1
+
+    def test_nan_rejected(self):
+        with pytest.raises(GeometryError):
+            Point(math.nan, 0)
+
+    def test_empty_point(self):
+        p = Point.empty()
+        assert p.is_empty
+        assert p.num_points == 0
+        assert p.envelope.is_empty
+        with pytest.raises(GeometryError):
+            p.coords()
+
+    def test_envelope_is_degenerate(self):
+        assert Point(1, 2).envelope == Envelope(1, 2, 1, 2)
+
+    def test_equality(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert Point(1, 2) != Point(2, 1)
+        assert Point.empty() == Point.empty()
+        assert Point(1, 2) != Point.empty()
+
+    def test_geometry_type(self):
+        assert Point(0, 0).geometry_type is GeometryType.POINT
+
+
+class TestLineString:
+    def test_basic(self):
+        line = LineString([(0, 0), (3, 4)])
+        assert line.num_points == 2
+        assert line.length() == 5.0
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises(GeometryError):
+            LineString([(0, 0)])
+
+    def test_empty(self):
+        line = LineString.empty()
+        assert line.is_empty
+        assert line.length() == 0.0
+        assert line.envelope.is_empty
+
+    def test_nan_rejected(self):
+        with pytest.raises(GeometryError):
+            LineString([(0, 0), (math.nan, 1)])
+
+    def test_coords_are_immutable(self):
+        line = LineString([(0, 0), (1, 1)])
+        with pytest.raises(ValueError):
+            line.coords[0, 0] = 99.0
+
+    def test_is_closed(self):
+        assert LineString([(0, 0), (1, 0), (1, 1), (0, 0)]).is_closed
+        assert not LineString([(0, 0), (1, 0)]).is_closed
+
+    def test_segments_shape(self):
+        segs = LineString([(0, 0), (1, 0), (1, 1)]).segments()
+        assert segs.shape == (2, 4)
+        assert list(segs[0]) == [0, 0, 1, 0]
+
+    def test_envelope(self):
+        line = LineString([(1, 5), (-2, 3), (4, 0)])
+        assert line.envelope == Envelope(-2, 0, 4, 5)
+
+    def test_interpolate_endpoints(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert line.interpolate(0.0) == (0.0, 0.0)
+        assert line.interpolate(1.0) == (10.0, 0.0)
+        assert line.interpolate(0.25) == (2.5, 0.0)
+
+    def test_interpolate_multi_segment(self):
+        line = LineString([(0, 0), (10, 0), (10, 10)])
+        assert line.interpolate(0.5) == (10.0, 0.0)
+
+    def test_interpolate_out_of_range(self):
+        with pytest.raises(GeometryError):
+            LineString([(0, 0), (1, 0)]).interpolate(1.5)
+
+
+class TestLinearRing:
+    def test_auto_closure(self):
+        ring = LinearRing([(0, 0), (1, 0), (0, 1)])
+        assert ring.num_points == 4
+        assert np.array_equal(ring.coords[0], ring.coords[-1])
+
+    def test_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            LinearRing([(0, 0), (1, 1)])
+
+    def test_signed_area_ccw_positive(self):
+        ccw = LinearRing([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert ccw.signed_area() == 4.0
+        assert ccw.is_ccw()
+
+    def test_signed_area_cw_negative(self):
+        cw = LinearRing([(0, 0), (0, 2), (2, 2), (2, 0)])
+        assert cw.signed_area() == -4.0
+        assert not cw.is_ccw()
+
+
+class TestPolygon:
+    def test_area_square(self, unit_square):
+        assert unit_square.area() == 100.0
+
+    def test_area_with_hole(self, square_with_hole):
+        assert square_with_hole.area() == 96.0
+
+    def test_num_points_counts_all_rings(self, square_with_hole):
+        assert square_with_hole.num_points == 10  # 5 + 5 with closures
+
+    def test_empty(self):
+        p = Polygon.empty()
+        assert p.is_empty
+        assert p.area() == 0.0
+
+    def test_hole_on_empty_shell_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon(LinearRing([]), holes=[[(0, 0), (1, 0), (0, 1)]])
+
+    def test_from_envelope(self):
+        p = Polygon.from_envelope(Envelope(1, 2, 3, 5))
+        assert p.area() == 6.0
+        assert p.envelope == Envelope(1, 2, 3, 5)
+
+    def test_from_empty_envelope(self):
+        assert Polygon.from_envelope(Envelope.empty()).is_empty
+
+    def test_rings_order(self, square_with_hole):
+        rings = square_with_hole.rings
+        assert rings[0] is square_with_hole.shell
+        assert rings[1] is square_with_hole.holes[0]
+
+
+class TestMultiGeometries:
+    def test_multipoint_of(self):
+        mp = MultiPoint.of([(0, 0), (1, 1)])
+        assert len(mp) == 2
+        assert mp.num_points == 2
+
+    def test_multipoint_type_check(self):
+        with pytest.raises(GeometryError):
+            MultiPoint([LineString([(0, 0), (1, 1)])])
+
+    def test_multilinestring_length(self):
+        mls = MultiLineString(
+            [LineString([(0, 0), (3, 4)]), LineString([(0, 0), (0, 2)])]
+        )
+        assert mls.length() == 7.0
+
+    def test_multipolygon_area(self, unit_square):
+        other = Polygon([(20, 20), (22, 20), (22, 22), (20, 22)])
+        mp = MultiPolygon([unit_square, other])
+        assert mp.area() == 104.0
+
+    def test_envelope_union_of_parts(self, unit_square):
+        other = Polygon([(20, 20), (22, 20), (22, 22), (20, 22)])
+        mp = MultiPolygon([unit_square, other])
+        assert mp.envelope == Envelope(0, 0, 22, 22)
+
+    def test_empty_multi(self):
+        assert MultiPolygon([]).is_empty
+        assert MultiPolygon([]).envelope.is_empty
+
+    def test_collection_heterogeneous(self, unit_square):
+        gc = GeometryCollection([Point(1, 1), unit_square])
+        assert len(gc) == 2
+        assert gc.geometry_type is GeometryType.GEOMETRYCOLLECTION
+
+    def test_indexing_and_iteration(self):
+        mp = MultiPoint.of([(0, 0), (1, 1), (2, 2)])
+        assert mp[1] == Point(1, 1)
+        assert [p.x for p in mp] == [0.0, 1.0, 2.0]
+
+    def test_equality(self):
+        a = MultiPoint.of([(0, 0), (1, 1)])
+        b = MultiPoint.of([(0, 0), (1, 1)])
+        c = MultiPoint.of([(1, 1), (0, 0)])
+        assert a == b
+        assert a != c  # order matters for coordinate equality
+
+
+class TestReprAndHash:
+    def test_repr_contains_wkt(self):
+        assert "POINT" in repr(Point(1, 2))
+
+    def test_repr_truncates_long_wkt(self):
+        ring = [(float(i), float(i * i % 97)) for i in range(30)]
+        assert repr(Polygon(ring)).endswith("...>")
+
+    def test_hashable(self, unit_square):
+        assert {Point(1, 2), Point(1, 2)} == {Point(1, 2)}
+        assert hash(unit_square) == hash(Polygon([(0, 0), (10, 0), (10, 10), (0, 10)]))

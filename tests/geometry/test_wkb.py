@@ -1,0 +1,93 @@
+"""WKB codec tests (the a3 ablation's binary representation)."""
+
+import struct
+
+import pytest
+
+from repro.errors import WKBParseError
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    wkb_dumps,
+    wkb_loads,
+)
+
+
+SAMPLES = [
+    Point(1.5, -2.25),
+    Point.empty(),
+    LineString([(0, 0), (1, 1), (2, 0)]),
+    LineString.empty(),
+    Polygon([(0, 0), (4, 0), (4, 4), (0, 4)]),
+    Polygon(
+        [(0, 0), (10, 0), (10, 10), (0, 10)],
+        holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+    ),
+    Polygon.empty(),
+    MultiPoint.of([(1, 2), (3, 4)]),
+    MultiLineString([LineString([(0, 0), (1, 1)])]),
+    MultiPolygon([Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])]),
+    GeometryCollection([Point(5, 5), LineString([(0, 0), (2, 2)])]),
+]
+
+
+@pytest.mark.parametrize("geometry", SAMPLES, ids=lambda g: type(g).__name__ + str(g.num_points))
+def test_roundtrip(geometry):
+    assert wkb_loads(wkb_dumps(geometry)) == geometry
+
+
+def test_point_encoding_layout():
+    data = wkb_dumps(Point(1.0, 2.0))
+    assert data[0] == 1  # little-endian flag
+    assert struct.unpack_from("<I", data, 1)[0] == 1  # point type code
+    assert struct.unpack_from("<2d", data, 5) == (1.0, 2.0)
+    assert len(data) == 21
+
+
+def test_empty_point_encodes_nan():
+    data = wkb_dumps(Point.empty())
+    x, y = struct.unpack_from("<2d", data, 5)
+    assert x != x and y != y
+
+
+def test_big_endian_input_accepted():
+    data = struct.pack(">BI2d", 0, 1, 3.0, 4.0)
+    assert wkb_loads(data) == Point(3, 4)
+
+
+class TestErrors:
+    def test_truncated(self):
+        good = wkb_dumps(LineString([(0, 0), (1, 1)]))
+        with pytest.raises(WKBParseError):
+            wkb_loads(good[:-4])
+
+    def test_bad_byte_order(self):
+        with pytest.raises(WKBParseError):
+            wkb_loads(b"\x07" + b"\x00" * 20)
+
+    def test_unknown_type_code(self):
+        data = struct.pack("<BI", 1, 99)
+        with pytest.raises(WKBParseError):
+            wkb_loads(data)
+
+    def test_trailing_bytes(self):
+        data = wkb_dumps(Point(1, 2)) + b"\x00"
+        with pytest.raises(WKBParseError):
+            wkb_loads(data)
+
+    def test_empty_input(self):
+        with pytest.raises(WKBParseError):
+            wkb_loads(b"")
+
+
+def test_wkb_smaller_than_wkt_for_big_polygons():
+    # The representation ablation's premise: binary beats text for size.
+    ring = [(i * 1.2345678, (i % 7) * 3.7654321) for i in range(200)]
+    ring.append(ring[0])
+    poly = Polygon(ring)
+    assert len(wkb_dumps(poly)) < len(poly.wkt())

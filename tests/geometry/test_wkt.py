@@ -1,0 +1,186 @@
+"""WKT parser/writer tests, including the dirty-row tolerance of Fig 2."""
+
+import pytest
+
+from repro.errors import WKTParseError
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    wkt_dumps,
+    wkt_loads,
+)
+from repro.geometry.wkt import WKTReader, WKTWriter
+
+
+class TestParsePoint:
+    def test_simple(self):
+        assert wkt_loads("POINT (1 2)") == Point(1, 2)
+
+    def test_case_insensitive(self):
+        assert wkt_loads("point (1 2)") == Point(1, 2)
+
+    def test_negative_and_scientific(self):
+        p = wkt_loads("POINT (-1.5e2 3.25)")
+        assert p == Point(-150.0, 3.25)
+
+    def test_empty(self):
+        assert wkt_loads("POINT EMPTY").is_empty
+
+    def test_extra_whitespace(self):
+        assert wkt_loads("  POINT   (  1   2  )  ") == Point(1, 2)
+
+
+class TestParseLineString:
+    def test_simple(self):
+        line = wkt_loads("LINESTRING (0 0, 1 1, 2 0)")
+        assert isinstance(line, LineString)
+        assert line.num_points == 3
+
+    def test_empty(self):
+        assert wkt_loads("LINESTRING EMPTY").is_empty
+
+
+class TestParsePolygon:
+    def test_shell_only(self):
+        poly = wkt_loads("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+        assert isinstance(poly, Polygon)
+        assert poly.area() == 16.0
+        assert not poly.holes
+
+    def test_with_hole(self):
+        poly = wkt_loads(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))"
+        )
+        assert len(poly.holes) == 1
+        assert poly.area() == 96.0
+
+    def test_unclosed_ring_is_closed(self):
+        poly = wkt_loads("POLYGON ((0 0, 4 0, 4 4, 0 4))")
+        assert poly.area() == 16.0
+
+    def test_empty(self):
+        assert wkt_loads("POLYGON EMPTY").is_empty
+
+
+class TestParseMulti:
+    def test_multipoint_with_parens(self):
+        mp = wkt_loads("MULTIPOINT ((1 2), (3 4))")
+        assert isinstance(mp, MultiPoint)
+        assert len(mp) == 2
+
+    def test_multipoint_bare(self):
+        mp = wkt_loads("MULTIPOINT (1 2, 3 4)")
+        assert len(mp) == 2
+        assert mp[1] == Point(3, 4)
+
+    def test_multilinestring(self):
+        mls = wkt_loads("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 4))")
+        assert isinstance(mls, MultiLineString)
+        assert [part.num_points for part in mls] == [2, 3]
+
+    def test_multipolygon(self):
+        mp = wkt_loads(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 5)))"
+        )
+        assert isinstance(mp, MultiPolygon)
+        assert mp.area() == 2.0
+
+    def test_multipolygon_with_holes(self):
+        mp = wkt_loads(
+            "MULTIPOLYGON (((0 0, 10 0, 10 10, 0 10, 0 0), "
+            "(4 4, 6 4, 6 6, 4 6, 4 4)))"
+        )
+        assert mp.area() == 96.0
+
+    def test_collection(self):
+        gc = wkt_loads("GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))")
+        assert isinstance(gc, GeometryCollection)
+        assert len(gc) == 2
+
+    def test_empty_variants(self):
+        for tag in ("MULTIPOINT", "MULTILINESTRING", "MULTIPOLYGON",
+                    "GEOMETRYCOLLECTION"):
+            assert wkt_loads(f"{tag} EMPTY").is_empty
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "CIRCLE (0 0, 5)",
+            "POINT 1 2",
+            "POINT (1)",
+            "POINT (1 2",
+            "POINT (1 2) trailing",
+            "POLYGON (0 0, 1 1)",
+            "LINESTRING (0 0 1 1)",
+            "POINT (a b)",
+            "POINT (1 2)) ",
+        ],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(WKTParseError):
+            wkt_loads(bad)
+
+    def test_try_read_returns_none(self):
+        reader = WKTReader()
+        assert reader.try_read("GARBAGE") is None
+        assert reader.try_read("POINT (1 2)") == Point(1, 2)
+
+    def test_error_carries_position(self):
+        with pytest.raises(WKTParseError) as info:
+            wkt_loads("POINT (1 x)")
+        assert info.value.position is not None
+
+    def test_non_string_input(self):
+        with pytest.raises(WKTParseError):
+            WKTReader().read(42)
+
+
+class TestWriter:
+    def test_roundtrip_point(self):
+        assert wkt_loads(wkt_dumps(Point(1.5, -2.25))) == Point(1.5, -2.25)
+
+    def test_roundtrip_polygon_with_hole(self, square_with_hole):
+        assert wkt_loads(wkt_dumps(square_with_hole)) == square_with_hole
+
+    def test_roundtrip_all_empties(self):
+        for text in ("POINT EMPTY", "LINESTRING EMPTY", "POLYGON EMPTY",
+                     "MULTIPOLYGON EMPTY"):
+            assert wkt_dumps(wkt_loads(text)) == text
+
+    def test_integer_coordinates_have_no_decimal(self):
+        assert wkt_dumps(Point(1, 2)) == "POINT (1 2)"
+
+    def test_precision_rounds(self):
+        text = wkt_dumps(Point(1.23456789, 2.0), precision=3)
+        assert text == "POINT (1.235 2)"
+
+    def test_writer_precision_strips_trailing_zeros(self):
+        writer = WKTWriter(precision=4)
+        assert writer.write(Point(1.5, 2.25)) == "POINT (1.5 2.25)"
+
+    def test_collection_roundtrip(self):
+        gc = GeometryCollection([Point(1, 2), LineString([(0, 0), (1, 1)])])
+        assert wkt_loads(wkt_dumps(gc)) == gc
+
+
+class TestParseCallback:
+    def test_on_parse_counts_characters(self):
+        counted = []
+        reader = WKTReader(on_parse=counted.append)
+        text = "POINT (1 2)"
+        reader.read(text)
+        assert counted == [len(text)]
+
+    def test_on_parse_not_called_on_failure(self):
+        counted = []
+        reader = WKTReader(on_parse=counted.append)
+        assert reader.try_read("NOPE") is None
+        assert counted == []

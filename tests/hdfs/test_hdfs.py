@@ -1,0 +1,178 @@
+"""Simulated HDFS: blocks, replicas, line-split semantics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HDFSError
+from repro.hdfs import (
+    SimulatedHDFS,
+    read_lines,
+    read_split_lines,
+    split_boundaries,
+    write_text,
+)
+
+
+@pytest.fixture
+def fs():
+    return SimulatedHDFS(
+        datanodes=("n0", "n1", "n2", "n3"), block_size=128, replication=2
+    )
+
+
+class TestFilesystem:
+    def test_write_read_roundtrip(self, fs):
+        fs.write("/a/b.txt", b"hello world")
+        assert fs.read("/a/b.txt") == b"hello world"
+        assert fs.exists("/a/b.txt")
+
+    def test_missing_file(self, fs):
+        with pytest.raises(HDFSError):
+            fs.read("/nope")
+        with pytest.raises(HDFSError):
+            fs.status("/nope")
+        assert not fs.exists("/nope")
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(HDFSError):
+            fs.write("relative.txt", b"x")
+
+    def test_str_payload_rejected(self, fs):
+        with pytest.raises(HDFSError):
+            fs.write("/x.txt", "text not bytes")
+
+    def test_path_normalisation(self, fs):
+        fs.write("/a//b//c.txt", b"x")
+        assert fs.exists("/a/b/c.txt")
+
+    def test_blocks_cover_file(self, fs):
+        data = bytes(range(256)) * 3  # 768 bytes over 128-byte blocks
+        status = fs.write("/big.bin", data)
+        assert status.size == 768
+        assert len(status.blocks) == 6
+        reassembled = b"".join(
+            fs.read_block("/big.bin", i) for i in range(len(status.blocks))
+        )
+        assert reassembled == data
+
+    def test_block_replication(self, fs):
+        status = fs.write("/r.bin", b"z" * 300)
+        for block in status.blocks:
+            assert len(block.hosts) == 2
+            assert len(set(block.hosts)) == 2
+
+    def test_replication_capped_by_datanodes(self):
+        fs = SimulatedHDFS(datanodes=("only",), replication=3)
+        status = fs.write("/x.bin", b"abc")
+        assert status.blocks[0].hosts == ("only",)
+
+    def test_read_block_out_of_range(self, fs):
+        fs.write("/x.bin", b"abc")
+        with pytest.raises(HDFSError):
+            fs.read_block("/x.bin", 5)
+
+    def test_delete(self, fs):
+        fs.write("/x.bin", b"abc")
+        fs.delete("/x.bin")
+        assert not fs.exists("/x.bin")
+        with pytest.raises(HDFSError):
+            fs.delete("/x.bin")
+
+    def test_list_dir(self, fs):
+        fs.write("/data/a.txt", b"1")
+        fs.write("/data/b.txt", b"2")
+        fs.write("/other/c.txt", b"3")
+        assert fs.list_dir("/data") == ["/data/a.txt", "/data/b.txt"]
+
+    def test_overwrite_replaces(self, fs):
+        fs.write("/x.txt", b"old")
+        fs.write("/x.txt", b"new longer content")
+        assert fs.read("/x.txt") == b"new longer content"
+
+    def test_total_bytes(self, fs):
+        fs.write("/a", b"12345")
+        fs.write("/b", b"123")
+        assert fs.total_bytes() == 8
+
+    def test_empty_file(self, fs):
+        status = fs.write("/empty", b"")
+        assert status.size == 0
+        assert fs.read("/empty") == b""
+
+
+class TestTextSplits:
+    def test_write_read_lines(self, fs):
+        lines = [f"row {i}" for i in range(100)]
+        write_text(fs, "/t.txt", lines)
+        assert read_lines(fs, "/t.txt") == lines
+
+    def test_empty_lines_preserved(self, fs):
+        lines = ["a", "", "b", ""]
+        write_text(fs, "/t.txt", lines)
+        assert read_lines(fs, "/t.txt") == lines
+
+    def test_empty_file_lines(self, fs):
+        write_text(fs, "/t.txt", [])
+        assert read_lines(fs, "/t.txt") == []
+        assert split_boundaries(fs, "/t.txt") == [(0, 0)]
+        assert read_split_lines(fs, "/t.txt", 0, 0) == []
+
+    def test_splits_default_to_blocks(self, fs):
+        write_text(fs, "/t.txt", ["x" * 50 for _ in range(20)])
+        status = fs.status("/t.txt")
+        assert len(split_boundaries(fs, "/t.txt")) == len(status.blocks)
+
+    def test_min_splits_subdivides(self, fs):
+        write_text(fs, "/t.txt", ["x" * 50 for _ in range(20)])
+        blocks = len(fs.status("/t.txt").blocks)
+        splits = split_boundaries(fs, "/t.txt", min_splits=blocks * 3)
+        assert len(splits) > blocks
+        # Splits must tile the byte range exactly.
+        cursor = 0
+        for offset, length in splits:
+            assert offset == cursor
+            cursor += length
+        assert cursor == fs.status("/t.txt").size
+
+    def test_split_union_equals_whole_file(self, fs):
+        lines = [f"{i}:" + "v" * (i % 37) for i in range(200)]
+        write_text(fs, "/t.txt", lines)
+        for min_splits in (1, 2, 5, 13, 40):
+            recovered = []
+            for offset, length in split_boundaries(fs, "/t.txt", min_splits):
+                recovered.extend(read_split_lines(fs, "/t.txt", offset, length))
+            assert recovered == lines
+
+    def test_line_exactly_at_block_boundary(self):
+        fs = SimulatedHDFS(block_size=10)
+        lines = ["aaaaaaaaa", "bbbb", "c"]  # first line+newline = 10 bytes
+        write_text(fs, "/t.txt", lines)
+        recovered = []
+        for offset, length in split_boundaries(fs, "/t.txt"):
+            recovered.extend(read_split_lines(fs, "/t.txt", offset, length))
+        assert recovered == lines
+
+    def test_giant_line_spanning_blocks(self):
+        fs = SimulatedHDFS(block_size=16)
+        lines = ["A" * 100, "short"]
+        write_text(fs, "/t.txt", lines)
+        recovered = []
+        for offset, length in split_boundaries(fs, "/t.txt"):
+            recovered.extend(read_split_lines(fs, "/t.txt", offset, length))
+        assert recovered == lines
+
+    @given(
+        st.lists(st.text(alphabet="xyz", max_size=30), min_size=1, max_size=50),
+        st.integers(min_value=5, max_value=64),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_invariance_property(self, lines, block_size, min_splits):
+        fs = SimulatedHDFS(block_size=block_size)
+        write_text(fs, "/f.txt", lines)
+        recovered = []
+        for offset, length in split_boundaries(fs, "/f.txt", min_splits):
+            recovered.extend(read_split_lines(fs, "/f.txt", offset, length))
+        assert recovered == lines

@@ -1,0 +1,177 @@
+"""SQL frontend: lexer and parser, including the SPATIAL JOIN extension."""
+
+import pytest
+
+from repro.errors import SQLParseError
+from repro.impala.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.impala.lexer import Token, TokenType, tokenize
+from repro.impala.parser import parse
+
+
+class TestLexer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("myTable")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "myTable"
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 1e3 1.5e-2 .5")[:-1]]
+        assert values == ["1", "2.5", "1e3", "1.5e-2", ".5"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLParseError):
+            tokenize("'oops")
+
+    def test_multichar_symbols(self):
+        values = [t.value for t in tokenize("<= >= <> != =")[:-1]]
+        assert values == ["<=", ">=", "<>", "!=", "="]
+
+    def test_bad_character(self):
+        with pytest.raises(SQLParseError):
+            tokenize("SELECT @")
+
+    def test_end_token(self):
+        assert tokenize("x")[-1].type is TokenType.END
+
+
+class TestParserFig1:
+    """The paper's Fig 1 queries must parse exactly."""
+
+    def test_within_query(self):
+        stmt = parse(
+            "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly "
+            "WHERE ST_WITHIN (pnt.geom, poly.geom)"
+        )
+        assert len(stmt.select_items) == 2
+        assert stmt.from_table.name == "pnt"
+        assert stmt.joins[0].spatial
+        assert stmt.joins[0].table.name == "poly"
+        assert isinstance(stmt.where, FunctionCall)
+        assert stmt.where.name == "ST_WITHIN"
+
+    def test_nearestd_query(self):
+        stmt = parse(
+            "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly "
+            "WHERE ST_NearestD (pnt.geom, poly.geom, 5000)"
+        )
+        call = stmt.where
+        assert call.name == "ST_NEARESTD"
+        assert call.args[2] == Literal(5000)
+
+
+class TestParserClauses:
+    def test_aliases(self):
+        stmt = parse("SELECT a.x AS foo, b.y bar FROM t1 a INNER JOIN t2 b ON a.x = b.y")
+        assert stmt.select_items[0].alias == "foo"
+        assert stmt.select_items[1].alias == "bar"
+        assert stmt.from_table.alias == "a"
+        assert not stmt.joins[0].spatial
+        assert stmt.joins[0].on is not None
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.select_items[0].expr, Star)
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.select_items[0].expr == Star("t")
+
+    def test_group_order_limit(self):
+        stmt = parse(
+            "SELECT k, COUNT(*) c FROM t GROUP BY k ORDER BY c DESC, k ASC LIMIT 7"
+        )
+        assert stmt.group_by == [ColumnRef(None, "k")]
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == 7
+
+    def test_where_precedence(self):
+        stmt = parse("SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_not(self):
+        stmt = parse("SELECT x FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, UnaryOp)
+        assert stmt.where.op == "NOT"
+
+    def test_between_desugars(self):
+        stmt = parse("SELECT x FROM t WHERE x BETWEEN 1 AND 5")
+        assert stmt.where.op == "AND"
+        assert stmt.where.left.op == ">="
+        assert stmt.where.right.op == "<="
+
+    def test_is_null(self):
+        stmt = parse("SELECT x FROM t WHERE x IS NULL")
+        assert stmt.where.op == "IS NULL"
+        negated = parse("SELECT x FROM t WHERE x IS NOT NULL")
+        assert isinstance(negated.where, UnaryOp)
+
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT x FROM t WHERE x = 1 + 2 * 3")
+        rhs = stmt.where.right
+        assert rhs.op == "+"
+        assert rhs.right.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse("SELECT x FROM t WHERE x < -5")
+        assert isinstance(stmt.where.right, UnaryOp)
+
+    def test_parenthesised(self):
+        stmt = parse("SELECT x FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert stmt.where.op == "AND"
+        assert stmt.where.left.op == "OR"
+
+    def test_count_distinct(self):
+        stmt = parse("SELECT COUNT(DISTINCT x) FROM t")
+        call = stmt.select_items[0].expr
+        assert call.distinct
+
+    def test_boolean_and_null_literals(self):
+        stmt = parse("SELECT x FROM t WHERE a = TRUE AND b = NULL")
+        assert stmt.where.left.right == Literal(True)
+        assert stmt.where.right.right == Literal(None)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT x",
+            "SELECT x FROM",
+            "SELECT x FROM t WHERE",
+            "SELECT x FROM t LIMIT x",
+            "SELECT x FROM t trailing garbage (",
+            "SELECT x FROM t GROUP x",
+            "SELECT x FROM t SPATIAL poly",
+            "SELECT x FROM t INNER t2",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(SQLParseError):
+            parse(bad)
+
+    def test_error_has_position(self):
+        with pytest.raises(SQLParseError) as info:
+            parse("SELECT x FROM t LIMIT abc")
+        assert info.value.position is not None

@@ -1,0 +1,123 @@
+"""HAVING and EXPLAIN — SQL surface beyond the paper's minimal dialect."""
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.errors import PlanError
+from repro.hdfs import SimulatedHDFS, write_text
+from repro.impala import ColumnType, ImpalaBackend
+
+
+@pytest.fixture(scope="module")
+def backend():
+    rng = random.Random(42)
+    fs = SimulatedHDFS()
+    write_text(
+        fs, "/p.txt",
+        [f"{i}\tPOINT ({rng.uniform(0, 90)} {rng.uniform(0, 90)})" for i in range(300)],
+    )
+    polys = []
+    for row in range(3):
+        for col in range(3):
+            x0, y0 = col * 30, row * 30
+            polys.append(
+                f"{row * 3 + col}\tPOLYGON (({x0} {y0}, {x0+30} {y0}, "
+                f"{x0+30} {y0+30}, {x0} {y0+30}, {x0} {y0}))"
+            )
+    write_text(fs, "/z.txt", polys)
+    backend = ImpalaBackend(ClusterSpec(2, 4), hdfs=fs)
+    schema = [("id", ColumnType.BIGINT), ("geom", ColumnType.STRING)]
+    backend.metastore.create_table("p", schema, "/p.txt")
+    backend.metastore.create_table("z", schema, "/z.txt")
+    return backend
+
+
+JOIN_AGG = (
+    "SELECT z.id, COUNT(*) AS n FROM p SPATIAL JOIN z "
+    "WHERE ST_WITHIN(p.geom, z.geom) GROUP BY z.id"
+)
+
+
+class TestHaving:
+    def test_filters_groups(self, backend):
+        unfiltered = backend.execute(JOIN_AGG)
+        threshold = sorted(n for _, n in unfiltered.rows)[len(unfiltered.rows) // 2]
+        filtered = backend.execute(f"{JOIN_AGG} HAVING COUNT(*) > {threshold}")
+        expected = [(z, n) for z, n in unfiltered.rows if n > threshold]
+        assert sorted(filtered.rows) == sorted(expected)
+
+    def test_alias_reference(self, backend):
+        by_call = backend.execute(f"{JOIN_AGG} HAVING COUNT(*) >= 30")
+        by_alias = backend.execute(f"{JOIN_AGG} HAVING n >= 30")
+        assert sorted(by_call.rows) == sorted(by_alias.rows)
+
+    def test_group_key_reference(self, backend):
+        result = backend.execute(f"{JOIN_AGG} HAVING z.id < 3")
+        assert all(z < 3 for z, _ in result.rows)
+
+    def test_compound_condition(self, backend):
+        result = backend.execute(f"{JOIN_AGG} HAVING n > 20 AND z.id < 6")
+        assert all(n > 20 and z < 6 for z, n in result.rows)
+
+    def test_arithmetic_in_having(self, backend):
+        doubled = backend.execute(f"{JOIN_AGG} HAVING n * 2 > 60")
+        plain = backend.execute(f"{JOIN_AGG} HAVING n > 30")
+        assert sorted(doubled.rows) == sorted(plain.rows)
+
+    def test_having_with_order_and_limit(self, backend):
+        result = backend.execute(
+            f"{JOIN_AGG} HAVING n > 10 ORDER BY n DESC LIMIT 3"
+        )
+        values = [n for _, n in result.rows]
+        assert len(values) <= 3
+        assert values == sorted(values, reverse=True)
+
+    def test_having_without_aggregate_rejected(self, backend):
+        with pytest.raises(PlanError):
+            backend.execute("SELECT id FROM p HAVING id > 3")
+
+    def test_having_on_ungrouped_column_rejected(self, backend):
+        with pytest.raises(PlanError):
+            backend.execute(f"{JOIN_AGG} HAVING p.id > 3")
+
+
+class TestExplain:
+    def test_join_plan_structure(self, backend):
+        result = backend.execute(
+            "EXPLAIN SELECT p.id, z.id FROM p SPATIAL JOIN z "
+            "WHERE ST_WITHIN(p.geom, z.geom) AND p.id < 10"
+        )
+        text = "\n".join(row[0] for row in result.rows)
+        assert result.columns == ["Explain"]
+        assert "SPATIAL JOIN [R-tree, BROADCAST]" in text
+        assert "SCAN z [BROADCAST]" in text
+        assert "SCAN p" in text
+        assert "(p.id < 10)" in text
+
+    def test_cross_join_plan(self, backend):
+        result = backend.execute(
+            "EXPLAIN SELECT p.id FROM p INNER JOIN z ON ST_WITHIN(p.geom, z.geom)"
+        )
+        text = "\n".join(row[0] for row in result.rows)
+        assert "CROSS JOIN [single-core, BROADCAST]" in text
+
+    def test_aggregate_plan(self, backend):
+        result = backend.execute(f"EXPLAIN {JOIN_AGG} HAVING n > 5")
+        text = "\n".join(row[0] for row in result.rows)
+        assert "AGGREGATE [FINALIZE]" in text
+        assert "AGGREGATE [PARTIAL]" in text
+        assert "HAVING" in text
+
+    def test_explain_does_not_execute(self, backend):
+        result = backend.execute("EXPLAIN SELECT id FROM p")
+        # No fragment instances ran: planning cost only.
+        assert result.instances == []
+        assert result.simulated_seconds <= backend.cost_model.impala_plan_base
+
+    def test_scan_only_plan(self, backend):
+        result = backend.execute("EXPLAIN SELECT id FROM p WHERE id BETWEEN 1 AND 5")
+        text = "\n".join(row[0] for row in result.rows)
+        assert "SCAN p" in text
+        assert "JOIN" not in text

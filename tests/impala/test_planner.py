@@ -1,0 +1,187 @@
+"""Planner: conjunct classification, predicate extraction, SELECT analysis."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.hdfs import SimulatedHDFS, write_text
+from repro.impala.catalog import ColumnType, Metastore
+from repro.impala.parser import parse
+from repro.impala.planner import Planner
+
+
+@pytest.fixture
+def planner():
+    fs = SimulatedHDFS()
+    write_text(fs, "/pnt.txt", ["0\tPOINT (1 1)"])
+    write_text(fs, "/poly.txt", ["0\tPOLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))\t9"])
+    metastore = Metastore(fs)
+    metastore.create_table(
+        "pnt", [("id", ColumnType.BIGINT), ("geom", ColumnType.STRING)], "/pnt.txt"
+    )
+    metastore.create_table(
+        "poly",
+        [
+            ("id", ColumnType.BIGINT),
+            ("geom", ColumnType.STRING),
+            ("zone", ColumnType.BIGINT),
+        ],
+        "/poly.txt",
+    )
+    return Planner(metastore)
+
+
+def plan(planner, sql):
+    return planner.plan(parse(sql))
+
+
+class TestJoinPlanning:
+    def test_fig1_within(self, planner):
+        p = plan(planner, "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly "
+                          "WHERE ST_WITHIN(pnt.geom, poly.geom)")
+        assert p.join is not None
+        assert p.join.indexed
+        assert p.join.predicate.function == "ST_WITHIN"
+        assert p.join.predicate.probe_column.table == "pnt"
+        assert p.join.predicate.build_column.table == "poly"
+        assert p.residual == []
+
+    def test_nearestd_radius_extracted(self, planner):
+        p = plan(planner, "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly "
+                          "WHERE ST_NEARESTD(pnt.geom, poly.geom, 5000)")
+        assert p.join.predicate.radius == 5000.0
+
+    def test_on_clause_predicate(self, planner):
+        p = plan(planner, "SELECT pnt.id FROM pnt SPATIAL JOIN poly "
+                          "ON ST_WITHIN(pnt.geom, poly.geom)")
+        assert p.join is not None
+
+    def test_inner_join_is_not_indexed(self, planner):
+        p = plan(planner, "SELECT pnt.id FROM pnt INNER JOIN poly "
+                          "ON ST_WITHIN(pnt.geom, poly.geom)")
+        assert not p.join.indexed
+
+    def test_st_contains_normalises_to_within(self, planner):
+        p = plan(planner, "SELECT pnt.id FROM pnt SPATIAL JOIN poly "
+                          "WHERE ST_CONTAINS(poly.geom, pnt.geom)")
+        assert p.join.predicate.function == "ST_WITHIN"
+        assert p.join.predicate.probe_column.table == "pnt"
+
+    def test_join_without_spatial_predicate_rejected(self, planner):
+        with pytest.raises(PlanError):
+            plan(planner, "SELECT pnt.id FROM pnt SPATIAL JOIN poly "
+                          "WHERE pnt.id = poly.id")
+
+    def test_predicate_wrong_argument_order_rejected(self, planner):
+        with pytest.raises(PlanError):
+            plan(planner, "SELECT pnt.id FROM pnt SPATIAL JOIN poly "
+                          "WHERE ST_WITHIN(poly.geom, pnt.geom)")
+
+    def test_nearestd_non_literal_radius_rejected(self, planner):
+        with pytest.raises(PlanError):
+            plan(planner, "SELECT pnt.id FROM pnt SPATIAL JOIN poly "
+                          "WHERE ST_NEARESTD(pnt.geom, poly.geom, poly.id)")
+
+    def test_two_joins_rejected(self, planner):
+        with pytest.raises(PlanError):
+            plan(planner, "SELECT pnt.id FROM pnt SPATIAL JOIN poly "
+                          "SPATIAL JOIN poly p2 WHERE ST_WITHIN(pnt.geom, poly.geom)")
+
+    def test_duplicate_exposed_name_rejected(self, planner):
+        with pytest.raises(PlanError):
+            plan(planner, "SELECT 1 FROM pnt SPATIAL JOIN pnt "
+                          "WHERE ST_WITHIN(pnt.geom, pnt.geom)")
+
+
+class TestConjunctClassification:
+    def test_single_table_filters_pushed_down(self, planner):
+        p = plan(planner, "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly "
+                          "WHERE ST_WITHIN(pnt.geom, poly.geom) "
+                          "AND pnt.id < 100 AND poly.zone = 3")
+        assert len(p.probe.conjuncts) == 1
+        assert len(p.join.build.conjuncts) == 1
+        assert p.residual == []
+
+    def test_cross_table_residual(self, planner):
+        p = plan(planner, "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly "
+                          "WHERE ST_WITHIN(pnt.geom, poly.geom) AND pnt.id < poly.id")
+        assert len(p.residual) == 1
+
+    def test_second_spatial_predicate_is_residual(self, planner):
+        p = plan(planner, "SELECT pnt.id FROM pnt SPATIAL JOIN poly "
+                          "WHERE ST_WITHIN(pnt.geom, poly.geom) "
+                          "AND ST_INTERSECTS(pnt.geom, poly.geom)")
+        assert p.join.predicate.function == "ST_WITHIN"
+        assert len(p.residual) == 1
+
+    def test_no_join_scan_filter(self, planner):
+        p = plan(planner, "SELECT id FROM pnt WHERE id > 5")
+        assert p.join is None
+        assert len(p.probe.conjuncts) == 1
+
+    def test_unknown_column_rejected(self, planner):
+        with pytest.raises(PlanError):
+            plan(planner, "SELECT ghost FROM pnt")
+
+    def test_unknown_table_rejected(self, planner):
+        with pytest.raises(PlanError):
+            plan(planner, "SELECT x.id FROM pnt WHERE x.id = 1")
+
+    def test_ambiguous_bare_column_rejected(self, planner):
+        with pytest.raises(PlanError):
+            plan(planner, "SELECT id FROM pnt SPATIAL JOIN poly "
+                          "WHERE ST_WITHIN(pnt.geom, poly.geom)")
+
+
+class TestSelectAnalysis:
+    def test_star_expansion(self, planner):
+        p = plan(planner, "SELECT * FROM pnt")
+        assert p.output_names == ["id", "geom"]
+
+    def test_star_expansion_join(self, planner):
+        p = plan(planner, "SELECT * FROM pnt SPATIAL JOIN poly "
+                          "WHERE ST_WITHIN(pnt.geom, poly.geom)")
+        assert p.output_names == ["id", "geom", "id", "geom", "zone"]
+
+    def test_qualified_star(self, planner):
+        p = plan(planner, "SELECT poly.* FROM pnt SPATIAL JOIN poly "
+                          "WHERE ST_WITHIN(pnt.geom, poly.geom)")
+        assert p.output_names == ["id", "geom", "zone"]
+
+    def test_aggregate_spec(self, planner):
+        p = plan(planner, "SELECT poly.id, COUNT(*) AS trips FROM pnt "
+                          "SPATIAL JOIN poly WHERE ST_WITHIN(pnt.geom, poly.geom) "
+                          "GROUP BY poly.id")
+        assert p.aggregate is not None
+        assert len(p.aggregate.key_exprs) == 1
+        assert p.aggregate.functions == [("COUNT", None, False)]
+        assert p.output_names == ["id", "trips"]
+
+    def test_global_aggregate_no_group_by(self, planner):
+        p = plan(planner, "SELECT COUNT(*) FROM pnt")
+        assert p.aggregate is not None
+        assert p.aggregate.key_exprs == []
+
+    def test_non_grouped_column_rejected(self, planner):
+        with pytest.raises(PlanError):
+            plan(planner, "SELECT id, COUNT(*) FROM pnt")
+
+    def test_group_by_without_aggregate_rejected(self, planner):
+        with pytest.raises(PlanError):
+            plan(planner, "SELECT id FROM pnt GROUP BY id")
+
+    def test_group_key_missing_from_select_rejected(self, planner):
+        with pytest.raises(PlanError):
+            plan(planner, "SELECT COUNT(*) FROM pnt GROUP BY id")
+
+    def test_sum_star_rejected(self, planner):
+        with pytest.raises(PlanError):
+            plan(planner, "SELECT SUM(*) FROM pnt")
+
+    def test_default_output_names(self, planner):
+        p = plan(planner, "SELECT id, COUNT(*) FROM pnt GROUP BY id")
+        assert p.output_names == ["id", "count"]
+
+    def test_row_descriptor_concat(self, planner):
+        p = plan(planner, "SELECT pnt.id FROM pnt SPATIAL JOIN poly "
+                          "WHERE ST_WITHIN(pnt.geom, poly.geom)")
+        assert len(p.row_descriptor) == 5  # 2 pnt + 3 poly columns

@@ -1,0 +1,70 @@
+"""ST_ UDFs: the GEOS-wrapper functions of Section IV."""
+
+import pytest
+
+from repro.errors import ImpalaError
+from repro.impala.udf import (
+    SPATIAL_FUNCTIONS,
+    evaluate_spatial,
+    is_spatial_function,
+    st_contains,
+    st_distance,
+    st_intersects,
+    st_nearestd,
+    st_within,
+)
+
+SQUARE = "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))"
+LINE = "LINESTRING (0 0, 10 0)"
+
+
+class TestFunctions:
+    def test_st_within(self):
+        assert st_within("POINT (5 5)", SQUARE)
+        assert not st_within("POINT (15 5)", SQUARE)
+
+    def test_st_contains(self):
+        assert st_contains(SQUARE, "POINT (5 5)")
+        assert not st_contains(SQUARE, "POINT (15 5)")
+
+    def test_st_intersects(self):
+        assert st_intersects(SQUARE, "LINESTRING (-5 5, 15 5)")
+        assert not st_intersects(SQUARE, "LINESTRING (20 20, 30 30)")
+
+    def test_st_distance(self):
+        assert st_distance("POINT (13 4)", SQUARE) == 3.0
+        assert st_distance("POINT (5 3)", LINE) == 3.0
+
+    def test_st_nearestd(self):
+        assert st_nearestd("POINT (5 3)", LINE, 3.0)
+        assert not st_nearestd("POINT (5 3)", LINE, 2.9)
+
+    def test_non_string_argument(self):
+        with pytest.raises(ImpalaError):
+            st_within(42, SQUARE)
+
+
+class TestRegistry:
+    def test_is_spatial_function(self):
+        assert is_spatial_function("st_within")
+        assert is_spatial_function("ST_NEARESTD")
+        assert not is_spatial_function("COUNT")
+
+    def test_evaluate_by_name(self):
+        assert evaluate_spatial("st_within", ["POINT (1 1)", SQUARE]) is True
+
+    def test_evaluate_unknown(self):
+        with pytest.raises(ImpalaError):
+            evaluate_spatial("ST_TELEPORT", [])
+
+    def test_all_registered_functions_callable(self):
+        args = {
+            "ST_WITHIN": ("POINT (1 1)", SQUARE),
+            "ST_CONTAINS": (SQUARE, "POINT (1 1)"),
+            "ST_INTERSECTS": (SQUARE, SQUARE),
+            "ST_DISTANCE": ("POINT (0 0)", "POINT (3 4)"),
+            "ST_NEARESTD": ("POINT (0 0)", LINE, 1.0),
+        }
+        for name, func_args in args.items():
+            assert name in SPATIAL_FUNCTIONS
+            evaluate_spatial(name, list(func_args))

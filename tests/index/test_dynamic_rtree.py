@@ -1,0 +1,102 @@
+"""Dynamic (Guttman) R-tree: insert, query, delete."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.geometry.envelope import Envelope
+from repro.index import RTree
+
+
+def random_entries(rng, n):
+    entries = []
+    for i in range(n):
+        x = rng.uniform(0, 100)
+        y = rng.uniform(0, 100)
+        entries.append((i, Envelope(x, y, x + rng.uniform(0, 4), y + rng.uniform(0, 4))))
+    return entries
+
+
+class TestInsertQuery:
+    def test_empty(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.query(Envelope(0, 0, 100, 100)) == []
+
+    def test_single(self):
+        tree = RTree()
+        tree.insert("a", Envelope(1, 1, 2, 2))
+        assert tree.query(Envelope(0, 0, 3, 3)) == ["a"]
+        assert len(tree) == 1
+
+    def test_matches_brute_force(self, rng):
+        entries = random_entries(rng, 400)
+        tree = RTree(max_entries=6)
+        for i, env in entries:
+            tree.insert(i, env)
+        for _ in range(40):
+            x = rng.uniform(0, 100)
+            y = rng.uniform(0, 100)
+            query = Envelope(x, y, x + 15, y + 15)
+            expected = sorted(i for i, e in entries if e.intersects(query))
+            assert sorted(tree.query(query)) == expected
+
+    def test_empty_envelope_rejected(self):
+        with pytest.raises(IndexError_):
+            RTree().insert("x", Envelope.empty())
+
+    def test_small_max_entries_rejected(self):
+        with pytest.raises(IndexError_):
+            RTree(max_entries=3)
+
+    def test_iter_all(self, rng):
+        entries = random_entries(rng, 50)
+        tree = RTree()
+        for i, env in entries:
+            tree.insert(i, env)
+        assert sorted(i for i, _ in tree.iter_all()) == list(range(50))
+
+
+class TestDelete:
+    def test_delete_existing(self, rng):
+        entries = random_entries(rng, 100)
+        tree = RTree(max_entries=5)
+        for i, env in entries:
+            tree.insert(i, env)
+        removed = entries[::3]
+        for i, env in removed:
+            assert tree.delete(i, env)
+        assert len(tree) == 100 - len(removed)
+        remaining = {i for i, _ in entries} - {i for i, _ in removed}
+        query = Envelope(0, 0, 100, 104)
+        assert set(tree.query(query)) == remaining
+
+    def test_delete_missing_returns_false(self):
+        tree = RTree()
+        tree.insert("a", Envelope(0, 0, 1, 1))
+        assert not tree.delete("b", Envelope(0, 0, 1, 1))
+        assert not tree.delete("a", Envelope(5, 5, 6, 6))
+
+    def test_delete_all_then_reuse(self, rng):
+        entries = random_entries(rng, 60)
+        tree = RTree(max_entries=4)
+        for i, env in entries:
+            tree.insert(i, env)
+        for i, env in entries:
+            assert tree.delete(i, env)
+        assert len(tree) == 0
+        tree.insert("fresh", Envelope(0, 0, 1, 1))
+        assert tree.query(Envelope(0, 0, 2, 2)) == ["fresh"]
+
+    def test_interleaved_insert_delete(self, rng):
+        tree = RTree(max_entries=4)
+        live = {}
+        entries = random_entries(rng, 300)
+        for step, (i, env) in enumerate(entries):
+            tree.insert(i, env)
+            live[i] = env
+            if step % 3 == 2:
+                victim = rng.choice(list(live))
+                assert tree.delete(victim, live.pop(victim))
+        query = Envelope(0, 0, 100, 104)
+        assert set(tree.query(query)) == set(live)
+        assert len(tree) == len(live)

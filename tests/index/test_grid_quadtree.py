@@ -1,0 +1,118 @@
+"""Uniform grid and PR quadtree indexes."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.geometry.envelope import Envelope
+from repro.index import GridIndex, QuadTree
+
+
+class TestGridIndex:
+    def test_construction_validation(self, world):
+        with pytest.raises(IndexError_):
+            GridIndex(Envelope.empty(), 4, 4)
+        with pytest.raises(IndexError_):
+            GridIndex(world, 0, 4)
+
+    def test_cell_of_clamps(self, world):
+        grid = GridIndex(world, 10, 10)
+        assert grid.cell_of(-5, -5) == (0, 0)
+        assert grid.cell_of(500, 500) == (9, 9)
+        assert grid.cell_of(55, 25) == (5, 2)
+
+    def test_cells_overlapping(self, world):
+        grid = GridIndex(world, 10, 10)
+        cells = list(grid.cells_overlapping(Envelope(5, 5, 25, 15)))
+        assert set(cells) == {(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)}
+
+    def test_query_matches_brute_force(self, rng, world):
+        entries = []
+        for i in range(300):
+            x = rng.uniform(0, 95)
+            y = rng.uniform(0, 95)
+            entries.append((i, Envelope(x, y, x + rng.uniform(0, 8), y + rng.uniform(0, 8))))
+        grid = GridIndex(world, 12, 12)
+        grid.extend(entries)
+        assert len(grid) == 300
+        for _ in range(40):
+            x = rng.uniform(0, 90)
+            y = rng.uniform(0, 90)
+            query = Envelope(x, y, x + 10, y + 10)
+            expected = sorted(i for i, e in entries if e.intersects(query))
+            assert sorted(grid.query(query)) == expected
+
+    def test_query_deduplicates_spanning_items(self, world):
+        grid = GridIndex(world, 10, 10)
+        grid.insert("wide", Envelope(0, 0, 99, 5))  # spans many cells
+        assert grid.query(Envelope(0, 0, 100, 100)) == ["wide"]
+
+    def test_query_point(self, world):
+        grid = GridIndex(world, 10, 10)
+        grid.insert("a", Envelope(10, 10, 20, 20))
+        grid.insert("b", Envelope(15, 15, 25, 25))
+        assert sorted(grid.query_point(17, 17)) == ["a", "b"]
+        assert grid.query_point(5, 5) == []
+
+    def test_cell_counts(self, world):
+        grid = GridIndex(world, 2, 2)
+        grid.insert("a", Envelope(10, 10, 20, 20))
+        grid.insert("b", Envelope(60, 60, 70, 70))
+        counts = grid.cell_counts()
+        assert counts[(0, 0)] == 1
+        assert counts[(1, 1)] == 1
+
+    def test_empty_envelope_rejected(self, world):
+        grid = GridIndex(world, 4, 4)
+        with pytest.raises(IndexError_):
+            grid.insert("x", Envelope.empty())
+
+
+class TestQuadTree:
+    def test_construction_validation(self, world):
+        with pytest.raises(IndexError_):
+            QuadTree(Envelope.empty())
+        with pytest.raises(IndexError_):
+            QuadTree(world, capacity=0)
+
+    def test_insert_outside_extent_rejected(self, world):
+        qt = QuadTree(world)
+        with pytest.raises(IndexError_):
+            qt.insert(200, 200, "x")
+
+    def test_query_matches_brute_force(self, rng, world):
+        qt = QuadTree(world, capacity=8)
+        points = [
+            (rng.uniform(0, 100), rng.uniform(0, 100), i) for i in range(500)
+        ]
+        for x, y, i in points:
+            qt.insert(x, y, i)
+        assert len(qt) == 500
+        for _ in range(40):
+            x = rng.uniform(0, 80)
+            y = rng.uniform(0, 80)
+            query = Envelope(x, y, x + 20, y + 20)
+            expected = sorted(i for px, py, i in points if query.contains_point(px, py))
+            assert sorted(qt.query(query)) == expected
+
+    def test_subdivision_happens(self, rng, world):
+        qt = QuadTree(world, capacity=4)
+        for i in range(100):
+            qt.insert(rng.uniform(0, 100), rng.uniform(0, 100), i)
+        assert qt.depth() >= 2
+
+    def test_max_depth_caps_subdivision(self, world):
+        qt = QuadTree(world, capacity=1, max_depth=3)
+        # Identical points can never be separated; depth must stay capped.
+        for i in range(10):
+            qt.insert(50.0, 50.0, i)
+        assert qt.depth() <= 3
+        assert sorted(qt.query(Envelope(49, 49, 51, 51))) == list(range(10))
+
+    def test_leaf_extents_partition_the_extent(self, rng, world):
+        qt = QuadTree(world, capacity=4)
+        for i in range(200):
+            qt.insert(rng.uniform(0, 100), rng.uniform(0, 100), i)
+        leaves = list(qt.leaf_extents())
+        total_area = sum(extent.area for extent, _ in leaves)
+        assert total_area == pytest.approx(world.area)
+        assert sum(count for _, count in leaves) == 200

@@ -1,0 +1,146 @@
+"""Spatial partitioners and routing semantics."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.geometry.envelope import Envelope
+from repro.index import (
+    BinarySplitPartitioner,
+    FixedGridPartitioner,
+    SortTilePartitioner,
+    SpatialPartitioning,
+    reference_point_in,
+)
+
+
+@pytest.fixture
+def skewed_sample(rng):
+    """80% of points clustered in one corner, 20% uniform."""
+    points = []
+    for _ in range(800):
+        points.append((rng.gauss(20, 5), rng.gauss(20, 5)))
+    for _ in range(200):
+        points.append((rng.uniform(0, 100), rng.uniform(0, 100)))
+    return [(min(max(x, 0), 100), min(max(y, 0), 100)) for x, y in points]
+
+
+class TestFixedGrid:
+    def test_tile_count(self, world):
+        part = FixedGridPartitioner(4, 3).partition(world)
+        assert len(part) == 12
+
+    def test_tiles_tessellate(self, world):
+        part = FixedGridPartitioner(5, 5).partition(world)
+        assert sum(t.area for t in part.tiles) == pytest.approx(world.area)
+
+    def test_validation(self, world):
+        with pytest.raises(IndexError_):
+            FixedGridPartitioner(0, 3)
+        with pytest.raises(IndexError_):
+            FixedGridPartitioner(2, 2).partition(Envelope.empty())
+
+
+class TestBinarySplit:
+    def test_tile_count_is_power_of_two(self, world, skewed_sample):
+        part = BinarySplitPartitioner(4).partition(world, skewed_sample)
+        assert len(part) == 16
+
+    def test_balances_skewed_sample(self, world, skewed_sample):
+        part = BinarySplitPartitioner(4).partition(world, skewed_sample)
+        counts = [0] * len(part)
+        for x, y in skewed_sample:
+            counts[part.route_point(x, y)] += 1
+        # Median splits should keep the max tile within ~3x the mean even
+        # under heavy skew (a fixed grid would concentrate ~80% in a few).
+        mean = len(skewed_sample) / len(part)
+        assert max(counts) < 3 * mean
+
+    def test_zero_levels(self, world, skewed_sample):
+        part = BinarySplitPartitioner(0).partition(world, skewed_sample)
+        assert len(part) == 1
+        assert part.tiles[0] == world
+
+    def test_beats_fixed_grid_on_skew(self, world, skewed_sample):
+        adaptive = BinarySplitPartitioner(4).partition(world, skewed_sample)
+        fixed = FixedGridPartitioner(4, 4).partition(world)
+
+        def max_count(partitioning):
+            counts = [0] * len(partitioning)
+            for x, y in skewed_sample:
+                counts[partitioning.route_point(x, y)] += 1
+            return max(counts)
+
+        assert max_count(adaptive) < max_count(fixed)
+
+
+class TestSortTile:
+    def test_tile_count_close_to_target(self, world, skewed_sample):
+        part = SortTilePartitioner(16).partition(world, skewed_sample)
+        assert 8 <= len(part) <= 24
+
+    def test_single_tile(self, world, skewed_sample):
+        part = SortTilePartitioner(1).partition(world, skewed_sample)
+        assert len(part) == 1
+
+    def test_empty_sample_gives_whole_extent(self, world):
+        part = SortTilePartitioner(9).partition(world, [])
+        assert len(part) == 1
+        assert part.tiles[0] == world
+
+    def test_balanced_counts(self, world, skewed_sample):
+        part = SortTilePartitioner(16).partition(world, skewed_sample)
+        counts = [0] * len(part)
+        for x, y in skewed_sample:
+            counts[part.route_point(x, y)] += 1
+        mean = len(skewed_sample) / len(part)
+        assert max(counts) < 3 * mean
+
+
+class TestRouting:
+    def test_route_point_covers_extent(self, world, rng, skewed_sample):
+        for partitioner in (
+            FixedGridPartitioner(4, 4).partition(world),
+            BinarySplitPartitioner(3).partition(world, skewed_sample),
+            SortTilePartitioner(9).partition(world, skewed_sample),
+        ):
+            for _ in range(200):
+                x = rng.uniform(0, 100)
+                y = rng.uniform(0, 100)
+                tile = partitioner.route_point(x, y)
+                assert 0 <= tile < len(partitioner)
+
+    def test_route_envelope_multi_assignment(self, world):
+        part = FixedGridPartitioner(2, 2).partition(world)
+        spanning = Envelope(40, 40, 60, 60)  # overlaps all four tiles
+        assert len(part.route(spanning)) == 4
+
+    def test_route_outside_extent_falls_back_to_nearest(self, world):
+        part = FixedGridPartitioner(2, 2).partition(world)
+        outside = Envelope(200, 200, 201, 201)
+        assert part.route(outside) == [3]  # top-right tile is nearest
+
+    def test_route_empty_envelope(self, world):
+        part = FixedGridPartitioner(2, 2).partition(world)
+        assert part.route(Envelope.empty()) == []
+
+
+class TestReferencePoint:
+    def test_owned_by_containing_tile(self):
+        tile = Envelope(0, 0, 10, 10)
+        assert reference_point_in(Envelope(2, 2, 15, 15), tile)
+        assert not reference_point_in(Envelope(12, 12, 20, 20), tile)
+
+    def test_exactly_one_grid_tile_owns(self, world, rng):
+        part = FixedGridPartitioner(4, 4).partition(world)
+        for _ in range(100):
+            x = rng.uniform(0, 90)
+            y = rng.uniform(0, 90)
+            pair_env = Envelope(x, y, x + rng.uniform(0, 30), y + rng.uniform(0, 30))
+            owners = [t for t in part.tiles if reference_point_in(pair_env, t)]
+            # Grid tiles share edges, so a reference point exactly on a
+            # boundary may belong to up to 4 tiles; interior points to 1.
+            assert 1 <= len(owners) <= 4
+
+    def test_empty_inputs(self):
+        assert not reference_point_in(Envelope.empty(), Envelope(0, 0, 1, 1))
+        assert not reference_point_in(Envelope(0, 0, 1, 1), Envelope.empty())

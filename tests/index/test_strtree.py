@@ -1,0 +1,228 @@
+"""STR-packed R-tree: the broadcast join's filtering index."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.geometry.envelope import Envelope
+from repro.index import STRtree
+
+
+def random_entries(rng, n, extent=100.0, max_size=3.0):
+    entries = []
+    for i in range(n):
+        x = rng.uniform(0, extent)
+        y = rng.uniform(0, extent)
+        entries.append(
+            (i, Envelope(x, y, x + rng.uniform(0, max_size), y + rng.uniform(0, max_size)))
+        )
+    return entries
+
+
+def brute_force(entries, query):
+    return sorted(i for i, env in entries if env.intersects(query))
+
+
+class TestBuildAndQuery:
+    def test_empty_tree(self):
+        tree = STRtree()
+        assert len(tree) == 0
+        assert tree.query(Envelope(0, 0, 1, 1)) == []
+        assert tree.root is None
+        assert tree.depth() == 0
+
+    def test_single_entry(self):
+        tree = STRtree([("only", Envelope(0, 0, 1, 1))])
+        assert tree.query(Envelope(0.5, 0.5, 2, 2)) == ["only"]
+        assert tree.query(Envelope(5, 5, 6, 6)) == []
+        assert tree.depth() == 1
+
+    def test_matches_brute_force(self, rng):
+        entries = random_entries(rng, 500)
+        tree = STRtree(entries)
+        for _ in range(50):
+            x = rng.uniform(0, 100)
+            y = rng.uniform(0, 100)
+            query = Envelope(x, y, x + rng.uniform(0, 20), y + rng.uniform(0, 20))
+            assert sorted(tree.query(query)) == brute_force(entries, query)
+
+    def test_query_point(self, rng):
+        entries = random_entries(rng, 300)
+        tree = STRtree(entries)
+        for _ in range(30):
+            x = rng.uniform(0, 100)
+            y = rng.uniform(0, 100)
+            expected = sorted(i for i, e in entries if e.contains_point(x, y))
+            assert sorted(tree.query_point(x, y)) == expected
+
+    def test_empty_query_returns_nothing(self, rng):
+        tree = STRtree(random_entries(rng, 50))
+        assert tree.query(Envelope.empty()) == []
+
+    def test_empty_envelopes_skipped_on_insert(self):
+        tree = STRtree([("a", Envelope.empty()), ("b", Envelope(0, 0, 1, 1))])
+        assert len(tree) == 1
+
+    def test_insert_before_build(self):
+        tree = STRtree()
+        tree.insert("x", Envelope(0, 0, 1, 1))
+        assert tree.query(Envelope(0, 0, 2, 2)) == ["x"]
+
+    def test_insert_after_build_rejected(self):
+        tree = STRtree([("x", Envelope(0, 0, 1, 1))])
+        tree.build()
+        with pytest.raises(IndexError_):
+            tree.insert("y", Envelope(2, 2, 3, 3))
+
+    def test_bad_capacity(self):
+        with pytest.raises(IndexError_):
+            STRtree(node_capacity=1)
+
+    def test_duplicate_envelopes_all_returned(self):
+        env = Envelope(0, 0, 1, 1)
+        tree = STRtree([(i, env) for i in range(25)])
+        assert sorted(tree.query(env)) == list(range(25))
+
+
+class TestStructure:
+    def test_node_capacity_respected(self, rng):
+        tree = STRtree(random_entries(rng, 200), node_capacity=4)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert 1 <= len(node.items) <= 4
+            else:
+                assert 1 <= len(node.children) <= 4
+                stack.extend(node.children)
+
+    def test_parent_envelope_covers_children(self, rng):
+        tree = STRtree(random_entries(rng, 300))
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for _, env in node.items:
+                    assert node.envelope.contains(env)
+            else:
+                for child in node.children:
+                    assert node.envelope.contains(child.envelope)
+                stack.extend(child for child in node.children)
+
+    def test_depth_logarithmic(self, rng):
+        tree = STRtree(random_entries(rng, 1000), node_capacity=10)
+        assert tree.depth() <= 4  # ceil(log10(1000)) + 1
+
+    def test_visit_counter(self, rng):
+        tree = STRtree(random_entries(rng, 500))
+        tree.build()
+        tree.reset_stats()
+        tree.query(Envelope(0, 0, 5, 5))
+        small = tree.nodes_visited
+        tree.reset_stats()
+        tree.query(Envelope(0, 0, 100, 100))
+        full = tree.nodes_visited
+        assert 0 < small < full
+
+
+class TestNearest:
+    def test_nearest_single(self):
+        entries = [(i, Envelope.of_point(float(i * 10), 0.0)) for i in range(10)]
+        tree = STRtree(entries)
+        found = tree.nearest(34.0, 0.0, k=1)
+        assert found == [(3, pytest.approx(4.0))]
+
+    def test_nearest_k_ordered(self, rng):
+        entries = [(i, Envelope.of_point(rng.uniform(0, 100), rng.uniform(0, 100)))
+                   for i in range(200)]
+        tree = STRtree(entries)
+        found = tree.nearest(50, 50, k=10)
+        distances = [d for _, d in found]
+        assert distances == sorted(distances)
+        # Cross-check against brute force.
+        brute = sorted(
+            (math.hypot(env.min_x - 50, env.min_y - 50), i) for i, env in entries
+        )[:10]
+        assert [i for _, i in brute] == [i for i, _ in found]
+
+    def test_nearest_max_distance(self):
+        entries = [(0, Envelope.of_point(0, 0)), (1, Envelope.of_point(10, 0))]
+        tree = STRtree(entries)
+        found = tree.nearest(2, 0, k=5, max_distance=5.0)
+        assert [i for i, _ in found] == [0]
+
+    def test_nearest_item_distance_callback(self):
+        # Item distance can differ from envelope distance (polyline case).
+        entries = [("far", Envelope(0, 0, 10, 10)), ("near", Envelope(20, 0, 30, 10))]
+
+        def item_distance(x, y, item):
+            return 1.0 if item == "near" else 5.0
+
+        tree = STRtree(entries)
+        found = tree.nearest(15, 5, k=2, item_distance=item_distance)
+        assert [i for i, _ in found] == ["near", "far"]
+
+    def test_nearest_empty_tree(self):
+        assert STRtree().nearest(0, 0) == []
+
+    def test_nearest_k_zero(self, rng):
+        tree = STRtree(random_entries(rng, 10))
+        assert tree.nearest(0, 0, k=0) == []
+
+
+class TestIteration:
+    def test_iter_all(self, rng):
+        entries = random_entries(rng, 40)
+        tree = STRtree(entries)
+        assert sorted(i for i, _ in tree.iter_all()) == list(range(40))
+
+
+class TestDualTreeJoin:
+    def test_matches_nested_loop(self, rng):
+        a = random_entries(rng, 200, max_size=4)
+        b = random_entries(rng, 150, max_size=4)
+        tree_a = STRtree(a, node_capacity=6)
+        tree_b = STRtree(b, node_capacity=6)
+        got = sorted(tree_a.join(tree_b))
+        expected = sorted(
+            (i, j) for i, ea in a for j, eb in b if ea.intersects(eb)
+        )
+        assert got == expected
+
+    def test_expand_radius(self, rng):
+        a = random_entries(rng, 100, max_size=1)
+        b = random_entries(rng, 100, max_size=1)
+        got = sorted(STRtree(a).join(STRtree(b), expand=5.0))
+        expected = sorted(
+            (i, j)
+            for i, ea in a
+            for j, eb in b
+            if ea.expand_by(5.0).intersects(eb)
+        )
+        assert got == expected
+
+    def test_empty_sides(self, rng):
+        full = STRtree(random_entries(rng, 10))
+        assert STRtree().join(full) == []
+        assert full.join(STRtree()) == []
+
+    def test_self_join(self, rng):
+        entries = random_entries(rng, 80)
+        tree1 = STRtree(entries)
+        tree2 = STRtree(entries)
+        got = tree1.join(tree2)
+        # Every entry intersects itself, so at least n pairs.
+        assert len(got) >= 80
+
+    def test_prunes_disjoint_regions(self, rng):
+        left = [(i, Envelope(i, 0.0, i + 0.5, 0.5)) for i in range(100)]
+        right = [(i, Envelope(i, 1000.0, i + 0.5, 1000.5)) for i in range(100)]
+        tree_a = STRtree(left)
+        tree_b = STRtree(right)
+        tree_a.build(); tree_b.build()
+        tree_a.reset_stats()
+        assert tree_a.join(tree_b) == []
+        # Disjoint roots: the traversal stops after one node pair.
+        assert tree_a.nodes_visited == 1

@@ -1,0 +1,115 @@
+"""Shuffle machinery: partitioners, block store, size estimation."""
+
+import pytest
+
+from repro.errors import SparkError
+from repro.geometry import LineString, Point
+from repro.spark.shuffle import (
+    HashPartitioner,
+    RangePartitioner,
+    ShuffleStore,
+    estimate_bytes,
+)
+
+
+class TestHashPartitioner:
+    def test_in_range(self):
+        p = HashPartitioner(7)
+        for key in ["a", 42, (1, 2), None, 3.5]:
+            assert 0 <= p.partition(key) < 7
+
+    def test_deterministic(self):
+        p = HashPartitioner(5)
+        assert p.partition("k") == p.partition("k")
+
+    def test_equality(self):
+        assert HashPartitioner(3) == HashPartitioner(3)
+        assert HashPartitioner(3) != HashPartitioner(4)
+
+    def test_validation(self):
+        with pytest.raises(SparkError):
+            HashPartitioner(0)
+
+
+class TestRangePartitioner:
+    def test_boundaries(self):
+        p = RangePartitioner([10, 20, 30])
+        assert p.num_partitions == 4
+        assert p.partition(5) == 0
+        assert p.partition(10) == 0  # boundary inclusive on the left side
+        assert p.partition(15) == 1
+        assert p.partition(25) == 2
+        assert p.partition(99) == 3
+
+    def test_empty_boundaries_single_partition(self):
+        p = RangePartitioner([])
+        assert p.num_partitions == 1
+        assert p.partition("anything") == 0
+
+    def test_ordering_preserved(self):
+        p = RangePartitioner([10, 20])
+        keys = [1, 11, 25, 9, 15]
+        partitions = [p.partition(k) for k in sorted(keys)]
+        assert partitions == sorted(partitions)
+
+
+class TestShuffleStore:
+    def test_write_read(self):
+        store = ShuffleStore()
+        sid = store.new_shuffle_id()
+        store.write(sid, 0, {0: [("k", 1)], 1: [("j", 2)]})
+        store.write(sid, 1, {0: [("k", 3)]})
+        assert sorted(store.read(sid, 2, 0)) == [("k", 1), ("k", 3)]
+        assert list(store.read(sid, 2, 1)) == [("j", 2)]
+
+    def test_missing_blocks_are_empty(self):
+        store = ShuffleStore()
+        sid = store.new_shuffle_id()
+        assert list(store.read(sid, 3, 0)) == []
+
+    def test_bytes_accounted(self):
+        store = ShuffleStore()
+        sid = store.new_shuffle_id()
+        written = store.write(sid, 0, {0: ["abcdef"]})
+        assert written == 6
+        assert store.bytes_for(sid) == 6
+
+    def test_ids_monotonic(self):
+        store = ShuffleStore()
+        assert store.new_shuffle_id() != store.new_shuffle_id()
+
+    def test_clear(self):
+        store = ShuffleStore()
+        sid = store.new_shuffle_id()
+        store.write(sid, 0, {0: [1]})
+        store.clear()
+        assert list(store.read(sid, 1, 0)) == []
+        assert store.bytes_for(sid) == 0
+
+
+class TestEstimateBytes:
+    def test_scalars(self):
+        assert estimate_bytes(42) == 8
+        assert estimate_bytes(3.14) == 8
+        assert estimate_bytes(True) == 8
+        assert estimate_bytes(None) == 1
+
+    def test_strings_by_length(self):
+        assert estimate_bytes("hello") == 5
+        assert estimate_bytes(b"hello!") == 6
+
+    def test_containers_sum_elements(self):
+        assert estimate_bytes((1, 2)) == 8 + 16
+        assert estimate_bytes([1, 2, 3]) == 8 + 24
+        assert estimate_bytes({"k": 1}) == 16 + 1 + 8
+
+    def test_geometry_by_vertex_count(self):
+        point = Point(1, 2)
+        line = LineString([(0, 0), (1, 1), (2, 2)])
+        assert estimate_bytes(line) - estimate_bytes(point) == 32  # 2 extra vertices
+
+    def test_opaque_object(self):
+        class Thing:
+            pass
+
+        assert estimate_bytes(Thing()) == 64

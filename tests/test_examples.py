@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the repository's living documentation; each one carries its
+own internal assertions, so "runs without raising" is a meaningful check.
+The heavier scripts run at their default (small) scales.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    saved_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Within" in out
+    assert "pairs from both engines" in out
+
+
+def test_taxi_zones(capsys):
+    run_example("taxi_zones.py")
+    out = capsys.readouterr().out
+    assert "top 10 blocks" in out
+    assert "simulated cluster time" in out
+
+
+def test_nearest_street(capsys):
+    run_example("nearest_street.py")
+    out = capsys.readouterr().out
+    assert "matched pairs" in out
+    assert "busiest streets" in out
+
+
+def test_species_ecoregions(capsys):
+    run_example("species_ecoregions.py")
+    out = capsys.readouterr().out
+    assert "partitioned plan verified against broadcast plan" in out
+
+
+def test_trajectory_analysis(capsys):
+    run_example("trajectory_analysis.py")
+    out = capsys.readouterr().out
+    assert "busiest zones during the rush" in out
+    assert "nearest streets" in out
+
+
+@pytest.mark.slow
+def test_cluster_scaling(capsys):
+    run_example("cluster_scaling.py", ["taxi-nycb", "0.03"])
+    out = capsys.readouterr().out
+    assert "efficiency" in out

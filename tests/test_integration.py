@@ -1,0 +1,84 @@
+"""Cross-stack integration: the same question asked four ways, one answer.
+
+The scenario mirrors the paper's motivating analytics — "pickups per
+census block" — and runs it through every layer of the repository:
+
+1. the in-memory API + plain Python aggregation;
+2. SpatialSpark: broadcast join + reduceByKey;
+3. ISP-MC: SQL with SPATIAL JOIN + GROUP BY;
+4. standalone ISP-MC + plain aggregation.
+
+All four must produce exactly the same (block, count) table.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.bench.runner import cluster_spec
+from repro.core import (
+    SpatialOperator,
+    broadcast_spatial_join,
+    read_geometry_pairs,
+    spatial_join,
+    standalone_spatial_join,
+)
+from repro.data import generate_nycb, generate_taxi
+from repro.hdfs import SimulatedHDFS
+from repro.impala import ColumnType, ImpalaBackend
+from repro.spark import SparkContext
+
+
+@pytest.fixture(scope="module")
+def city():
+    taxi = generate_taxi(600)
+    nycb = generate_nycb(40)
+    fs = SimulatedHDFS(block_size=4096)
+    taxi.write_to_hdfs(fs, "/taxi.txt", precision=9)
+    nycb.write_to_hdfs(fs, "/nycb.txt", precision=9)
+    return {"taxi": taxi, "nycb": nycb, "fs": fs}
+
+
+@pytest.fixture(scope="module")
+def truth(city):
+    pairs = spatial_join(
+        city["taxi"].records, city["nycb"].records, SpatialOperator.WITHIN
+    )
+    return dict(Counter(block for _, block in pairs))
+
+
+def test_spark_pipeline_matches_api(city, truth):
+    sc = SparkContext(cluster_spec(4), hdfs=city["fs"])
+    left = read_geometry_pairs(sc, "/taxi.txt", 1)
+    right = read_geometry_pairs(sc, "/nycb.txt", 1)
+    counts = dict(
+        broadcast_spatial_join(sc, left, right, SpatialOperator.WITHIN)
+        .map(lambda pair: (pair[1], 1))
+        .reduce_by_key(lambda a, b: a + b)
+        .collect()
+    )
+    assert counts == truth
+
+
+def test_sql_pipeline_matches_api(city, truth):
+    backend = ImpalaBackend(cluster_spec(4), hdfs=city["fs"])
+    schema = [("id", ColumnType.BIGINT), ("geom", ColumnType.STRING)]
+    backend.metastore.create_table("taxi", schema, "/taxi.txt")
+    backend.metastore.create_table("nycb", schema, "/nycb.txt")
+    result = backend.execute(
+        "SELECT nycb.id, COUNT(*) AS pickups FROM taxi SPATIAL JOIN nycb "
+        "WHERE ST_WITHIN(taxi.geom, nycb.geom) GROUP BY nycb.id"
+    )
+    assert dict(result.rows) == truth
+
+
+def test_standalone_matches_api(city, truth):
+    result = standalone_spatial_join(
+        city["fs"], "/taxi.txt", "/nycb.txt", SpatialOperator.WITHIN
+    )
+    assert dict(Counter(block for _, block in result.pairs)) == truth
+
+
+def test_every_point_lands_somewhere(city, truth):
+    # The tessellation invariant, end to end through file serialisation.
+    assert sum(truth.values()) >= len(city["taxi"])
