@@ -13,8 +13,8 @@ a4 — broadcast vs partitioned spatial join plans.
 
 import pytest
 
-from conftest import SCALE, record
-from repro.bench import materialize, run_ispmc, run_spatialspark
+from conftest import record
+from repro.bench import run_ispmc, run_spatialspark
 from repro.bench.runner import cluster_spec
 from repro.cluster import CostModel, Resource
 from repro.core import (

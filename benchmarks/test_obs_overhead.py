@@ -1,0 +1,28 @@
+"""Observability overhead: tracing disabled must be free.
+
+The instrumented hot paths (per-task spans, registry counters) pay one
+boolean check when nobody is observing.  These benchmarks measure the
+same join with the tracer/registry disabled (the default) and enabled,
+so a regression in the disabled path — the acceptance criterion is a
+wall-clock delta within noise — shows up in the recorded timings.
+"""
+
+from conftest import record
+from repro.bench import run_spatialspark
+from repro.obs import collecting, tracing
+
+
+def test_taxi_nycb_tracing_disabled(benchmark, workloads):
+    record(
+        benchmark,
+        lambda: run_spatialspark(workloads["taxi-nycb"], 1),
+        "obs off (default)",
+    )
+
+
+def test_taxi_nycb_tracing_enabled(benchmark, workloads):
+    def run():
+        with tracing(), collecting():
+            return run_spatialspark(workloads["taxi-nycb"], 1, profile=True)
+
+    record(benchmark, run, "obs on (tracer + registry + profile)")

@@ -21,6 +21,8 @@ both systems *and every substrate they stand on* in pure Python:
   API (:func:`spatial_join`);
 * :mod:`repro.data` — synthetic stand-ins for the taxi/nycb/lion/GBIF/WWF
   datasets;
+* :mod:`repro.obs` — observability: trace spans, a counter registry,
+  Impala-style query profiles and Chrome-trace exporters;
 * :mod:`repro.bench` — the harness regenerating every table and figure.
 
 Quickstart::
@@ -51,6 +53,7 @@ from repro.geometry import (
     wkt_loads,
 )
 from repro.errors import ReproError
+from repro.obs import QueryProfile, tracing
 
 __version__ = "1.0.0"
 
@@ -73,5 +76,7 @@ __all__ = [
     "wkt_loads",
     "wkt_dumps",
     "ReproError",
+    "QueryProfile",
+    "tracing",
     "__version__",
 ]

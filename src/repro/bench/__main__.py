@@ -1,20 +1,122 @@
-"""Command-line entry: ``python -m repro.bench [scale]``.
+"""Command-line entry: ``python -m repro.bench [scale] [options]``.
 
-Prints the full reproduction report — Table 1, Table 2, Fig 4, Fig 5 —
-with the paper's numbers inline, at the requested scale factor (default
-0.12, the calibration scale).
+Default mode prints the full reproduction report — Table 1, Table 2,
+Fig 4, Fig 5 — with the paper's numbers inline, at the requested scale
+factor (default 0.12, the calibration scale).  ``--json`` emits the same
+data as a machine-readable document.
+
+``--profile`` switches to single-run mode: one workload on one engine,
+rendered as an Impala-style query profile tree.  ``--trace-out PATH``
+additionally captures the run's wall-clock spans and writes a Chrome
+``trace_event`` file (open it at chrome://tracing or
+https://ui.perfetto.dev) containing both the simulated timeline and the
+real one.
 """
 
+import argparse
+import json
 import sys
 
-from repro.bench.report import DEFAULT_SCALE, experiments_report
+from repro.bench.report import (
+    DEFAULT_SCALE,
+    WORKLOAD_ORDER,
+    experiments_json,
+    experiments_report,
+)
+from repro.bench.runner import run_engine
+from repro.obs import spans_to_chrome_trace, tracing, write_chrome_trace
+
+ENGINES = ("spatialspark", "isp-mc", "isp-standalone")
 
 
-def main(argv: list[str]) -> int:
-    scale = float(argv[1]) if len(argv) > 1 else DEFAULT_SCALE
-    print(experiments_report(scale=scale))
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's tables and figures, or profile "
+        "a single spatial-join query.",
+    )
+    parser.add_argument(
+        "scale",
+        nargs="?",
+        type=float,
+        default=DEFAULT_SCALE,
+        help=f"dataset scale factor (default {DEFAULT_SCALE})",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit JSON instead of text (report or profile)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run one workload/engine and print its query profile tree",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=WORKLOAD_ORDER,
+        default="taxi-nycb",
+        help="workload for --profile/--trace-out (default taxi-nycb)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="spatialspark",
+        help="engine for --profile/--trace-out (default spatialspark)",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=1,
+        help="cluster size for --profile/--trace-out (default 1)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a Chrome trace_event JSON file for the profiled run "
+        "(implies --profile)",
+    )
+    return parser
+
+
+def _profile_run(args: argparse.Namespace) -> int:
+    with tracing() as tracer:
+        result = run_engine(
+            args.workload,
+            args.engine,
+            args.nodes,
+            scale=args.scale,
+            profile=True,
+        )
+    profile = result.profile
+    if args.json:
+        print(json.dumps(profile.to_json(), indent=1))
+    else:
+        print(profile.render())
+        print(
+            f"\nrows={result.result_rows}  "
+            f"simulated={result.simulated_seconds:.3f}s"
+        )
+    if args.trace_out:
+        write_chrome_trace(
+            args.trace_out,
+            profile.to_chrome_trace(),
+            spans_to_chrome_trace(tracer.roots),
+        )
+        print(f"wrote Chrome trace to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.profile or args.trace_out:
+        return _profile_run(args)
+    if args.json:
+        print(json.dumps(experiments_json(scale=args.scale), indent=1))
+        return 0
+    print(experiments_report(scale=args.scale))
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main())

@@ -19,7 +19,7 @@ from repro.bench.runner import (
     run_ispmc,
     run_spatialspark,
 )
-from repro.bench.workloads import WORKLOADS, materialize
+from repro.bench.workloads import materialize
 
 __all__ = [
     "PAPER_TABLE1",
@@ -33,6 +33,7 @@ __all__ = [
     "render_table2",
     "render_scaling",
     "experiments_report",
+    "experiments_json",
     "DEFAULT_SCALE",
     "SCALING_NODES",
 ]
@@ -210,3 +211,25 @@ def experiments_report(scale: float = DEFAULT_SCALE) -> str:
         "(paper: near-linear, with G10M-wwf flattening from 8 to 10 nodes)",
     ]
     return "\n".join(parts)
+
+
+def experiments_json(scale: float = DEFAULT_SCALE) -> dict:
+    """The full report as a JSON-safe dict (``--json`` output mode).
+
+    Scaling series become ``[[nodes, seconds], ...]`` lists; the paper's
+    published numbers ride along under ``paper`` keys so downstream
+    tooling can diff measured vs published without re-parsing text.
+    """
+    cache = BenchCache(scale=scale)
+    return {
+        "scale": scale,
+        "units": "simulated_seconds",
+        "table1": table1(cache),
+        "table2": table2(cache),
+        "fig4": {w: [list(p) for p in pts] for w, pts in fig4(cache).items()},
+        "fig5": {w: [list(p) for p in pts] for w, pts in fig5(cache).items()},
+        "paper": {
+            "table1": {w: list(v) for w, v in PAPER_TABLE1.items()},
+            "table2": {w: list(v) for w, v in PAPER_TABLE2.items()},
+        },
+    }

@@ -9,7 +9,7 @@ makespans replace EC2 wall-clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster.model import ClusterSpec, CostModel
 from repro.core.broadcast_join import broadcast_spatial_join, read_geometry_pairs
@@ -18,6 +18,7 @@ from repro.errors import BenchError
 from repro.bench.workloads import MaterializedWorkload, materialize
 from repro.impala.catalog import ColumnType
 from repro.impala.coordinator import ImpalaBackend
+from repro.obs.profile import QueryProfile
 from repro.spark.context import SparkContext
 
 __all__ = [
@@ -53,6 +54,7 @@ class RunResult:
     scale: float
     simulated_seconds: float
     result_rows: int
+    profile: QueryProfile | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return (
@@ -67,6 +69,7 @@ def run_spatialspark(
     cost_model: CostModel | None = None,
     engine: str = "fast",
     num_partitions: int | None = None,
+    profile: bool = False,
 ) -> RunResult:
     """SpatialSpark: broadcast join on the mini-Spark substrate."""
     sc = SparkContext(cluster_spec(num_nodes), hdfs=mat.hdfs, cost_model=cost_model)
@@ -91,6 +94,9 @@ def run_spatialspark(
         scale=mat.scale,
         simulated_seconds=sc.simulated_seconds(),
         result_rows=count,
+        profile=(
+            sc.to_profile(f"SpatialSpark:{mat.workload.name}") if profile else None
+        ),
     )
 
 
@@ -112,6 +118,7 @@ def run_ispmc(
     cost_model: CostModel | None = None,
     engine: str = "slow",
     assignment: str = "round_robin",
+    profile: bool = False,
 ) -> RunResult:
     """ISP-MC: SQL spatial join on the mini-Impala substrate."""
     backend = ImpalaBackend(
@@ -137,6 +144,9 @@ def run_ispmc(
         scale=mat.scale,
         simulated_seconds=result.simulated_seconds,
         result_rows=len(result),
+        profile=(
+            result.to_profile(f"ISP-MC:{mat.workload.name}") if profile else None
+        ),
     )
 
 
@@ -146,6 +156,7 @@ def run_isp_standalone(
     engine: str = "slow",
     cores: int = 16,
     scheduling: str = "static",
+    profile: bool = False,
 ) -> RunResult:
     """Standalone ISP-MC on the Table-1 single machine (16 cores)."""
     result = standalone_spatial_join(
@@ -167,6 +178,9 @@ def run_isp_standalone(
         scale=mat.scale,
         simulated_seconds=result.simulated_seconds,
         result_rows=len(result),
+        profile=(
+            result.to_profile(f"Standalone:{mat.workload.name}") if profile else None
+        ),
     )
 
 
@@ -176,17 +190,18 @@ def run_engine(
     num_nodes: int,
     scale: float = 0.1,
     cost_model: CostModel | None = None,
+    profile: bool = False,
 ) -> RunResult:
     """Dispatch by engine label (the harness entry used by benches)."""
     mat = materialize(workload_name, scale=scale)
     if engine == "spatialspark":
-        return run_spatialspark(mat, num_nodes, cost_model)
+        return run_spatialspark(mat, num_nodes, cost_model, profile=profile)
     if engine == "isp-mc":
-        return run_ispmc(mat, num_nodes, cost_model)
+        return run_ispmc(mat, num_nodes, cost_model, profile=profile)
     if engine == "isp-standalone":
         if num_nodes != 1:
             raise BenchError("standalone ISP-MC runs on a single node")
-        return run_isp_standalone(mat, cost_model)
+        return run_isp_standalone(mat, cost_model, profile=profile)
     raise BenchError(
         f"unknown engine {engine!r}; choose spatialspark|isp-mc|isp-standalone"
     )

@@ -26,15 +26,12 @@ static scan-range assignment turns into the stragglers of Section V.C.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.core.operators import SpatialOperator
 from repro.data.catalog import DATASETS, load_dataset
 from repro.data.gbif import generate_gbif
 from repro.data.synthetic import SyntheticDataset
-from repro.data.wwf import generate_wwf
 from repro.errors import BenchError
-from repro.geometry.base import Geometry
 from repro.hdfs import SimulatedHDFS
 
 __all__ = ["Workload", "WORKLOADS", "materialize", "MaterializedWorkload", "morton_key"]

@@ -7,9 +7,11 @@ via the cost model and composes them into stage and query makespans.
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass, field
 
 from repro.cluster.model import CostModel
+from repro.obs.profile import ProfileNode, QueryProfile
 
 __all__ = ["TaskMetrics", "StageMetrics", "QueryMetrics"]
 
@@ -55,6 +57,38 @@ class StageMetrics:
         """Sum of all task durations (the serial-equivalent work)."""
         return sum(task.seconds(model) for task in self.tasks)
 
+    def task_seconds(self, model: CostModel) -> list[float]:
+        """Per-task simulated durations, in task order."""
+        return [task.seconds(model) for task in self.tasks]
+
+    def max_task_seconds(self, model: CostModel) -> float:
+        """The straggler task's duration (0.0 with no tasks)."""
+        return max(self.task_seconds(model), default=0.0)
+
+    def median_task_seconds(self, model: CostModel) -> float:
+        """The median task duration (0.0 with no tasks)."""
+        seconds = self.task_seconds(model)
+        return statistics.median(seconds) if seconds else 0.0
+
+    def skew(self, model: CostModel) -> float:
+        """Max/median task time — the paper's straggler diagnostic.
+
+        1.0 means perfectly balanced; the static-scheduling runs of
+        Section V show this climbing well past 1 on spatially-ordered
+        inputs.  Returns 1.0 when there are no tasks or the median is 0.
+        """
+        median = self.median_task_seconds(model)
+        if median <= 0.0:
+            return 1.0
+        return self.max_task_seconds(model) / median
+
+    def counter_totals(self) -> dict[str, float]:
+        """Aggregate resource counters over this stage's tasks."""
+        merged = TaskMetrics()
+        for task in self.tasks:
+            merged.merge(task)
+        return dict(merged.counts)
+
 
 @dataclass
 class QueryMetrics:
@@ -85,3 +119,44 @@ class QueryMetrics:
             for task in stage.tasks:
                 merged.merge(task)
         return dict(merged.counts)
+
+    def to_profile(
+        self, model: CostModel | None = None, name: str | None = None
+    ) -> QueryProfile:
+        """Build the Impala-style profile tree for this query.
+
+        The tree preserves the accounting identity exactly: the root's
+        duration is :attr:`simulated_seconds`, and its children (one per
+        stage, plus a query-overhead node when present) sum to it —
+        ``makespan + overhead`` per stage.  Each stage node carries the
+        stage's aggregated resource counters and task-skew statistics
+        (task count, serial-equivalent work, max/median task time).
+        """
+        model = model or CostModel()
+        root = ProfileNode(name or self.name, sim_seconds=self.simulated_seconds)
+        if self.overhead_seconds:
+            root.add_child(
+                ProfileNode(
+                    "query-overhead",
+                    sim_seconds=self.overhead_seconds,
+                    info={"kind": "driver/setup overhead"},
+                )
+            )
+        for stage in self.stages:
+            node = ProfileNode(
+                stage.name,
+                sim_seconds=stage.makespan_seconds + stage.overhead_seconds,
+                counters=stage.counter_totals(),
+                info={
+                    "tasks": stage.num_tasks,
+                    "makespan_seconds": stage.makespan_seconds,
+                    "overhead_seconds": stage.overhead_seconds,
+                    "total_task_seconds": stage.total_task_seconds(model),
+                    "max_task_seconds": stage.max_task_seconds(model),
+                    "median_task_seconds": stage.median_task_seconds(model),
+                    "skew": stage.skew(model),
+                },
+                concurrent=True,  # a stage's tasks overlap in time
+            )
+            root.add_child(node)
+        return QueryProfile(root, metrics=self)

@@ -25,7 +25,7 @@ EC2-absolute seconds:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import BenchError
 

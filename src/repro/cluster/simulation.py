@@ -16,6 +16,7 @@ import heapq
 from typing import Sequence
 
 from repro.errors import BenchError
+from repro.obs.tracer import get_tracer
 
 __all__ = [
     "simulate_dynamic",
@@ -23,6 +24,27 @@ __all__ = [
     "simulate_static_chunked",
     "parallel_efficiency",
 ]
+
+
+def _record_makespan(
+    policy: str, makespan: float, num_tasks: int, workers: int
+) -> float:
+    """Report a computed makespan to the active tracer (no-op if disabled).
+
+    The makespan becomes the duration of a leaf span under whatever span
+    is currently open (a stage, a fragment instance, a probe batch), so
+    scheduling decisions show up in captured profiles and Chrome traces.
+    """
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            f"simulate-{policy}",
+            category="simulation",
+            sim_seconds=makespan,
+            tasks=num_tasks,
+            workers=workers,
+        )
+    return makespan
 
 
 def simulate_dynamic(
@@ -45,7 +67,7 @@ def simulate_dynamic(
     for duration in task_seconds:
         available_at = heapq.heappop(heap)
         heapq.heappush(heap, available_at + duration + per_task_overhead)
-    return max(heap)
+    return _record_makespan("dynamic", max(heap), len(task_seconds), workers)
 
 
 def simulate_static_round_robin(
@@ -66,7 +88,11 @@ def simulate_static_round_robin(
     loads = [0.0] * workers
     for i, duration in enumerate(task_seconds):
         loads[i % workers] += duration + per_task_overhead
-    return max(loads) if task_seconds else 0.0
+    if not task_seconds:
+        return 0.0
+    return _record_makespan(
+        "static-round-robin", max(loads), len(task_seconds), workers
+    )
 
 
 def simulate_static_chunked(
@@ -96,7 +122,7 @@ def simulate_static_chunked(
         chunk = task_seconds[start : start + size]
         loads.append(sum(chunk) + per_task_overhead * len(chunk))
         start += size
-    return max(loads)
+    return _record_makespan("static-chunked", max(loads), n, workers)
 
 
 def parallel_efficiency(

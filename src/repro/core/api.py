@@ -9,21 +9,27 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
+from repro.cluster.metrics import QueryMetrics, StageMetrics, TaskMetrics
+from repro.cluster.model import CostModel, Resource
 from repro.core.operators import SpatialOperator
 from repro.core.probe import BroadcastIndex, naive_spatial_join
 from repro.errors import ReproError
 from repro.geometry.base import Geometry
 from repro.geometry.wkt import loads as wkt_loads
+from repro.obs.tracer import get_tracer
 
 __all__ = ["spatial_join", "spatial_join_pairs"]
 
 
 def _normalise(
-    entries: Iterable[tuple[Any, Geometry | str]]
+    entries: Iterable[tuple[Any, Geometry | str]],
+    metrics: TaskMetrics | None = None,
 ) -> list[tuple[Any, Geometry]]:
     normalised = []
     for payload, geometry in entries:
         if isinstance(geometry, str):
+            if metrics is not None:
+                metrics.add(Resource.WKT_BYTES, float(len(geometry)))
             geometry = wkt_loads(geometry)
         if not isinstance(geometry, Geometry):
             raise ReproError(
@@ -40,7 +46,9 @@ def spatial_join(
     radius: float = 0.0,
     engine: str = "fast",
     method: str = "index",
-) -> list[tuple[Any, Any]]:
+    profile: bool = False,
+    cost_model: CostModel | None = None,
+):
     """Join two (id, geometry) collections; returns matching id pairs.
 
     ``operator`` accepts a :class:`SpatialOperator` or its name
@@ -48,6 +56,13 @@ def spatial_join(
     ``method="index"`` runs the indexed filter+refine plan (the paper's
     approach); ``method="naive"`` runs the O(n*m) nested loop, useful as
     ground truth in tests.
+
+    With ``profile=True`` (indexed plan only) the call instead returns
+    ``(pairs, profile)`` where ``profile`` is a
+    :class:`~repro.obs.profile.QueryProfile` whose parse/build/probe
+    phases carry the run's resource counters and sum exactly to the
+    attached :class:`~repro.cluster.metrics.QueryMetrics`'s
+    ``simulated_seconds``.
 
     Example::
 
@@ -64,6 +79,12 @@ def spatial_join(
             operator = SpatialOperator(operator.lower())
         except ValueError:
             raise ReproError(f"unknown operator {operator!r}") from None
+    if profile:
+        if method != "index":
+            raise ReproError("profile=True requires method='index'")
+        return _profiled_spatial_join(
+            left, right, operator, radius, engine, cost_model
+        )
     left_entries = _normalise(left)
     right_entries = _normalise(right)
     if method == "naive":
@@ -79,6 +100,61 @@ def spatial_join(
     for left_id, geometry in left_entries:
         pairs.extend((left_id, right_id) for right_id in index.probe(geometry))
     return pairs
+
+
+def _profiled_spatial_join(
+    left: Iterable[tuple[Any, Geometry | str]],
+    right: Iterable[tuple[Any, Geometry | str]],
+    operator: SpatialOperator,
+    radius: float,
+    engine: str,
+    cost_model: CostModel | None,
+):
+    """The indexed join with per-phase metrics and a profile tree.
+
+    Each phase (parse, build, probe) accrues its own
+    :class:`TaskMetrics` and becomes a single-task stage of a
+    :class:`QueryMetrics`, so the profile's phase breakdown is the
+    query's simulated runtime, exactly partitioned.
+    """
+    model = cost_model or CostModel()
+    tracer = get_tracer()
+    query = QueryMetrics(name="spatial-join")
+
+    def add_stage(name: str, task: TaskMetrics) -> None:
+        stage = StageMetrics(name=name, tasks=[task])
+        stage.makespan_seconds = task.seconds(model)
+        query.add_stage(stage)
+
+    parse_metrics = TaskMetrics()
+    with tracer.span("parse", category="phase") as span:
+        left_entries = _normalise(left, metrics=parse_metrics)
+        right_entries = _normalise(right, metrics=parse_metrics)
+        span.add_sim(parse_metrics.seconds(model))
+    add_stage("parse", parse_metrics)
+
+    build_metrics = TaskMetrics()
+    with tracer.span("build", category="phase") as span:
+        index = BroadcastIndex(right_entries, operator, radius=radius, engine=engine)
+        for resource, amount in index.build_cost_units().items():
+            build_metrics.add(resource, amount)
+        span.add_sim(build_metrics.seconds(model))
+        span.set_attr("index_entries", len(index))
+    add_stage("build", build_metrics)
+
+    probe_metrics = TaskMetrics()
+    pairs: list[tuple[Any, Any]] = []
+    with tracer.span("probe", category="phase") as span:
+        for left_id, geometry in left_entries:
+            matches, units = index.probe_with_cost(geometry)
+            for resource, amount in units.items():
+                probe_metrics.add(resource, amount)
+            pairs.extend((left_id, right_id) for right_id in matches)
+        span.add_sim(probe_metrics.seconds(model))
+        span.set_attr("rows_out", len(pairs))
+    add_stage("probe", probe_metrics)
+
+    return pairs, query.to_profile(model)
 
 
 def _dual_tree_join(

@@ -29,6 +29,7 @@ from repro.errors import ReproError
 from repro.geometry.base import Geometry
 from repro.geometry import wkb as wkb_mod
 from repro.geometry.wkt import WKTReader
+from repro.obs.tracer import get_tracer
 from repro.spark.context import SparkContext
 from repro.spark.rdd import RDD
 from repro.spark.taskcontext import current_task
@@ -129,17 +130,26 @@ def broadcast_spatial_join(
     """
     if operator.needs_radius and radius <= 0.0:
         raise ReproError(f"{operator} requires a positive radius")
+    tracer = get_tracer()
     # Driver side: collect + bulk-load + broadcast (Fig 2's apply()).
-    right_local = right.collect()
-    index = BroadcastIndex(right_local, operator, radius=radius, engine=engine)
-    build_units = {
-        resource: units * build_cost_weight
-        for resource, units in index.build_cost_units().items()
-    }
-    sc.broadcast_overhead_seconds += (
-        sc.cost_model.task_seconds(build_units) * sc.cost_model.spark_jvm_factor
-    )
-    index_broadcast = sc.broadcast(index, cost_weight=build_cost_weight)
+    with tracer.span("collect-build-side", category="phase"):
+        right_local = right.collect()
+    with tracer.span("build-index", category="phase") as build_span:
+        index = BroadcastIndex(right_local, operator, radius=radius, engine=engine)
+        build_units = {
+            resource: units * build_cost_weight
+            for resource, units in index.build_cost_units().items()
+        }
+        build_seconds = (
+            sc.cost_model.task_seconds(build_units) * sc.cost_model.spark_jvm_factor
+        )
+        sc.broadcast_overhead_seconds += build_seconds
+        build_span.add_sim(build_seconds)
+        build_span.set_attr("index_entries", len(index))
+    with tracer.span("broadcast", category="phase") as bc_span:
+        ship_before = sc.broadcast_overhead_seconds
+        index_broadcast = sc.broadcast(index, cost_weight=build_cost_weight)
+        bc_span.add_sim(sc.broadcast_overhead_seconds - ship_before)
 
     def query_rtree(pair: tuple[Any, Geometry]):
         left_id, geometry = pair

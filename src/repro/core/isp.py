@@ -16,7 +16,6 @@ from typing import Iterable
 from repro.cluster.model import Resource
 from repro.core.operators import SpatialOperator
 from repro.core.probe import BroadcastIndex
-from repro.errors import ImpalaError
 from repro.geometry.wkt import WKTReader
 from repro.impala.exec_nodes import BlockingJoinNode, ExecNode, InstanceContext
 from repro.impala.rowbatch import RowBatch

@@ -20,6 +20,7 @@ from repro.errors import ReproError
 from repro.geometry.base import Geometry
 from repro.geometry.point import Point
 from repro.geometry.wkt import loads as wkt_loads
+from repro.obs.tracer import get_tracer
 from repro.spark.context import SparkContext
 from repro.spark.rdd import RDD
 from repro.spark.taskcontext import current_task
@@ -95,13 +96,22 @@ def broadcast_knn_join(
     """
     if k < 1:
         raise ReproError(f"k must be >= 1, got {k}")
-    right_local = right.collect()
-    index = _knn_index(right_local, max_distance)
-    sc.broadcast_overhead_seconds += (
-        sc.cost_model.task_seconds(index.build_cost_units())
-        * sc.cost_model.spark_jvm_factor
-    )
-    index_broadcast = sc.broadcast(index)
+    tracer = get_tracer()
+    with tracer.span("collect-build-side", category="phase"):
+        right_local = right.collect()
+    with tracer.span("build-index", category="phase") as build_span:
+        index = _knn_index(right_local, max_distance)
+        build_seconds = (
+            sc.cost_model.task_seconds(index.build_cost_units())
+            * sc.cost_model.spark_jvm_factor
+        )
+        sc.broadcast_overhead_seconds += build_seconds
+        build_span.add_sim(build_seconds)
+        build_span.set_attr("index_entries", len(index))
+    with tracer.span("broadcast", category="phase") as bc_span:
+        ship_before = sc.broadcast_overhead_seconds
+        index_broadcast = sc.broadcast(index)
+        bc_span.add_sim(sc.broadcast_overhead_seconds - ship_before)
 
     def query(pair: tuple[Any, Geometry]):
         left_id, geometry = pair

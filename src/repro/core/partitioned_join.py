@@ -19,6 +19,8 @@ from repro.errors import ReproError
 from repro.geometry.base import Geometry
 from repro.geometry.envelope import Envelope
 from repro.index.partitioner import SortTilePartitioner, SpatialPartitioning
+from repro.obs.registry import REGISTRY
+from repro.obs.tracer import get_tracer
 from repro.spark.context import SparkContext
 from repro.spark.rdd import RDD
 from repro.spark.taskcontext import current_task
@@ -72,7 +74,11 @@ def partitioned_spatial_join(
     if operator.needs_radius and radius <= 0.0:
         raise ReproError(f"{operator} requires a positive radius")
     if partitioning is None:
-        partitioning = derive_partitioning(left, num_tiles or sc.cluster.total_cores)
+        with get_tracer().span("derive-partitioning", category="phase") as span:
+            partitioning = derive_partitioning(
+                left, num_tiles or sc.cluster.total_cores
+            )
+            span.set_attr("tiles", len(partitioning))
     tiles = partitioning
     expand = radius if operator.needs_radius else 0.0
 
@@ -102,7 +108,9 @@ def partitioned_spatial_join(
     def join_tile(entry):
         tile_id, (left_entries, right_entries) = entry
         if not left_entries or not right_entries:
+            REGISTRY.inc("partitioned.tiles_empty")
             return []
+        REGISTRY.inc("partitioned.tiles_joined")
         # Payload = the whole (id, geometry) pair so duplicate suppression
         # can re-route the matched geometry.
         index = BroadcastIndex(

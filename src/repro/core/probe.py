@@ -17,7 +17,7 @@ batches and fragment instances.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Iterable
+from typing import Any, Iterable
 
 from repro.cluster.model import Resource
 from repro.errors import ReproError

@@ -27,6 +27,8 @@ from repro.errors import ReproError
 from repro.geometry.wkt import WKTReader
 from repro.hdfs import SimulatedHDFS, read_lines
 from repro.impala.rowbatch import BATCH_SIZE
+from repro.obs.profile import ProfileNode, QueryProfile
+from repro.obs.tracer import get_tracer
 from repro.spark.taskcontext import task_scope
 
 __all__ = ["StandaloneResult", "standalone_spatial_join"]
@@ -42,9 +44,35 @@ class StandaloneResult:
     simulated_seconds: float
     metrics: TaskMetrics = field(default_factory=TaskMetrics)
     rows_dropped: int = 0
+    serial_seconds: float = 0.0
+    parallel_seconds: float = 0.0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.pairs)
+
+    def to_profile(self, name: str = "standalone-query") -> QueryProfile:
+        """Render the run as a query profile tree.
+
+        The per-phase children partition ``simulated_seconds`` exactly:
+        scan/build phases are serial, the probe phase is the summed
+        makespan of the statically- or dynamically-scheduled row batches.
+        """
+        root = ProfileNode(
+            name,
+            sim_seconds=self.simulated_seconds,
+            counters=dict(self.metrics.counts),
+            info={
+                "engine": "ISP-MC standalone",
+                "rows_out": len(self.pairs),
+                "rows_dropped": self.rows_dropped,
+                "serial_seconds": self.serial_seconds,
+                "parallel_seconds": self.parallel_seconds,
+            },
+        )
+        for phase, seconds in self.phase_seconds.items():
+            root.add_child(ProfileNode(phase, sim_seconds=seconds))
+        return QueryProfile(root)
 
 
 def standalone_spatial_join(
@@ -78,66 +106,98 @@ def standalone_spatial_join(
     serial_seconds = 0.0
     parallel_seconds = 0.0
     rows_dropped = 0
+    phase_seconds: dict[str, float] = {}
+    tracer = get_tracer()
     with task_scope(metrics):
         # Right side: scan + parse + build (all single-threaded, as in
         # ISP-MC's blocking build phase).
-        right_rows, right_bytes = _read_rows(hdfs, right_path, separator)
-        metrics.add(Resource.HDFS_BYTES, right_bytes)
-        index, wkt_bytes, dropped = build_spatial_index(
-            right_rows, right_geometry_index, operator, radius, engine
-        )
-        rows_dropped += dropped
-        metrics.add(Resource.WKT_BYTES, wkt_bytes)
-        metrics.add(Resource.INDEX_BUILD, float(len(index)))
-        # File reads use all cores (the standalone program reads with the
-        # same multi-threaded I/O the Impala scanners use); WKT parse and
-        # the R-tree bulk load stay single-threaded, as in ISP-MC's
-        # blocking build phase.
-        serial_seconds += (
-            model.task_seconds({Resource.HDFS_BYTES: right_bytes * build_cost_weight})
-            / cores
-        )
-        serial_seconds += model.task_seconds(
-            {
-                Resource.WKT_BYTES: wkt_bytes * build_cost_weight,
-                Resource.INDEX_BUILD: len(index) * build_cost_weight,
-            }
-        )
-        left_rows, left_bytes = _read_rows(hdfs, left_path, separator)
-        metrics.add(Resource.HDFS_BYTES, left_bytes)
-        serial_seconds += model.task_seconds({Resource.HDFS_BYTES: left_bytes}) / cores
+        with tracer.span("scan-build-side", category="phase") as span:
+            right_rows, right_bytes = _read_rows(hdfs, right_path, separator)
+            metrics.add(Resource.HDFS_BYTES, right_bytes)
+            # File reads use all cores (the standalone program reads with
+            # the same multi-threaded I/O the Impala scanners use).
+            scan_build = (
+                model.task_seconds(
+                    {Resource.HDFS_BYTES: right_bytes * build_cost_weight}
+                )
+                / cores
+            )
+            span.add_sim(scan_build)
+        with tracer.span("build-index", category="phase") as span:
+            index, wkt_bytes, dropped = build_spatial_index(
+                right_rows, right_geometry_index, operator, radius, engine
+            )
+            rows_dropped += dropped
+            metrics.add(Resource.WKT_BYTES, wkt_bytes)
+            metrics.add(Resource.INDEX_BUILD, float(len(index)))
+            # WKT parse and the R-tree bulk load stay single-threaded, as
+            # in ISP-MC's blocking build phase.
+            build_index = model.task_seconds(
+                {
+                    Resource.WKT_BYTES: wkt_bytes * build_cost_weight,
+                    Resource.INDEX_BUILD: len(index) * build_cost_weight,
+                }
+            )
+            span.add_sim(build_index)
+            span.set_attr("index_entries", len(index))
+        with tracer.span("scan-probe-side", category="phase") as span:
+            left_rows, left_bytes = _read_rows(hdfs, left_path, separator)
+            metrics.add(Resource.HDFS_BYTES, left_bytes)
+            scan_probe = model.task_seconds({Resource.HDFS_BYTES: left_bytes}) / cores
+            span.add_sim(scan_probe)
+        serial_seconds = scan_build + build_index + scan_probe
         pairs: list[tuple] = []
-        for start in range(0, len(left_rows), batch_size):
-            batch = left_rows[start : start + batch_size]
-            per_row_seconds: list[float] = []
-            for row in batch:
-                text = row[left_geometry_index] if len(row) > left_geometry_index else None
-                units: dict[str, float] = {}
-                geometry = None
-                if isinstance(text, str):
-                    units[Resource.WKT_BYTES] = float(len(text))
-                    geometry = _READER.try_read(text)
-                if geometry is None:
-                    rows_dropped += 1
+        with tracer.span("probe", category="phase") as span:
+            for start in range(0, len(left_rows), batch_size):
+                batch = left_rows[start : start + batch_size]
+                per_row_seconds: list[float] = []
+                for row in batch:
+                    text = (
+                        row[left_geometry_index]
+                        if len(row) > left_geometry_index
+                        else None
+                    )
+                    units: dict[str, float] = {}
+                    geometry = None
+                    if isinstance(text, str):
+                        units[Resource.WKT_BYTES] = float(len(text))
+                        geometry = _READER.try_read(text)
+                    if geometry is None:
+                        rows_dropped += 1
+                        per_row_seconds.append(model.task_seconds(units))
+                        continue
+                    matches, probe_units = index.probe_with_cost(geometry)
+                    for resource, amount in probe_units.items():
+                        units[resource] = units.get(resource, 0.0) + amount
+                    for resource, amount in units.items():
+                        metrics.add(resource, amount)
                     per_row_seconds.append(model.task_seconds(units))
-                    continue
-                matches, probe_units = index.probe_with_cost(geometry)
-                for resource, amount in probe_units.items():
-                    units[resource] = units.get(resource, 0.0) + amount
-                for resource, amount in units.items():
-                    metrics.add(resource, amount)
-                per_row_seconds.append(model.task_seconds(units))
-                left_id = _coerce_id(row[0])
-                pairs.extend((left_id, _coerce_id(match[0])) for match in matches)
-            if scheduling == "static":
-                parallel_seconds += simulate_static_chunked(per_row_seconds, cores)
-            else:
-                parallel_seconds += simulate_dynamic(per_row_seconds, cores)
+                    left_id = _coerce_id(row[0])
+                    pairs.extend(
+                        (left_id, _coerce_id(match[0])) for match in matches
+                    )
+                if scheduling == "static":
+                    parallel_seconds += simulate_static_chunked(
+                        per_row_seconds, cores
+                    )
+                else:
+                    parallel_seconds += simulate_dynamic(per_row_seconds, cores)
+            span.add_sim(parallel_seconds)
+            span.set_attr("scheduling", scheduling)
+    phase_seconds = {
+        "scan-build-side": scan_build,
+        "build-index": build_index,
+        "scan-probe-side": scan_probe,
+        "probe": parallel_seconds,
+    }
     return StandaloneResult(
         pairs=pairs,
         simulated_seconds=serial_seconds + parallel_seconds,
         metrics=metrics,
         rows_dropped=rows_dropped,
+        serial_seconds=serial_seconds,
+        parallel_seconds=parallel_seconds,
+        phase_seconds=phase_seconds,
     )
 
 

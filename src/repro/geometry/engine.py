@@ -23,7 +23,7 @@ swapping engines in a join changes Table 1/2 runtimes but never results.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol
 
 from repro.errors import GeometryError
@@ -34,7 +34,6 @@ from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
 from repro.geometry.prepared import PreparedLineString, PreparedPolygon
 from repro.geometry.algorithms import distance as distance_mod
-from repro.geometry.algorithms import predicates
 
 __all__ = [
     "EngineCounters",
@@ -116,7 +115,11 @@ class FastGeometryEngine:
         if isinstance(geometry, MultiPolygon):
             return [PreparedPolygon(p) for p in geometry.parts if not p.is_empty]
         if isinstance(geometry, MultiLineString):
-            return [PreparedLineString(l) for l in geometry.parts if not l.is_empty]
+            return [
+                PreparedLineString(part)
+                for part in geometry.parts
+                if not part.is_empty
+            ]
         if isinstance(geometry, Point):
             return geometry
         raise GeometryError(f"fast engine cannot prepare {geometry.geometry_type}")

@@ -17,7 +17,6 @@ import numpy as np
 
 from repro.errors import GeometryError
 from repro.geometry.base import Geometry
-from repro.geometry.envelope import Envelope
 from repro.geometry.linestring import LineString
 from repro.geometry.multi import MultiLineString, MultiPolygon
 from repro.geometry.point import Point

@@ -261,7 +261,9 @@ class WKTWriter:
             )
             return f"MULTIPOINT ({body})"
         if tag is GeometryType.MULTILINESTRING:
-            body = ", ".join(f"({self._coords(l.coords)})" for l in geometry.parts)
+            body = ", ".join(
+                f"({self._coords(part.coords)})" for part in geometry.parts
+            )
             return f"MULTILINESTRING ({body})"
         if tag is GeometryType.MULTIPOLYGON:
             body = ", ".join(self._polygon_body(p) for p in geometry.parts)

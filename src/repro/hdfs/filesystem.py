@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import HDFSError
+from repro.obs.registry import REGISTRY
 
 __all__ = ["BlockInfo", "FileStatus", "SimulatedHDFS", "DEFAULT_BLOCK_SIZE"]
 
@@ -103,6 +104,8 @@ class SimulatedHDFS:
             blocks.append(BlockInfo(index, offset, max(length, 0), hosts))
         status = FileStatus(path, len(data), block_size, blocks)
         self._status[path] = status
+        REGISTRY.inc("hdfs.writes")
+        REGISTRY.inc("hdfs.bytes_written", len(data))
         return status
 
     def _place_replicas(self) -> tuple[str, ...]:
@@ -118,9 +121,12 @@ class SimulatedHDFS:
         """Return the whole file's bytes."""
         path = self._normalise(path)
         try:
-            return self._files[path]
+            data = self._files[path]
         except KeyError:
             raise HDFSError(f"no such file: {path}") from None
+        REGISTRY.inc("hdfs.reads")
+        REGISTRY.inc("hdfs.bytes_read", len(data))
+        return data
 
     def read_block(self, path: str, block_index: int) -> bytes:
         """Return one block's bytes."""
@@ -131,12 +137,21 @@ class SimulatedHDFS:
             )
         block = status.blocks[block_index]
         data = self._files[status.path]
+        REGISTRY.inc("hdfs.reads")
+        REGISTRY.inc("hdfs.bytes_read", block.length)
         return data[block.offset : block.offset + block.length]
 
     def read_range(self, path: str, offset: int, length: int) -> bytes:
         """Return an arbitrary byte range (used for line-boundary fixup)."""
-        data = self.read(path)
-        return data[offset : offset + length]
+        path = self._normalise(path)
+        try:
+            data = self._files[path]
+        except KeyError:
+            raise HDFSError(f"no such file: {path}") from None
+        chunk = data[offset : offset + length]
+        REGISTRY.inc("hdfs.reads")
+        REGISTRY.inc("hdfs.bytes_read", len(chunk))
+        return chunk
 
     def status(self, path: str) -> FileStatus:
         """Return the file's metadata (size, blocks, locality)."""

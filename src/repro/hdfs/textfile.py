@@ -9,8 +9,6 @@ so both engines see the identical record stream for a given file.
 
 from __future__ import annotations
 
-from typing import Iterator
-
 from repro.hdfs.filesystem import SimulatedHDFS
 
 __all__ = ["write_text", "read_lines", "read_split_lines", "split_boundaries"]

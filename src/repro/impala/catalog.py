@@ -8,7 +8,7 @@ delimiter, and the HDFS path whose blocks become scan ranges.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import PlanError
 from repro.hdfs import SimulatedHDFS

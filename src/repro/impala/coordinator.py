@@ -37,7 +37,8 @@ from repro.impala.exec_nodes import (
 from repro.impala.exprs import TupleDescriptor, compile_expr
 from repro.impala.parser import parse
 from repro.impala.planner import PhysicalPlan, Planner
-from repro.impala.rowbatch import RowBatch
+from repro.obs.profile import ProfileNode, QueryProfile
+from repro.obs.tracer import get_tracer
 from repro.spark.shuffle import estimate_bytes
 from repro.spark.taskcontext import task_scope
 
@@ -54,9 +55,59 @@ class QueryResult:
     instances: list[InstanceContext] = field(default_factory=list)
     plan: PhysicalPlan | None = None
     coordinator_seconds: float = 0.0
+    # Additive decomposition of simulated_seconds, filled by the
+    # coordinator: planning / fragment-startup / execution / coordinator.
+    breakdown: dict[str, float] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    def to_profile(self, name: str = "impala-query") -> QueryProfile:
+        """Impala-style runtime profile of this query.
+
+        Top-level children mirror :attr:`breakdown` (their simulated
+        seconds sum to :attr:`simulated_seconds` exactly); the execution
+        node carries one child per fragment instance — the static-
+        scheduling straggler is the longest of those concurrent bars.
+        """
+        root = ProfileNode(
+            name,
+            sim_seconds=self.simulated_seconds,
+            info={
+                "engine": "ISP-MC",
+                "instances": len(self.instances),
+                "rows": len(self.rows),
+            },
+        )
+        for phase, seconds in self.breakdown.items():
+            node = root.add_child(ProfileNode(phase, sim_seconds=seconds))
+            if phase != "execution" or not self.instances:
+                continue
+            node.concurrent = True
+            node.info = {
+                "straggler_seconds": self.straggler_seconds,
+                "mean_instance_seconds": self.mean_instance_seconds,
+                "imbalance": (
+                    self.straggler_seconds / self.mean_instance_seconds
+                    if self.mean_instance_seconds
+                    else 1.0
+                ),
+            }
+            for instance in self.instances:
+                node.add_child(
+                    ProfileNode(
+                        f"instance-{instance.node_id}",
+                        sim_seconds=instance.total_seconds,
+                        counters=dict(instance.metrics.counts),
+                        info={
+                            "serial_seconds": instance.serial_seconds,
+                            "parallel_seconds": instance.parallel_seconds,
+                            "row_batches": instance.row_batches,
+                        },
+                        concurrent=True,
+                    )
+                )
+        return QueryProfile(root)
 
     @property
     def straggler_seconds(self) -> float:
@@ -104,17 +155,22 @@ class ImpalaBackend:
 
     def execute(self, sql: str) -> QueryResult:
         """Parse, plan and run one SELECT (or describe it, for EXPLAIN)."""
-        statement = parse(sql)
-        plan = self._planner.plan(statement)
-        if plan.explain:
-            lines = self.explain_plan(plan)
-            return QueryResult(
-                columns=["Explain"],
-                rows=[(line,) for line in lines],
-                simulated_seconds=self.cost_model.impala_plan_base,
-                plan=plan,
-            )
-        return self._execute_plan(plan)
+        with get_tracer().span("impala-query", category="query", sql=sql) as span:
+            statement = parse(sql)
+            plan = self._planner.plan(statement)
+            if plan.explain:
+                lines = self.explain_plan(plan)
+                return QueryResult(
+                    columns=["Explain"],
+                    rows=[(line,) for line in lines],
+                    simulated_seconds=self.cost_model.impala_plan_base,
+                    plan=plan,
+                    breakdown={"planning": self.cost_model.impala_plan_base},
+                )
+            result = self._execute_plan(plan)
+            span.add_sim(result.simulated_seconds)
+            span.set_attr("rows", len(result))
+            return result
 
     def explain_plan(self, plan: PhysicalPlan) -> list[str]:
         """Render the physical plan the way ``EXPLAIN`` prints it."""
@@ -169,11 +225,14 @@ class ImpalaBackend:
             InstanceContext(node_id=i, cores=self.cluster.cores_per_node, cost_model=model)
             for i in range(self.cluster.num_nodes)
         ]
+        tracer = get_tracer()
         probe_ranges = self._assign_ranges(plan.probe.table.path, instances)
         row_descriptor = plan.row_descriptor
         shared_index = None
         if plan.join is not None:
-            shared_index = self._build_side(plan, instances)
+            with tracer.span("build-side", category="phase") as build_span:
+                shared_index = self._build_side(plan, instances)
+                build_span.set_attr("index_entries", len(shared_index))
         # Probe fragments: real execution once per instance's ranges.
         residual_eval = self._compile_conjuncts(plan.residual, row_descriptor)
         aggregators: list[Aggregator] = []
@@ -192,7 +251,11 @@ class ImpalaBackend:
             order_key_fns = []
         instance_keyed_rows: list[list[tuple[tuple, tuple]]] = []
         for instance in instances:
-            with task_scope(instance.metrics):
+            fragment_span = tracer.span(
+                f"fragment-instance-{instance.node_id}", category="fragment"
+            )
+            seconds_before = instance.total_seconds
+            with fragment_span as span, task_scope(instance.metrics):
                 root = self._instance_pipeline(
                     plan, instance, probe_ranges[instance.node_id],
                     shared_index, residual_eval,
@@ -217,6 +280,8 @@ class ImpalaBackend:
                 # cluster; single-node results land in a local buffer.
                 if self.cluster.num_nodes > 1:
                     instance.charge_serial(Resource.SHUFFLE_BYTES, exchange)
+            span.add_sim(instance.total_seconds - seconds_before)
+            span.set_attr("row_batches", instance.row_batches)
         # Coordinator: merge, sort, limit, project.
         coordinator_seconds = 0.0
         if plan.aggregate is not None:
@@ -253,13 +318,23 @@ class ImpalaBackend:
             <= model.impala_memory_pressure_threshold_gb
             else 1.0
         )
-        simulated = (
-            model.impala_plan_base
-            + model.impala_fragment_startup
-            + max((i.total_seconds for i in instances), default=0.0)
+        execution_seconds = (
+            max((i.total_seconds for i in instances), default=0.0)
             * model.impala_infra_factor
             * pressure
-            + coordinator_seconds
+        )
+        breakdown = {
+            "planning": model.impala_plan_base,
+            "fragment-startup": model.impala_fragment_startup,
+            "execution": execution_seconds,
+            "coordinator": coordinator_seconds,
+        }
+        simulated = sum(breakdown.values())
+        tracer.event(
+            "coordinator-merge",
+            category="phase",
+            sim_seconds=coordinator_seconds,
+            rows=len(output_rows),
         )
         return QueryResult(
             columns=list(plan.output_names),
@@ -268,6 +343,7 @@ class ImpalaBackend:
             instances=instances,
             plan=plan,
             coordinator_seconds=coordinator_seconds,
+            breakdown=breakdown,
         )
 
     # -- fragment construction --------------------------------------------------

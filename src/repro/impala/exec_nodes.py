@@ -23,7 +23,8 @@ from repro.cluster.simulation import simulate_static_chunked
 from repro.errors import ImpalaError
 from repro.hdfs import SimulatedHDFS, read_split_lines
 from repro.impala.catalog import Table
-from repro.impala.rowbatch import BATCH_SIZE, RowBatch, batches_of
+from repro.impala.rowbatch import RowBatch, batches_of
+from repro.obs.registry import REGISTRY
 
 __all__ = [
     "InstanceContext",
@@ -137,6 +138,8 @@ class ScanNode(ExecNode):
 
     def batches(self) -> Iterator[RowBatch]:
         batch = RowBatch()
+        rows_out = 0
+        REGISTRY.inc("impala.scan_ranges", len(self.scan_ranges))
         for offset, length in self.scan_ranges:
             self.ctx.charge_parallel(Resource.HDFS_BYTES, length)
             for line in read_split_lines(self.hdfs, self.table.path, offset, length):
@@ -147,11 +150,14 @@ class ScanNode(ExecNode):
                 if self.row_filter is not None and not self.row_filter(row):
                     continue
                 batch.add(row)
+                rows_out += 1
                 if batch.is_full:
                     yield batch
                     batch = RowBatch()
         if len(batch):
             yield batch
+        REGISTRY.inc("impala.rows_scanned", rows_out)
+        REGISTRY.inc("impala.rows_skipped", self.rows_skipped)
 
 
 class FilterNode(ExecNode):

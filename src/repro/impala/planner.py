@@ -27,7 +27,7 @@ from repro.impala.ast_nodes import (
 )
 from repro.impala.catalog import Metastore, Table
 from repro.impala.exprs import Slot, TupleDescriptor
-from repro.impala.udf import JOIN_PREDICATES, is_spatial_function
+from repro.impala.udf import JOIN_PREDICATES
 
 __all__ = [
     "ScanSpec",

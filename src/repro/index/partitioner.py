@@ -13,11 +13,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.errors import IndexError_
 from repro.geometry.envelope import Envelope
-from repro.index.quadtree import QuadTree
 
 __all__ = [
     "SpatialPartitioning",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, Generic, Iterable, Iterator, Sequence, TypeVar
+from typing import Callable, Generic, Iterable, Iterator, TypeVar
 
 from repro.errors import IndexError_
 from repro.geometry.envelope import Envelope

@@ -1,0 +1,133 @@
+"""JSON and Chrome ``trace_event`` exporters.
+
+Two timelines can be exported:
+
+* **simulated** — :func:`profile_to_chrome_trace` lays a
+  :class:`~repro.obs.profile.QueryProfile` out on the simulated clock
+  (sequential children back to back, concurrent children side by side on
+  their own rows), which visualises makespans and stragglers;
+* **wall** — :func:`spans_to_chrome_trace` exports a
+  :class:`~repro.obs.tracer.Tracer`'s span forest on the real clock.
+
+Both produce the JSON object format of the Trace Event spec
+(``{"traceEvents": [...]}`` with ``ph: "X"`` complete events, timestamps
+in microseconds), which loads directly in ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.profile import ProfileNode, QueryProfile
+from repro.obs.tracer import Span
+
+__all__ = [
+    "profile_to_chrome_trace",
+    "spans_to_chrome_trace",
+    "spans_to_json",
+    "write_chrome_trace",
+]
+
+_US = 1_000_000.0  # trace_event timestamps are microseconds
+
+
+def _event(name: str, category: str, ts: float, dur: float,
+           pid: int, tid: int, args: dict) -> dict:
+    return {
+        "name": name,
+        "cat": category,
+        "ph": "X",
+        "ts": round(ts, 3),
+        "dur": round(dur, 3),
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def profile_to_chrome_trace(profile: QueryProfile | ProfileNode,
+                            pid: int = 1) -> dict:
+    """Lay a profile's simulated timeline out as trace events.
+
+    Sequential children are placed back to back from their parent's
+    start; ``concurrent`` children all start with their parent, each on
+    its own ``tid`` row — so a stage's straggler sticks out exactly as it
+    does in the paper's Fig 5 discussion.
+    """
+    root = profile.root if isinstance(profile, QueryProfile) else profile
+    events: list[dict] = []
+    next_tid = [0]
+
+    def walk(node: ProfileNode, start_s: float, tid: int) -> None:
+        args: dict = {"sim_seconds": node.sim_seconds}
+        if node.counters:
+            args["counters"] = dict(node.counters)
+        if node.info:
+            args["info"] = dict(node.info)
+        events.append(
+            _event(node.name, "simulated", start_s * _US,
+                   node.sim_seconds * _US, pid, tid, args)
+        )
+        if node.concurrent:
+            for child in node.children:
+                next_tid[0] += 1
+                walk(child, start_s, next_tid[0])
+        else:
+            cursor = start_s
+            for child in node.children:
+                walk(child, cursor, tid)
+                cursor += child.sim_seconds
+
+    walk(root, 0.0, 0)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "source": "repro.obs"},
+    }
+
+
+def spans_to_chrome_trace(spans: Iterable[Span], pid: int = 2) -> dict:
+    """Export tracer spans (real wall clock) as trace events."""
+    roots = list(spans)
+    events: list[dict] = []
+    base = min((s.start_wall for s in roots), default=0.0)
+
+    def walk(span: Span, tid: int) -> None:
+        args: dict = {"sim_seconds": span.sim_seconds}
+        if span.attrs:
+            args["attrs"] = dict(span.attrs)
+        events.append(
+            _event(span.name, span.category, (span.start_wall - base) * _US,
+                   span.wall_seconds * _US, pid, tid, args)
+        )
+        for child in span.children:
+            walk(child, tid)
+
+    for i, root in enumerate(roots):
+        walk(root, i)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "wall", "source": "repro.obs"},
+    }
+
+
+def spans_to_json(spans: Iterable[Span]) -> list[dict]:
+    """Recursive plain-dict form of a span forest."""
+    return [span.to_dict() for span in spans]
+
+
+def write_chrome_trace(path: str, *traces: dict) -> None:
+    """Write one or more trace dicts to ``path`` as a single JSON file.
+
+    Multiple traces (e.g. a simulated profile plus a wall-clock span
+    capture) are merged into one event stream; their distinct ``pid``
+    values keep them on separate tracks in the viewer.
+    """
+    merged: dict = {"traceEvents": [], "displayTimeUnit": "ms"}
+    for trace in traces:
+        merged["traceEvents"].extend(trace.get("traceEvents", []))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=1)

@@ -1,0 +1,177 @@
+"""Impala-style query profile trees.
+
+Real Impala answers "where did the time go?" with a per-query runtime
+profile: a tree of exec nodes annotated with rows produced, bytes read
+and per-instance timing skew.  :class:`QueryProfile` is that artefact for
+both reproduced engines, built *exactly* from the metrics the engines
+already accrue — so a profile's per-phase simulated seconds sum to the
+query's reported ``simulated_seconds`` (asserted by the test suite).
+
+The tree is engine-shaped:
+
+* SpatialSpark: query -> broadcast + jobs -> stages (with task-skew
+  stats — max/median task seconds is the paper's straggler diagnostic);
+* ISP-MC: query -> planning / fragment startup / execution (one child
+  per fragment instance) / coordinator;
+* standalone / in-memory joins: query -> scan/parse/build/probe phases.
+
+``render()`` prints the ``EXPLAIN ANALYZE``-like text form;
+``to_json()`` and ``to_chrome_trace()`` export it for tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ProfileNode", "QueryProfile"]
+
+
+def _fmt_units(value: float) -> str:
+    """Compact human form for counter magnitudes (1234567 -> '1.23M')."""
+    magnitude = abs(value)
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if magnitude >= threshold:
+            return f"{value / threshold:.2f}{suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def _fmt_info(key: str, value: Any) -> str:
+    if isinstance(value, float):
+        if key.endswith(("seconds", "_s")):
+            return f"{value:.3f}s"
+        return f"{value:.3g}"
+    return str(value)
+
+
+@dataclass
+class ProfileNode:
+    """One node of the profile tree (query, stage, fragment, phase).
+
+    ``sim_seconds`` is the node's *inclusive* simulated duration.
+    Sequential children (the default) partition their parent's duration;
+    ``concurrent=True`` marks children that ran in parallel (tasks in a
+    stage, fragment instances in a query), whose durations overlap the
+    parent's instead of summing to it.
+    """
+
+    name: str
+    sim_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+    info: dict[str, Any] = field(default_factory=dict)
+    concurrent: bool = False
+    children: list["ProfileNode"] = field(default_factory=list)
+
+    def add_child(self, node: "ProfileNode") -> "ProfileNode":
+        """Append and return a child node (for chaining)."""
+        self.children.append(node)
+        return node
+
+    def to_dict(self) -> dict:
+        """Recursive plain-dict form for JSON export."""
+        return {
+            "name": self.name,
+            "sim_seconds": self.sim_seconds,
+            "wall_seconds": self.wall_seconds,
+            "counters": dict(self.counters),
+            "info": dict(self.info),
+            "concurrent": self.concurrent,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class QueryProfile:
+    """A rendered-able profile tree, optionally carrying its QueryMetrics."""
+
+    def __init__(self, root: ProfileNode, metrics=None):
+        self.root = root
+        self.metrics = metrics  # the QueryMetrics the tree was derived from
+
+    @property
+    def total_simulated_seconds(self) -> float:
+        """The query's simulated runtime (the root node's duration)."""
+        return self.root.sim_seconds
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Top-level breakdown: child name -> simulated seconds.
+
+        Children sharing a name (e.g. several ``job-*`` stages renamed
+        alike) accumulate.  For every engine-built profile these values
+        sum to :attr:`total_simulated_seconds` exactly.
+        """
+        phases: dict[str, float] = {}
+        for child in self.root.children:
+            phases[child.name] = phases.get(child.name, 0.0) + child.sim_seconds
+        return phases
+
+    def find(self, name: str) -> ProfileNode | None:
+        """Depth-first search for the first node called ``name``."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.name == name:
+                return node
+            stack.extend(reversed(node.children))
+        return None
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self, counters: bool = True) -> str:
+        """The ``EXPLAIN ANALYZE``-like text form of the profile."""
+        root = self.root
+        lines = [
+            f"Query Profile: {root.name}  "
+            f"(simulated total {root.sim_seconds:.3f}s)"
+        ]
+        if root.info:
+            lines.append(
+                "  " + "  ".join(
+                    f"{k}={_fmt_info(k, v)}" for k, v in root.info.items()
+                )
+            )
+        self._render_children(root, "", lines, counters)
+        return "\n".join(lines)
+
+    def _render_children(
+        self, node: ProfileNode, prefix: str, lines: list[str], counters: bool
+    ) -> None:
+        for i, child in enumerate(node.children):
+            last = i == len(node.children) - 1
+            branch = "└── " if last else "├── "
+            marker = "∥ " if child.concurrent and node.concurrent else ""
+            info = ""
+            if child.info:
+                info = "  [" + ", ".join(
+                    f"{k}={_fmt_info(k, v)}" for k, v in child.info.items()
+                ) + "]"
+            lines.append(
+                f"{prefix}{branch}{marker}{child.name}: "
+                f"{child.sim_seconds:.3f}s{info}"
+            )
+            deeper = prefix + ("    " if last else "│   ")
+            if counters and child.counters:
+                body = "  ".join(
+                    f"{name}={_fmt_units(value)}"
+                    for name, value in sorted(child.counters.items())
+                )
+                lines.append(f"{deeper}  {body}")
+            self._render_children(child, deeper, lines, counters)
+
+    # -- export ----------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Plain-dict form (json.dumps-able)."""
+        return {
+            "total_simulated_seconds": self.total_simulated_seconds,
+            "phases": self.phase_seconds(),
+            "tree": self.root.to_dict(),
+        }
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` form of the simulated timeline."""
+        from repro.obs.export import profile_to_chrome_trace
+
+        return profile_to_chrome_trace(self)

@@ -1,0 +1,84 @@
+"""Process-wide named counters and gauges.
+
+A :class:`MetricsRegistry` is the cheap always-there complement to the
+span tracer: instrumented substrate code (HDFS reads, shuffle writes,
+partitioned-join tiles) bumps named counters without any scoping, and
+reports/tests read a snapshot afterwards.
+
+Like the tracer, the shared :data:`REGISTRY` starts **disabled**:
+``inc``/``set_gauge`` test one boolean and return, so substrate hot paths
+cost nothing when nobody is observing.  Enable it directly
+(``REGISTRY.enabled = True``) or scoped via :func:`collecting`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+__all__ = ["MetricsRegistry", "REGISTRY", "collecting"]
+
+
+class MetricsRegistry:
+    """Named monotonically-increasing counters plus last-value gauges."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    # -- write side (no-ops while disabled) ------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at 0)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of gauge ``name``."""
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    # -- read side --------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current counter value (0.0 when never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> float | None:
+        """Latest gauge value (None when never set)."""
+        return self._gauges.get(name)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Copy of everything, for reports and JSON export."""
+        return {"counters": dict(self._counters), "gauges": dict(self._gauges)}
+
+    def reset(self) -> None:
+        """Zero every counter and drop every gauge."""
+        self._counters.clear()
+        self._gauges.clear()
+
+
+# The process-wide registry instrumented substrate code reports to.
+REGISTRY = MetricsRegistry(enabled=False)
+
+
+@contextlib.contextmanager
+def collecting(registry: MetricsRegistry = REGISTRY) -> Iterator[MetricsRegistry]:
+    """Enable (and afterwards restore) a registry around a block::
+
+        with collecting() as reg:
+            run_query(...)
+        print(reg.counter("hdfs.bytes_read"))
+
+    The registry is reset on entry so the block's counts stand alone.
+    """
+    previous = registry.enabled
+    registry.reset()
+    registry.enabled = True
+    try:
+        yield registry
+    finally:
+        registry.enabled = previous

@@ -1,0 +1,237 @@
+"""Hierarchical trace spans with a zero-overhead disabled path.
+
+A :class:`Span` records a named region of execution: real wall-clock
+bounds (``perf_counter``), an accumulated *simulated* duration (set by
+the instrumentation site from the cost model — the quantity the paper's
+tables report), free-form attributes and resource-counter snapshots, and
+child spans.  Spans nest per thread, mirroring how
+:mod:`repro.spark.taskcontext` scopes :class:`TaskMetrics`.
+
+The process-wide tracer defaults to **disabled**: ``tracer.span(...)``
+then returns the shared :data:`NULL_SPAN` singleton whose every method is
+a no-op, so instrumented hot paths (per-task, per-row-batch) pay one
+attribute check and nothing else.  Enable capture either explicitly::
+
+    tracer = set_tracer(Tracer())
+    ... run a query ...
+    spans = tracer.roots
+
+or scoped::
+
+    with tracing() as tracer:
+        ... run a query ...
+    spans = tracer.roots
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Any, Iterator
+
+__all__ = ["Span", "Tracer", "NULL_SPAN", "get_tracer", "set_tracer", "tracing"]
+
+
+class Span:
+    """One traced region: wall bounds, simulated seconds, attrs, children."""
+
+    __slots__ = ("name", "category", "start_wall", "end_wall", "sim_seconds",
+                 "attrs", "children")
+
+    def __init__(self, name: str, category: str = "phase"):
+        self.name = name
+        self.category = category
+        self.start_wall = 0.0
+        self.end_wall = 0.0
+        self.sim_seconds = 0.0
+        self.attrs: dict[str, Any] = {}
+        self.children: list[Span] = []
+
+    @property
+    def wall_seconds(self) -> float:
+        """Real elapsed time inside the span (0 while still open)."""
+        return max(self.end_wall - self.start_wall, 0.0)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach one attribute (overwrites)."""
+        self.attrs[key] = value
+
+    def add_sim(self, seconds: float) -> None:
+        """Accrue simulated time into this span."""
+        self.sim_seconds += seconds
+
+    def add_counts(self, counts: dict[str, float]) -> None:
+        """Merge resource-counter deltas (TaskMetrics-style) into attrs."""
+        for resource, units in counts.items():
+            self.attrs[resource] = self.attrs.get(resource, 0.0) + units
+
+    def to_dict(self) -> dict:
+        """Recursive plain-dict form (for JSON export)."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, cat={self.category!r}, "
+            f"sim={self.sim_seconds:.6f}s, children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span: the disabled tracer's entire overhead."""
+
+    __slots__ = ()
+    name = "<null>"
+    category = "null"
+    sim_seconds = 0.0
+    wall_seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def add_sim(self, seconds: float) -> None:
+        pass
+
+    def add_counts(self, counts: dict[str, float]) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one real span on the tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, attrs: dict):
+        self._tracer = tracer
+        span = Span(name, category)
+        if attrs:
+            span.attrs.update(attrs)
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span.start_wall = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._span.end_wall = time.perf_counter()
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Collects spans into per-thread trees; ``roots`` holds the forest."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.roots: list[Span] = []
+        self._local = threading.local()
+
+    # -- span lifecycle ---------------------------------------------------------
+
+    def span(self, name: str, category: str = "phase", **attrs):
+        """Open a traced region: ``with tracer.span("probe") as sp: ...``.
+
+        Returns :data:`NULL_SPAN` (a no-op context manager) when disabled.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanContext(self, name, category, attrs)
+
+    def event(self, name: str, category: str = "event",
+              sim_seconds: float = 0.0, **attrs):
+        """Record an instantaneous leaf span under the current span."""
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(name, category)
+        span.start_wall = span.end_wall = time.perf_counter()
+        span.sim_seconds = sim_seconds
+        if attrs:
+            span.attrs.update(attrs)
+        self._attach(span)
+        return span
+
+    def current_span(self):
+        """The innermost open span on this thread (or :data:`NULL_SPAN`)."""
+        if not self.enabled:
+            return NULL_SPAN
+        stack = self._stack()
+        return stack[-1] if stack else NULL_SPAN
+
+    def reset(self) -> None:
+        """Drop all collected spans (open spans keep recording)."""
+        self.roots.clear()
+
+    # -- internals -------------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _attach(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    def _push(self, span: Span) -> None:
+        self._attach(span)
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+
+# The process-wide tracer: disabled until someone opts in.
+_GLOBAL = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer instrumented code reports to."""
+    return _GLOBAL
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` process-wide; returns it for chaining."""
+    global _GLOBAL
+    _GLOBAL = tracer
+    return tracer
+
+
+@contextlib.contextmanager
+def tracing(enabled: bool = True) -> Iterator[Tracer]:
+    """Install a fresh tracer for the block, restoring the previous after::
+
+        with tracing() as tracer:
+            run_query(...)
+        trace = spans_to_chrome_trace(tracer.roots)
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    tracer = Tracer(enabled=enabled)
+    _GLOBAL = tracer
+    try:
+        yield tracer
+    finally:
+        _GLOBAL = previous

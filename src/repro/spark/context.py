@@ -7,13 +7,12 @@ cache and broadcast registry, and exposes the ``parallelize`` /
 
 from __future__ import annotations
 
-import math
 from typing import TypeVar
 
 from repro.cluster.metrics import QueryMetrics
 from repro.cluster.model import ClusterSpec, CostModel
-from repro.errors import SparkError
 from repro.hdfs import SimulatedHDFS
+from repro.obs.profile import ProfileNode, QueryProfile
 from repro.spark.broadcast import Broadcast
 from repro.spark.rdd import BinaryRecordsRDD, ParallelCollectionRDD, RDD, TextFileRDD
 from repro.spark.scheduler import DAGScheduler
@@ -141,6 +140,35 @@ class SparkContext:
             for resource, units in job.totals().items():
                 merged[resource] = merged.get(resource, 0.0) + units
         return merged
+
+    def to_profile(self, name: str = "spark-query") -> QueryProfile:
+        """Profile tree for everything run since the last metrics reset.
+
+        Children are the driver-side broadcast cost (when any) plus one
+        subtree per job (stages with task-skew stats); their simulated
+        seconds sum to :meth:`simulated_seconds` exactly.
+        """
+        root = ProfileNode(
+            name,
+            sim_seconds=self.simulated_seconds(),
+            info={
+                "engine": "SpatialSpark",
+                "nodes": self.cluster.num_nodes,
+                "cores": self.cluster.total_cores,
+                "jobs": len(self.job_log),
+            },
+        )
+        if self.broadcast_overhead_seconds:
+            root.add_child(
+                ProfileNode(
+                    "broadcast",
+                    sim_seconds=self.broadcast_overhead_seconds,
+                    info={"kind": "collect + index build + torrent fan-out"},
+                )
+            )
+        for job in self.job_log:
+            root.add_child(job.to_profile(self.cost_model).root)
+        return QueryProfile(root)
 
     # -- cache & internal helpers ----------------------------------------------
 

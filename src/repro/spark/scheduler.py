@@ -17,8 +17,8 @@ from typing import Callable, Sequence
 from repro.cluster.metrics import QueryMetrics, StageMetrics, TaskMetrics
 from repro.cluster.model import Resource
 from repro.errors import SparkError
+from repro.obs.tracer import get_tracer
 from repro.spark.rdd import RDD, NarrowDependency, ShuffleDependency
-from repro.spark.shuffle import estimate_bytes
 from repro.spark.taskcontext import task_scope
 from repro.cluster.simulation import simulate_dynamic
 
@@ -43,7 +43,7 @@ class DAGScheduler:
         self._job_counter = 0
         self.task_failures = 0
 
-    def _attempt_task(self, task: TaskMetrics, body) -> float:
+    def _attempt_task(self, task: TaskMetrics, body, label: str = "task") -> float:
         """Run ``body`` with retries; returns the task's total seconds.
 
         Each attempt accrues into ``task`` (lineage recomputation repeats
@@ -52,16 +52,22 @@ class DAGScheduler:
         """
         model = self.sc.cost_model
         last_error: Exception | None = None
-        for attempt in range(self.MAX_TASK_ATTEMPTS):
-            try:
-                with task_scope(task):
-                    body()
-                return task.seconds(model) * model.spark_jvm_factor
-            except SparkError:
-                raise
-            except Exception as error:  # noqa: BLE001 - any task crash retries
-                self.task_failures += 1
-                last_error = error
+        with get_tracer().span(label, category="task") as span:
+            for attempt in range(self.MAX_TASK_ATTEMPTS):
+                try:
+                    with task_scope(task):
+                        body()
+                    seconds = task.seconds(model) * model.spark_jvm_factor
+                    span.add_sim(seconds)
+                    span.add_counts(task.counts)
+                    if attempt:
+                        span.set_attr("attempts", attempt + 1)
+                    return seconds
+                except SparkError:
+                    raise
+                except Exception as error:  # noqa: BLE001 - any task crash retries
+                    self.task_failures += 1
+                    last_error = error
         raise SparkError(
             f"task failed {self.MAX_TASK_ATTEMPTS} times; last error: "
             f"{last_error!r}"
@@ -85,11 +91,14 @@ class DAGScheduler:
             partitions = range(rdd.num_partitions)
         self._job_counter += 1
         metrics = QueryMetrics(name=f"job-{self._job_counter}")
-        if self.sc._charge_jar_ship():
-            metrics.overhead_seconds += self.sc.cost_model.spark_jar_ship
-        for dep in self._unmaterialised_shuffles(rdd):
-            self._run_shuffle_stage(dep, metrics)
-        results = self._run_result_stage(rdd, func, partitions, metrics)
+        with get_tracer().span(metrics.name, category="job") as span:
+            if self.sc._charge_jar_ship():
+                metrics.overhead_seconds += self.sc.cost_model.spark_jar_ship
+            for dep in self._unmaterialised_shuffles(rdd):
+                self._run_shuffle_stage(dep, metrics)
+            results = self._run_result_stage(rdd, func, partitions, metrics)
+            span.add_sim(metrics.simulated_seconds)
+            span.set_attr("stages", len(metrics.stages))
         self.sc._record_job(metrics)
         return results
 
@@ -120,6 +129,12 @@ class DAGScheduler:
         parent = dep.parent
         partitioner = dep.partitioner
         stage = StageMetrics(name=f"shuffle-{dep.shuffle_id}")
+        with get_tracer().span(stage.name, category="stage"):
+            self._run_shuffle_tasks(dep, store, parent, partitioner, stage, metrics)
+
+    def _run_shuffle_tasks(
+        self, dep, store, parent, partitioner, stage, metrics
+    ) -> None:
         task_seconds: list[float] = []
         for split in range(parent.num_partitions):
             task = TaskMetrics()
@@ -147,7 +162,9 @@ class DAGScheduler:
                 written = store.write(dep.shuffle_id, split, bucketed)
                 task.add(Resource.SHUFFLE_BYTES, written)
 
-            task_seconds.append(self._attempt_task(task, map_task))
+            task_seconds.append(
+                self._attempt_task(task, map_task, label=f"map-{split}")
+            )
             stage.tasks.append(task)
         self._finish_stage(stage, task_seconds, shuffling=True, metrics=metrics)
 
@@ -162,17 +179,20 @@ class DAGScheduler:
         results = []
         task_seconds: list[float] = []
         reads_shuffle = self._pipeline_reads_shuffle(rdd)
-        for split in partitions:
-            task = TaskMetrics()
+        with get_tracer().span(stage.name, category="stage"):
+            for split in partitions:
+                task = TaskMetrics()
 
-            def result_task(split=split):
-                results.append(func(rdd.iterator(split)))
+                def result_task(split=split):
+                    results.append(func(rdd.iterator(split)))
 
-            task_seconds.append(self._attempt_task(task, result_task))
-            stage.tasks.append(task)
-        self._finish_stage(
-            stage, task_seconds, shuffling=reads_shuffle, metrics=metrics
-        )
+                task_seconds.append(
+                    self._attempt_task(task, result_task, label=f"task-{split}")
+                )
+                stage.tasks.append(task)
+            self._finish_stage(
+                stage, task_seconds, shuffling=reads_shuffle, metrics=metrics
+            )
         return results
 
     def _pipeline_reads_shuffle(self, rdd: RDD) -> bool:
@@ -213,3 +233,13 @@ class DAGScheduler:
         if shuffling:
             stage.overhead_seconds += model.spark_stage_base
         metrics.add_stage(stage)
+        # The enclosing stage span (a no-op while tracing is disabled)
+        # gets the scheduling outcome: makespan + overhead as duration,
+        # straggler statistics as attributes.
+        span = get_tracer().current_span()
+        span.add_sim(stage.makespan_seconds + stage.overhead_seconds)
+        span.set_attr("tasks", stage.num_tasks)
+        span.set_attr("makespan_seconds", stage.makespan_seconds)
+        span.set_attr("max_task_seconds", stage.max_task_seconds(model))
+        span.set_attr("median_task_seconds", stage.median_task_seconds(model))
+        span.set_attr("skew", stage.skew(model))

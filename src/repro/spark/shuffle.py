@@ -9,9 +9,10 @@ moved so the cost model can charge network time.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Iterable
+from typing import Any, Hashable, Iterable
 
 from repro.errors import SparkError
+from repro.obs.registry import REGISTRY
 
 __all__ = ["HashPartitioner", "RangePartitioner", "ShuffleStore", "estimate_bytes"]
 
@@ -126,15 +127,19 @@ class ShuffleStore:
         self._bytes_by_shuffle[shuffle_id] = (
             self._bytes_by_shuffle.get(shuffle_id, 0) + written
         )
+        REGISTRY.inc("shuffle.blocks_written", len(bucketed))
+        REGISTRY.inc("shuffle.bytes_written", written)
         return written
 
     def read(
         self, shuffle_id: int, num_map_partitions: int, reduce_partition: int
     ) -> Iterable:
         """Yield every record destined for ``reduce_partition``."""
+        REGISTRY.inc("shuffle.reduce_fetches")
         for map_partition in range(num_map_partitions):
             block = self._blocks.get((shuffle_id, map_partition, reduce_partition))
             if block:
+                REGISTRY.inc("shuffle.blocks_read")
                 yield from block
 
     def bytes_for(self, shuffle_id: int) -> int:

@@ -1,7 +1,5 @@
 """Calibration utilities: the cost-model constants are reproducible."""
 
-import pytest
-
 from repro.bench.calibrate import calibration_report, derive_work_scale, micro_ratio
 from repro.cluster import CostModel
 

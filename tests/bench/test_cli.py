@@ -1,0 +1,70 @@
+"""The ``python -m repro.bench`` command line."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import build_parser, main
+from repro.bench.report import DEFAULT_SCALE, experiments_json
+
+SCALE = "0.02"
+
+
+class TestParser:
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--help"])
+        assert exc.value.code == 0
+        assert "--profile" in capsys.readouterr().out
+
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scale == DEFAULT_SCALE
+        assert not args.json and not args.profile
+        assert args.workload == "taxi-nycb"
+        assert args.engine == "spatialspark"
+        assert args.nodes == 1
+
+    def test_scale_positional(self):
+        assert build_parser().parse_args(["0.5"]).scale == 0.5
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--engine", "warp"])
+
+
+class TestProfileMode:
+    def test_profile_prints_tree(self, capsys):
+        assert main([SCALE, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Query Profile: SpatialSpark:taxi-nycb" in out
+        assert "simulated total" in out
+
+    def test_profile_json(self, capsys):
+        assert main([SCALE, "--profile", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total_simulated_seconds"] > 0
+        assert sum(doc["phases"].values()) == pytest.approx(
+            doc["total_simulated_seconds"], rel=1e-9
+        )
+
+    def test_trace_out_writes_merged_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main([SCALE, "--profile", "--engine", "isp-mc",
+                     "--trace-out", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        events = trace["traceEvents"]
+        assert events
+        # Both clocks present: the simulated profile track and the
+        # wall-clock span track ride on distinct pids.
+        assert len({e["pid"] for e in events}) == 2
+
+
+class TestJsonReport:
+    @pytest.mark.slow
+    def test_experiments_json_is_dumpable_and_complete(self):
+        doc = experiments_json(scale=float(SCALE))
+        json.dumps(doc)
+        assert set(doc) >= {"scale", "table1", "table2", "fig4", "fig5", "paper"}
+        assert len(doc["table1"]) == 4
+        assert all(len(series) == 4 for series in doc["fig4"].values())

@@ -1,0 +1,120 @@
+"""Unit tests for the task/stage/query metrics hierarchy."""
+
+import math
+
+from repro.cluster.metrics import QueryMetrics, StageMetrics, TaskMetrics
+from repro.cluster.model import CostModel, Resource
+
+
+def make_task(**counts) -> TaskMetrics:
+    task = TaskMetrics()
+    for resource, units in counts.items():
+        task.add(resource, units)
+    return task
+
+
+class TestTaskMetrics:
+    def test_add_accumulates(self):
+        task = TaskMetrics()
+        task.add(Resource.HDFS_BYTES, 100.0)
+        task.add(Resource.HDFS_BYTES, 50.0)
+        assert task.get(Resource.HDFS_BYTES) == 150.0
+
+    def test_get_defaults_to_zero(self):
+        assert TaskMetrics().get(Resource.WKT_BYTES) == 0.0
+
+    def test_merge(self):
+        a = make_task(**{Resource.HDFS_BYTES: 10.0, Resource.ROWS_OUT: 3.0})
+        b = make_task(**{Resource.HDFS_BYTES: 5.0, Resource.WKT_BYTES: 7.0})
+        a.merge(b)
+        assert a.get(Resource.HDFS_BYTES) == 15.0
+        assert a.get(Resource.ROWS_OUT) == 3.0
+        assert a.get(Resource.WKT_BYTES) == 7.0
+        # The merged-from task is untouched.
+        assert b.get(Resource.HDFS_BYTES) == 5.0
+
+    def test_seconds_uses_cost_model(self):
+        model = CostModel()
+        task = make_task(**{Resource.HDFS_BYTES: 1000.0})
+        assert task.seconds(model) == model.task_seconds({Resource.HDFS_BYTES: 1000.0})
+
+
+class TestStageMetrics:
+    def test_total_task_seconds_sums_tasks(self):
+        model = CostModel()
+        stage = StageMetrics(name="s")
+        stage.tasks = [
+            make_task(**{Resource.HDFS_BYTES: 100.0}),
+            make_task(**{Resource.HDFS_BYTES: 300.0}),
+        ]
+        expected = sum(t.seconds(model) for t in stage.tasks)
+        assert math.isclose(stage.total_task_seconds(model), expected)
+
+    def test_skew_stats(self):
+        model = CostModel()
+        stage = StageMetrics(name="s")
+        stage.tasks = [
+            make_task(**{Resource.HDFS_BYTES: 100.0}),
+            make_task(**{Resource.HDFS_BYTES: 100.0}),
+            make_task(**{Resource.HDFS_BYTES: 400.0}),
+        ]
+        assert stage.max_task_seconds(model) == make_task(
+            **{Resource.HDFS_BYTES: 400.0}
+        ).seconds(model)
+        assert math.isclose(stage.skew(model), 4.0)
+
+    def test_skew_degenerate_cases(self):
+        model = CostModel()
+        assert StageMetrics(name="empty").skew(model) == 1.0
+        zero = StageMetrics(name="zero", tasks=[TaskMetrics()])
+        assert zero.skew(model) == 1.0
+
+    def test_counter_totals(self):
+        stage = StageMetrics(name="s")
+        stage.tasks = [
+            make_task(**{Resource.ROWS_OUT: 2.0}),
+            make_task(**{Resource.ROWS_OUT: 3.0, Resource.WKT_BYTES: 10.0}),
+        ]
+        assert stage.counter_totals() == {
+            Resource.ROWS_OUT: 5.0,
+            Resource.WKT_BYTES: 10.0,
+        }
+
+
+class TestQueryMetrics:
+    def make_query(self) -> QueryMetrics:
+        query = QueryMetrics(name="q", overhead_seconds=1.5)
+        s1 = StageMetrics(name="scan", makespan_seconds=4.0, overhead_seconds=0.5)
+        s1.tasks = [make_task(**{Resource.HDFS_BYTES: 100.0})]
+        s2 = StageMetrics(name="probe", makespan_seconds=10.0)
+        s2.tasks = [make_task(**{Resource.ROWS_OUT: 7.0})]
+        query.add_stage(s1)
+        query.add_stage(s2)
+        return query
+
+    def test_simulated_seconds(self):
+        assert self.make_query().simulated_seconds == 1.5 + 4.0 + 0.5 + 10.0
+
+    def test_totals(self):
+        totals = self.make_query().totals()
+        assert totals[Resource.HDFS_BYTES] == 100.0
+        assert totals[Resource.ROWS_OUT] == 7.0
+
+    def test_to_profile_children_sum_to_total(self):
+        query = self.make_query()
+        profile = query.to_profile(CostModel())
+        assert profile.metrics is query
+        phases = profile.phase_seconds()
+        assert math.isclose(sum(phases.values()), query.simulated_seconds)
+        # Overhead surfaces as its own node; stages keep their names.
+        assert phases["query-overhead"] == 1.5
+        assert phases["scan"] == 4.5
+        assert phases["probe"] == 10.0
+
+    def test_to_profile_carries_skew_stats_and_counters(self):
+        profile = self.make_query().to_profile(CostModel())
+        node = profile.find("scan")
+        assert node is not None
+        assert node.info["tasks"] == 1
+        assert node.info["skew"] == 1.0
+        assert node.counters[Resource.HDFS_BYTES] == 100.0

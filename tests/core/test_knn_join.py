@@ -1,7 +1,6 @@
 """kNN spatial join (extension): verified against brute force."""
 
 import math
-import random
 
 import pytest
 

@@ -1,7 +1,5 @@
 """BroadcastIndex and refine_pair: the shared filter+refine machinery."""
 
-import random
-
 import pytest
 
 from repro.cluster import Resource

@@ -1,7 +1,5 @@
 """Simulated HDFS: blocks, replicas, line-split semantics."""
 
-import random
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

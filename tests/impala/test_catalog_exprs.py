@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ImpalaError, PlanError
+from repro.errors import PlanError
 from repro.hdfs import SimulatedHDFS, write_text
 from repro.impala.ast_nodes import (
     BinaryOp,

@@ -11,7 +11,7 @@ from repro.impala.ast_nodes import (
     Star,
     UnaryOp,
 )
-from repro.impala.lexer import Token, TokenType, tokenize
+from repro.impala.lexer import TokenType, tokenize
 from repro.impala.parser import parse
 
 

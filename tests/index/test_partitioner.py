@@ -8,7 +8,6 @@ from repro.index import (
     BinarySplitPartitioner,
     FixedGridPartitioner,
     SortTilePartitioner,
-    SpatialPartitioning,
     reference_point_in,
 )
 

@@ -1,7 +1,6 @@
 """STR-packed R-tree: the broadcast join's filtering index."""
 
 import math
-import random
 
 import pytest
 

@@ -1,0 +1,121 @@
+"""Acceptance tests: profiles built by the engines are exact and render.
+
+The core guarantee of the observability layer is that profiles are
+derived from the same metrics the simulated runtimes are computed from,
+so the per-phase simulated seconds *sum* to the reported total — for
+every workload, on every engine.
+"""
+
+import json
+
+import pytest
+
+from repro import spatial_join
+from repro.bench.report import WORKLOAD_ORDER
+from repro.bench.runner import run_engine
+from repro.cluster.model import CostModel
+from repro.obs import QueryProfile, tracing
+
+SCALE = 0.02
+ENGINES = ("spatialspark", "isp-mc", "isp-standalone")
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One profiled run per (workload, engine) at tiny scale, memoised."""
+    out = {}
+    for workload in WORKLOAD_ORDER:
+        for engine in ENGINES:
+            out[workload, engine] = run_engine(
+                workload, engine, 1, scale=SCALE, profile=True
+            )
+    return out
+
+
+class TestEngineProfiles:
+    @pytest.mark.parametrize("workload", WORKLOAD_ORDER)
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_profile_present_and_renders(self, runs, workload, engine):
+        result = runs[workload, engine]
+        profile = result.profile
+        assert isinstance(profile, QueryProfile)
+        text = profile.render()
+        assert workload in text
+        assert "simulated total" in text
+
+    @pytest.mark.parametrize("workload", WORKLOAD_ORDER)
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_phases_sum_to_simulated_seconds(self, runs, workload, engine):
+        result = runs[workload, engine]
+        profile = result.profile
+        assert profile.total_simulated_seconds == pytest.approx(
+            result.simulated_seconds, rel=1e-9
+        )
+        assert sum(profile.phase_seconds().values()) == pytest.approx(
+            result.simulated_seconds, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_profile_exports_json_and_chrome_trace(self, runs, engine):
+        profile = runs["taxi-nycb", engine].profile
+        json.dumps(profile.to_json())
+        trace = profile.to_chrome_trace()
+        assert trace["traceEvents"], "chrome trace should carry events"
+        json.dumps(trace)
+
+    def test_unprofiled_run_has_no_profile(self):
+        result = run_engine("taxi-nycb", "spatialspark", 1, scale=SCALE)
+        assert result.profile is None
+
+    def test_spark_profile_has_stage_skew_stats(self, runs):
+        profile = runs["taxi-nycb", "spatialspark"].profile
+        node = profile.find("result")
+        assert node is not None
+        assert {"tasks", "makespan_seconds", "max_task_seconds", "skew"} <= set(
+            node.info
+        )
+
+    def test_impala_profile_has_fragment_instances(self, runs):
+        profile = runs["taxi-nycb", "isp-mc"].profile
+        execution = profile.find("execution")
+        assert execution is not None and execution.concurrent
+        assert execution.children, "expected per-instance children"
+        assert profile.find("instance-0").counters
+
+
+class TestSpatialJoinProfile:
+    LEFT = [(0, "POINT (1 1)"), (1, "POINT (9 9)"), (2, "POINT (3 2)")]
+    RIGHT = [("cell", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")]
+
+    def test_returns_pairs_and_profile(self):
+        pairs, profile = spatial_join(self.LEFT, self.RIGHT, profile=True)
+        assert sorted(pairs) == [(0, "cell"), (2, "cell")]
+        assert isinstance(profile, QueryProfile)
+
+    def test_profile_matches_unprofiled_result(self):
+        plain = spatial_join(self.LEFT, self.RIGHT)
+        pairs, _ = spatial_join(self.LEFT, self.RIGHT, profile=True)
+        assert sorted(pairs) == sorted(plain)
+
+    def test_phase_seconds_sum_to_query_metrics(self):
+        model = CostModel()
+        _, profile = spatial_join(
+            self.LEFT, self.RIGHT, profile=True, cost_model=model
+        )
+        assert profile.metrics is not None
+        assert sum(profile.phase_seconds().values()) == pytest.approx(
+            profile.metrics.simulated_seconds, rel=1e-9
+        )
+        assert set(profile.phase_seconds()) == {"parse", "build", "probe"}
+
+    def test_profile_requires_index_method(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            spatial_join(self.LEFT, self.RIGHT, method="naive", profile=True)
+
+    def test_profiled_run_emits_spans_when_tracing(self):
+        with tracing() as tracer:
+            spatial_join(self.LEFT, self.RIGHT, profile=True)
+        names = [root.name for root in tracer.roots]
+        assert names == ["parse", "build", "probe"]

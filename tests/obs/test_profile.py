@@ -1,0 +1,119 @@
+"""Profile trees and Chrome trace_event export."""
+
+import json
+
+from repro.obs import (
+    ProfileNode,
+    QueryProfile,
+    Tracer,
+    profile_to_chrome_trace,
+    spans_to_chrome_trace,
+    spans_to_json,
+    write_chrome_trace,
+)
+
+
+def make_profile() -> QueryProfile:
+    root = ProfileNode("query", sim_seconds=10.0, info={"engine": "test"})
+    root.add_child(ProfileNode("setup", sim_seconds=2.0))
+    stage = root.add_child(
+        ProfileNode(
+            "stage",
+            sim_seconds=8.0,
+            counters={"rows_out": 42.0},
+            concurrent=True,
+        )
+    )
+    stage.add_child(ProfileNode("task-0", sim_seconds=8.0, concurrent=True))
+    stage.add_child(ProfileNode("task-1", sim_seconds=5.0, concurrent=True))
+    return QueryProfile(root)
+
+
+class TestQueryProfile:
+    def test_phase_seconds_sums_top_level(self):
+        profile = make_profile()
+        assert profile.phase_seconds() == {"setup": 2.0, "stage": 8.0}
+        assert profile.total_simulated_seconds == 10.0
+
+    def test_find(self):
+        profile = make_profile()
+        assert profile.find("task-1").sim_seconds == 5.0
+        assert profile.find("nope") is None
+
+    def test_render_mentions_every_node_and_counters(self):
+        text = make_profile().render()
+        for needle in ("query", "setup", "stage", "task-0", "task-1"):
+            assert needle in text
+        assert "rows_out=42" in text
+        assert "simulated total 10.000s" in text
+
+    def test_render_without_counters(self):
+        assert "rows_out" not in make_profile().render(counters=False)
+
+    def test_to_json_round_trips(self):
+        doc = make_profile().to_json()
+        restored = json.loads(json.dumps(doc))
+        assert restored["total_simulated_seconds"] == 10.0
+        assert restored["tree"]["children"][1]["counters"] == {"rows_out": 42.0}
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        trace = profile_to_chrome_trace(make_profile())
+        restored = json.loads(json.dumps(trace))
+        assert restored["displayTimeUnit"] == "ms"
+        events = restored["traceEvents"]
+        assert len(events) == 5
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "cat", "ts", "dur", "pid", "tid", "args"}
+            assert event["dur"] >= 0
+
+    def test_sequential_children_lay_back_to_back(self):
+        trace = profile_to_chrome_trace(make_profile())
+        by_name = {e["name"]: e for e in trace["traceEvents"]}
+        assert by_name["setup"]["ts"] == by_name["query"]["ts"]
+        assert by_name["stage"]["ts"] == by_name["setup"]["ts"] + by_name["setup"]["dur"]
+
+    def test_concurrent_children_share_start_on_distinct_rows(self):
+        trace = profile_to_chrome_trace(make_profile())
+        by_name = {e["name"]: e for e in trace["traceEvents"]}
+        t0, t1 = by_name["task-0"], by_name["task-1"]
+        assert t0["ts"] == t1["ts"] == by_name["stage"]["ts"]
+        assert t0["tid"] != t1["tid"]
+
+    def test_spans_export(self):
+        tracer = Tracer()
+        with tracer.span("query") as q:
+            q.add_sim(1.0)
+            with tracer.span("phase", category="phase"):
+                pass
+        trace = spans_to_chrome_trace(tracer.roots)
+        events = trace["traceEvents"]
+        assert [e["name"] for e in events] == ["query", "phase"]
+        assert events[0]["args"]["sim_seconds"] == 1.0
+        # Child starts at or after the parent on the wall clock.
+        assert events[1]["ts"] >= events[0]["ts"]
+        json.dumps(trace)
+
+    def test_spans_to_json(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        docs = spans_to_json(tracer.roots)
+        assert docs[0]["name"] == "a"
+        assert docs[0]["children"][0]["name"] == "b"
+
+    def test_write_chrome_trace_merges(self, tmp_path):
+        path = tmp_path / "trace.json"
+        profile_trace = profile_to_chrome_trace(make_profile())
+        tracer = Tracer()
+        with tracer.span("wall"):
+            pass
+        write_chrome_trace(str(path), profile_trace, spans_to_chrome_trace(tracer.roots))
+        merged = json.loads(path.read_text())
+        names = [e["name"] for e in merged["traceEvents"]]
+        assert "query" in names and "wall" in names
+        # Distinct pids keep the two clocks on separate tracks.
+        assert len({e["pid"] for e in merged["traceEvents"]}) == 2

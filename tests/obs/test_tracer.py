@@ -1,0 +1,165 @@
+"""Tracer and metrics-registry behaviour."""
+
+from repro.obs import (
+    NULL_SPAN,
+    MetricsRegistry,
+    Tracer,
+    collecting,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+class TestSpanNesting:
+    def test_children_nest_under_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("query") as q:
+            with tracer.span("stage") as s:
+                with tracer.span("task"):
+                    pass
+            with tracer.span("stage-2"):
+                pass
+        assert [r.name for r in tracer.roots] == ["query"]
+        assert [c.name for c in q.children] == ["stage", "stage-2"]
+        assert [c.name for c in s.children] == ["task"]
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_span_records_wall_and_sim(self):
+        tracer = Tracer()
+        with tracer.span("work", category="phase", foo=1) as span:
+            span.add_sim(2.5)
+            span.add_sim(0.5)
+            span.set_attr("bar", "baz")
+        assert span.sim_seconds == 3.0
+        assert span.wall_seconds >= 0.0
+        assert span.end_wall >= span.start_wall
+        assert span.attrs == {"foo": 1, "bar": "baz"}
+
+    def test_add_counts_merges(self):
+        tracer = Tracer()
+        with tracer.span("t") as span:
+            span.add_counts({"hdfs_bytes": 10.0})
+            span.add_counts({"hdfs_bytes": 5.0, "rows_out": 2.0})
+        assert span.attrs == {"hdfs_bytes": 15.0, "rows_out": 2.0}
+
+    def test_event_attaches_as_leaf(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            tracer.event("tick", sim_seconds=1.25, n=3)
+        (parent,) = tracer.roots
+        (event,) = parent.children
+        assert event.name == "tick"
+        assert event.sim_seconds == 1.25
+        assert event.attrs == {"n": 3}
+        assert event.wall_seconds == 0.0
+
+    def test_current_span(self):
+        tracer = Tracer()
+        assert tracer.current_span() is NULL_SPAN
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+        assert tracer.current_span() is NULL_SPAN
+
+    def test_reset_drops_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        span_cm = tracer.span("anything", category="x", attr=1)
+        assert span_cm is NULL_SPAN
+        with span_cm as span:
+            # Every mutator is a no-op on the shared singleton.
+            span.add_sim(100.0)
+            span.set_attr("k", "v")
+            span.add_counts({"c": 1.0})
+        assert span.sim_seconds == 0.0
+        assert tracer.roots == []
+
+    def test_disabled_event_is_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.event("tick", sim_seconds=5.0) is NULL_SPAN
+        assert tracer.roots == []
+
+    def test_global_tracer_disabled_by_default(self):
+        assert get_tracer().enabled is False
+
+    def test_tracing_installs_and_restores(self):
+        before = get_tracer()
+        with tracing() as tracer:
+            assert get_tracer() is tracer
+            assert tracer.enabled
+            with tracer.span("q"):
+                pass
+        assert get_tracer() is before
+        assert [r.name for r in tracer.roots] == ["q"]
+
+    def test_tracing_restores_on_error(self):
+        before = get_tracer()
+        try:
+            with tracing():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_tracer() is before
+
+    def test_set_tracer_roundtrip(self):
+        before = get_tracer()
+        mine = Tracer()
+        try:
+            assert set_tracer(mine) is mine
+            assert get_tracer() is mine
+        finally:
+            set_tracer(before)
+
+
+class TestMetricsRegistry:
+    def test_disabled_writes_are_dropped(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("hdfs.reads")
+        reg.set_gauge("depth", 3.0)
+        assert reg.counter("hdfs.reads") == 0.0
+        assert reg.snapshot() == {"counters": {}, "gauges": {}}
+
+    def test_enabled_counters_and_gauges(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("hdfs.reads")
+        reg.inc("hdfs.reads", 2.0)
+        reg.set_gauge("depth", 3.0)
+        reg.set_gauge("depth", 4.0)
+        assert reg.counter("hdfs.reads") == 3.0
+        assert reg.gauge("depth") == 4.0
+        snap = reg.snapshot()
+        assert snap["counters"] == {"hdfs.reads": 3.0}
+        assert snap["gauges"] == {"depth": 4.0}
+
+    def test_reset(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("x", 5.0)
+        reg.reset()
+        assert reg.counter("x") == 0.0
+
+    def test_collecting_scopes_enablement(self):
+        reg = MetricsRegistry(enabled=False)
+        with collecting(reg) as scoped:
+            assert scoped is reg
+            reg.inc("y")
+            assert reg.counter("y") == 1.0
+        assert reg.enabled is False
+        # The next collection starts clean.
+        with collecting(reg):
+            assert reg.counter("y") == 0.0
