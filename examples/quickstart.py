@@ -3,11 +3,22 @@
 Runs the two predicates the paper evaluates — point-in-polygon (Within)
 and point-to-polyline distance (NearestD) — on a toy city, with both
 refinement engines, and checks they agree with the naive baseline.
+``spatial_join`` defaults to ``method="auto"``: the optimizer samples
+both inputs and picks the cheapest strategy, and the returned
+``JoinResult`` still behaves like the plain list of pairs.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import LineString, Point, Polygon, SpatialOperator, spatial_join, wkt_loads
+from repro import (
+    JoinConfig,
+    LineString,
+    Point,
+    Polygon,
+    SpatialOperator,
+    spatial_join,
+    wkt_loads,
+)
 from repro.core import naive_spatial_join
 
 
@@ -55,6 +66,18 @@ def main() -> None:
     slow = sorted(spatial_join(pickups, blocks, engine="slow"))
     assert fast == slow
     print(f"  {len(fast)} pairs from both engines")
+
+    print("== The optimizer's plan (method='auto' is the default) ==")
+    result = spatial_join(pickups, blocks)
+    print(f"  executed as {result.method!r}; pairs: {list(result)}")
+    print("  " + result.explain().replace("\n", "\n  "))
+
+    print("== Profiled run via JoinConfig ==")
+    profiled = spatial_join(
+        pickups, blocks, config=JoinConfig(method="broadcast", profile=True)
+    )
+    phases = [c.name for c in profiled.profile.root.children]
+    print(f"  phases: {phases}")
 
 
 if __name__ == "__main__":

@@ -28,14 +28,16 @@ both systems *and every substrate they stand on* in pure Python:
 Quickstart::
 
     >>> from repro import spatial_join
-    >>> spatial_join(
+    >>> result = spatial_join(
     ...     [(0, "POINT (1 1)"), (1, "POINT (9 9)")],
     ...     [("cell", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")],
     ... )
-    [(0, 'cell')]
+    >>> result == [(0, 'cell')]
+    True
 """
 
-from repro.core.api import spatial_join, spatial_join_pairs
+from repro.core.api import JoinConfig, JoinResult, spatial_join, spatial_join_pairs
+from repro.optimizer import PlanChoice, choose_plan
 from repro.core.operators import SpatialOperator
 from repro.core.broadcast_join import BroadcastSpatialJoin, broadcast_spatial_join
 from repro.core.partitioned_join import partitioned_spatial_join
@@ -60,6 +62,10 @@ __version__ = "1.0.0"
 __all__ = [
     "spatial_join",
     "spatial_join_pairs",
+    "JoinConfig",
+    "JoinResult",
+    "PlanChoice",
+    "choose_plan",
     "SpatialOperator",
     "broadcast_spatial_join",
     "BroadcastSpatialJoin",

@@ -11,12 +11,18 @@ additionally captures the run's wall-clock spans and writes a Chrome
 ``trace_event`` file (open it at chrome://tracing or
 https://ui.perfetto.dev) containing both the simulated timeline and the
 real one.
+
+``--method auto`` switches to the optimizer study: the stats-driven plan
+chooser prices every join strategy per workload, and the skewed
+``hotspot-nycb`` workload demonstrates the makespan win from hot-tile
+splitting (see ``repro.bench.optimizer_study``).
 """
 
 import argparse
 import json
 import sys
 
+from repro.bench.optimizer_study import optimizer_study, render_optimizer_study
 from repro.bench.report import (
     DEFAULT_SCALE,
     WORKLOAD_ORDER,
@@ -76,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome trace_event JSON file for the profiled run "
         "(implies --profile)",
     )
+    parser.add_argument(
+        "--method",
+        choices=("auto",),
+        default=None,
+        help="run the stats-driven optimizer study instead of the "
+        "reproduction report (plan choices per workload plus the "
+        "hot-tile-splitting makespan comparison)",
+    )
     return parser
 
 
@@ -109,6 +123,13 @@ def _profile_run(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.method == "auto":
+        study = optimizer_study(scale=args.scale, nodes=args.nodes)
+        if args.json:
+            print(json.dumps(study, indent=1))
+        else:
+            print(render_optimizer_study(study))
+        return 0
     if args.profile or args.trace_out:
         return _profile_run(args)
     if args.json:

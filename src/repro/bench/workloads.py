@@ -66,6 +66,11 @@ WORKLOADS = {
         "taxi-lion-500", "taxi", "lion", SpatialOperator.NEAREST_D, radius_blocks=1.9
     ),
     "G10M-wwf": Workload("G10M-wwf", "g10m", "wwf", SpatialOperator.WITHIN),
+    # Not from the paper: the adversarially clustered workload the
+    # optimizer study uses to demonstrate skew-aware splitting.
+    "hotspot-nycb": Workload(
+        "hotspot-nycb", "hotspot", "nycb", SpatialOperator.WITHIN
+    ),
 }
 
 

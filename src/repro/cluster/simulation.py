@@ -22,6 +22,7 @@ __all__ = [
     "simulate_dynamic",
     "simulate_static_round_robin",
     "simulate_static_chunked",
+    "simulate_all",
     "parallel_efficiency",
 ]
 
@@ -123,6 +124,29 @@ def simulate_static_chunked(
         loads.append(sum(chunk) + per_task_overhead * len(chunk))
         start += size
     return _record_makespan("static-chunked", max(loads), n, workers)
+
+
+def simulate_all(
+    task_seconds: Sequence[float],
+    workers: int,
+    per_task_overhead: float = 0.0,
+) -> dict[str, float]:
+    """Every policy's makespan for one task list, keyed by policy name.
+
+    The optimizer uses this to report how much a (re)partitioning helps
+    each scheduling discipline — the skew-aware splitter's win shows up as
+    a drop in ``static_chunked`` and ``static_round_robin`` makespans on
+    clustered data while ``dynamic`` bounds what scheduling alone fixes.
+    """
+    return {
+        "dynamic": simulate_dynamic(task_seconds, workers, per_task_overhead),
+        "static_round_robin": simulate_static_round_robin(
+            task_seconds, workers, per_task_overhead
+        ),
+        "static_chunked": simulate_static_chunked(
+            task_seconds, workers, per_task_overhead
+        ),
+    }
 
 
 def parallel_efficiency(

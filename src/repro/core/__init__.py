@@ -1,6 +1,6 @@
 """The paper's contribution: spatial joins on Spark and Impala substrates."""
 
-from repro.core.api import spatial_join, spatial_join_pairs
+from repro.core.api import JoinConfig, JoinResult, spatial_join, spatial_join_pairs
 from repro.core.broadcast_join import (
     BroadcastSpatialJoin,
     broadcast_spatial_join,
@@ -17,6 +17,8 @@ from repro.core.standalone import StandaloneResult, standalone_spatial_join
 __all__ = [
     "spatial_join",
     "spatial_join_pairs",
+    "JoinConfig",
+    "JoinResult",
     "broadcast_spatial_join",
     "BroadcastSpatialJoin",
     "read_geometry_pairs",

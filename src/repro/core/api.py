@@ -3,14 +3,27 @@
 Most users don't want to stand up a (mini-)cluster; this module joins
 in-memory collections directly with the same filter+refine machinery the
 engines use.  Geometries may be given as objects or WKT strings.
+
+The default ``method="auto"`` samples both inputs and lets
+:func:`repro.optimizer.choose_plan` pick the cheapest strategy
+(``broadcast`` / ``partitioned`` / ``dual-tree`` / ``naive``); any of the
+method names may also be forced explicitly.  Every call returns a
+:class:`JoinResult`, which behaves exactly like the list of (left_id,
+right_id) pairs older code expects while also carrying the query profile,
+the optimizer's :class:`~repro.optimizer.PlanChoice` and the sampled
+:class:`~repro.optimizer.JoinStats`.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Sequence as _SequenceABC
+from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
 from repro.cluster.metrics import QueryMetrics, StageMetrics, TaskMetrics
 from repro.cluster.model import CostModel, Resource
+from repro.cluster.simulation import simulate_dynamic
 from repro.core.operators import SpatialOperator
 from repro.core.probe import BroadcastIndex, naive_spatial_join
 from repro.errors import ReproError
@@ -18,7 +31,117 @@ from repro.geometry.base import Geometry
 from repro.geometry.wkt import loads as wkt_loads
 from repro.obs.tracer import get_tracer
 
-__all__ = ["spatial_join", "spatial_join_pairs"]
+__all__ = ["spatial_join", "spatial_join_pairs", "JoinConfig", "JoinResult"]
+
+_METHODS = ("auto", "broadcast", "partitioned", "dual-tree", "naive", "index")
+
+
+@dataclass(frozen=True)
+class JoinConfig:
+    """All knobs of :func:`spatial_join` as one value.
+
+    Prefer ``spatial_join(left, right, config=JoinConfig(...))`` over the
+    loose keyword arguments — the config form always returns a
+    :class:`JoinResult` (the legacy ``profile=True`` keyword returns a
+    ``(pairs, profile)`` tuple for backward compatibility).
+
+    ``workers`` is the parallelism the optimizer prices parallel plans
+    against (and the partitioned method's simulated task slots);
+    ``num_tiles``/``skew_factor``/``sample_size`` tune the partitioned
+    plan's skew-aware tiling.
+    """
+
+    operator: SpatialOperator | str = SpatialOperator.WITHIN
+    radius: float = 0.0
+    engine: str = "fast"
+    method: str = "auto"
+    profile: bool = False
+    cost_model: CostModel | None = None
+    workers: int = 1
+    num_tiles: int | None = None
+    skew_factor: float = 2.0
+    sample_size: int | None = None
+
+    def with_(self, **changes) -> "JoinConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+class JoinResult(_SequenceABC):
+    """The outcome of a spatial join.
+
+    Behaves like the plain ``list[(left_id, right_id)]`` the API used to
+    return (iteration, ``len``, indexing, ``==`` against lists), so
+    existing callers keep working, while exposing:
+
+    * ``pairs`` — the matching id pairs;
+    * ``profile`` — a :class:`~repro.obs.profile.QueryProfile` when the
+      join ran with ``profile=True``, else ``None``;
+    * ``plan`` — the optimizer's :class:`~repro.optimizer.PlanChoice`
+      when ``method="auto"`` chose the strategy, else ``None``;
+    * ``stats`` — the sampled :class:`~repro.optimizer.JoinStats` backing
+      that choice, else ``None``;
+    * ``method`` — the strategy that actually executed.
+    """
+
+    __hash__ = None  # mutable-list semantics, like the list it replaces
+
+    def __init__(
+        self,
+        pairs: list[tuple[Any, Any]],
+        profile=None,
+        plan=None,
+        stats=None,
+        method: str | None = None,
+    ):
+        self.pairs = pairs
+        self.profile = profile
+        self.plan = plan
+        self.stats = stats
+        self.method = method
+
+    def __getitem__(self, index):
+        return self.pairs[index]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, JoinResult):
+            return self.pairs == other.pairs
+        if isinstance(other, list):
+            return self.pairs == other
+        if isinstance(other, tuple):
+            return tuple(self.pairs) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        method = f" method={self.method!r}" if self.method else ""
+        return f"JoinResult({self.pairs!r}{method})"
+
+    def explain(self) -> str:
+        """The optimizer's plan summary (empty string when none)."""
+        if self.plan is None:
+            return ""
+        return "\n".join(self.plan.explain())
+
+
+class _LegacyProfiledResult(tuple):
+    """``(pairs, profile)`` tuple with ``.pairs``/``.profile`` attributes,
+    returned by the deprecated loose ``profile=True`` call shape."""
+
+    __slots__ = ()
+
+    @property
+    def pairs(self):
+        return self[0]
+
+    @property
+    def profile(self):
+        return self[1]
 
 
 def _normalise(
@@ -39,30 +162,49 @@ def _normalise(
     return normalised
 
 
+def _coerce_operator(operator: SpatialOperator | str) -> SpatialOperator:
+    if isinstance(operator, str):
+        try:
+            return SpatialOperator(operator.lower())
+        except ValueError:
+            raise ReproError(f"unknown operator {operator!r}") from None
+    return operator
+
+
 def spatial_join(
     left: Iterable[tuple[Any, Geometry | str]],
     right: Iterable[tuple[Any, Geometry | str]],
     operator: SpatialOperator | str = SpatialOperator.WITHIN,
     radius: float = 0.0,
     engine: str = "fast",
-    method: str = "index",
+    method: str = "auto",
     profile: bool = False,
     cost_model: CostModel | None = None,
-):
+    workers: int = 1,
+    config: JoinConfig | None = None,
+) -> JoinResult:
     """Join two (id, geometry) collections; returns matching id pairs.
 
     ``operator`` accepts a :class:`SpatialOperator` or its name
     (``"within"``, ``"nearestd"``, ``"intersects"``, ``"contains"``).
-    ``method="index"`` runs the indexed filter+refine plan (the paper's
-    approach); ``method="naive"`` runs the O(n*m) nested loop, useful as
-    ground truth in tests.
+    ``method`` is one of:
 
-    With ``profile=True`` (indexed plan only) the call instead returns
-    ``(pairs, profile)`` where ``profile`` is a
-    :class:`~repro.obs.profile.QueryProfile` whose parse/build/probe
-    phases carry the run's resource counters and sum exactly to the
-    attached :class:`~repro.cluster.metrics.QueryMetrics`'s
-    ``simulated_seconds``.
+    * ``"auto"`` (default) — sample both inputs and run the cheapest plan
+      per :func:`repro.optimizer.choose_plan`;
+    * ``"broadcast"`` — index the right side, probe with the left (the
+      paper's broadcast join; ``"index"`` is the historical alias);
+    * ``"partitioned"`` — skew-aware tiled join with reference-point
+      duplicate suppression;
+    * ``"dual-tree"`` — synchronized traversal of two R-trees;
+    * ``"naive"`` — the O(n*m) nested loop, ground truth in tests.
+
+    The returned :class:`JoinResult` compares equal to the plain list of
+    pairs older code expects.  With ``profile=True`` it carries a
+    :class:`~repro.obs.profile.QueryProfile` whose phases hold the run's
+    resource counters — but note the *loose-keyword* ``profile=True``
+    call returns the legacy ``(pairs, profile)`` tuple with a
+    ``DeprecationWarning``; pass ``config=JoinConfig(profile=True)`` to
+    get the uniform :class:`JoinResult` shape.
 
     Example::
 
@@ -71,79 +213,163 @@ def spatial_join(
         ...     [(0, "POINT (1 1)"), (1, "POINT (9 9)")],
         ...     [("cell", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")],
         ... )
-        >>> pairs
-        [(0, 'cell')]
+        >>> pairs == [(0, 'cell')]
+        True
     """
-    if isinstance(operator, str):
-        try:
-            operator = SpatialOperator(operator.lower())
-        except ValueError:
-            raise ReproError(f"unknown operator {operator!r}") from None
-    if profile:
-        if method != "index":
-            raise ReproError("profile=True requires method='index'")
-        return _profiled_spatial_join(
-            left, right, operator, radius, engine, cost_model
+    if config is not None:
+        cfg = config
+        legacy_profile_shape = False
+    else:
+        cfg = JoinConfig(
+            operator=operator,
+            radius=radius,
+            engine=engine,
+            method=method,
+            profile=profile,
+            cost_model=cost_model,
+            workers=workers,
         )
-    left_entries = _normalise(left)
-    right_entries = _normalise(right)
-    if method == "naive":
-        return naive_spatial_join(left_entries, right_entries, operator, radius)
-    if method == "dual-tree":
-        return _dual_tree_join(left_entries, right_entries, operator, radius, engine)
-    if method != "index":
+        legacy_profile_shape = bool(profile)
+    result = _execute_join(left, right, cfg)
+    if legacy_profile_shape:
+        warnings.warn(
+            "spatial_join(..., profile=True) as a loose keyword returns the"
+            " legacy (pairs, profile) tuple; pass"
+            " config=JoinConfig(profile=True) to get a JoinResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _LegacyProfiledResult((result, result.profile))
+    return result
+
+
+def _execute_join(left, right, cfg: JoinConfig) -> JoinResult:
+    op = _coerce_operator(cfg.operator)
+    if cfg.method not in _METHODS:
         raise ReproError(
-            f"method must be 'index', 'dual-tree' or 'naive', got {method!r}"
+            f"method must be one of {', '.join(sorted(set(_METHODS)))},"
+            f" got {cfg.method!r}"
         )
-    index = BroadcastIndex(right_entries, operator, radius=radius, engine=engine)
-    pairs: list[tuple[Any, Any]] = []
-    for left_id, geometry in left_entries:
-        pairs.extend((left_id, right_id) for right_id in index.probe(geometry))
+    model = cfg.cost_model or CostModel()
+    tracer = get_tracer()
+    query = QueryMetrics(name="spatial-join") if cfg.profile else None
+
+    if query is not None:
+        parse_metrics = TaskMetrics()
+        with tracer.span("parse", category="phase") as span:
+            left_entries = _normalise(left, metrics=parse_metrics)
+            right_entries = _normalise(right, metrics=parse_metrics)
+            span.add_sim(parse_metrics.seconds(model))
+        _add_stage(query, "parse", [parse_metrics], model)
+    else:
+        left_entries = _normalise(left)
+        right_entries = _normalise(right)
+
+    method = "broadcast" if cfg.method == "index" else cfg.method
+    plan = None
+    stats = None
+    if method == "auto":
+        from repro.optimizer import choose_plan
+
+        with tracer.span("plan", category="phase") as span:
+            plan = choose_plan(
+                left_entries,
+                right_entries,
+                operator=op,
+                radius=cfg.radius,
+                cost_model=model,
+                workers=cfg.workers,
+                num_tiles=cfg.num_tiles,
+                skew_factor=cfg.skew_factor,
+                engine=cfg.engine,
+                sample_size=cfg.sample_size,
+            )
+            span.set_attr("method", plan.method)
+        stats = plan.stats
+        method = plan.method
+
+    if method == "naive":
+        pairs = _naive_join(left_entries, right_entries, op, cfg, model, query)
+    elif method == "broadcast":
+        pairs = _broadcast_join(left_entries, right_entries, op, cfg, model, query)
+    elif method == "dual-tree":
+        pairs = _dual_tree_join(left_entries, right_entries, op, cfg, model, query)
+    elif method == "partitioned":
+        pairs = _partitioned_join_local(
+            left_entries, right_entries, op, cfg, model, query, plan
+        )
+    else:  # pragma: no cover - guarded by the _METHODS check above
+        raise ReproError(f"unhandled method {method!r}")
+
+    profile_obj = None
+    if query is not None:
+        profile_obj = query.to_profile(model)
+        profile_obj.root.info["method"] = method
+        if plan is not None:
+            profile_obj.root.info["plan_est_seconds"] = plan.estimated_seconds
+            if plan.partitioning is not None:
+                profile_obj.root.info["plan_tiles"] = len(plan.partitioning)
+    return JoinResult(
+        pairs=pairs, profile=profile_obj, plan=plan, stats=stats, method=method
+    )
+
+
+def _add_stage(
+    query: QueryMetrics,
+    name: str,
+    tasks: list[TaskMetrics],
+    model: CostModel,
+    makespan: float | None = None,
+) -> None:
+    stage = StageMetrics(name=name, tasks=tasks)
+    if makespan is None:
+        makespan = max((task.seconds(model) for task in tasks), default=0.0)
+    stage.makespan_seconds = makespan
+    query.add_stage(stage)
+
+
+def _naive_join(left_entries, right_entries, op, cfg, model, query):
+    tracer = get_tracer()
+    with tracer.span("join", category="phase") as span:
+        pairs = naive_spatial_join(left_entries, right_entries, op, cfg.radius)
+        if query is not None:
+            join_metrics = TaskMetrics()
+            join_metrics.add(
+                Resource.INDEX_VISIT,
+                float(len(left_entries)) * float(len(right_entries)),
+            )
+            join_metrics.add(Resource.ROWS_OUT, float(len(pairs)))
+            span.add_sim(join_metrics.seconds(model))
+            _add_stage(query, "join", [join_metrics], model)
+        span.set_attr("rows_out", len(pairs))
     return pairs
 
 
-def _profiled_spatial_join(
-    left: Iterable[tuple[Any, Geometry | str]],
-    right: Iterable[tuple[Any, Geometry | str]],
-    operator: SpatialOperator,
-    radius: float,
-    engine: str,
-    cost_model: CostModel | None,
-):
-    """The indexed join with per-phase metrics and a profile tree.
-
-    Each phase (parse, build, probe) accrues its own
-    :class:`TaskMetrics` and becomes a single-task stage of a
-    :class:`QueryMetrics`, so the profile's phase breakdown is the
-    query's simulated runtime, exactly partitioned.
-    """
-    model = cost_model or CostModel()
+def _broadcast_join(left_entries, right_entries, op, cfg, model, query):
+    """The paper's broadcast join: index the right side, probe with the
+    left.  With profiling on, build/probe become exactly-billed stages."""
     tracer = get_tracer()
-    query = QueryMetrics(name="spatial-join")
-
-    def add_stage(name: str, task: TaskMetrics) -> None:
-        stage = StageMetrics(name=name, tasks=[task])
-        stage.makespan_seconds = task.seconds(model)
-        query.add_stage(stage)
-
-    parse_metrics = TaskMetrics()
-    with tracer.span("parse", category="phase") as span:
-        left_entries = _normalise(left, metrics=parse_metrics)
-        right_entries = _normalise(right, metrics=parse_metrics)
-        span.add_sim(parse_metrics.seconds(model))
-    add_stage("parse", parse_metrics)
+    pairs: list[tuple[Any, Any]] = []
+    if query is None:
+        index = BroadcastIndex(
+            right_entries, op, radius=cfg.radius, engine=cfg.engine
+        )
+        for left_id, geometry in left_entries:
+            pairs.extend((left_id, right_id) for right_id in index.probe(geometry))
+        return pairs
 
     build_metrics = TaskMetrics()
     with tracer.span("build", category="phase") as span:
-        index = BroadcastIndex(right_entries, operator, radius=radius, engine=engine)
+        index = BroadcastIndex(
+            right_entries, op, radius=cfg.radius, engine=cfg.engine
+        )
         for resource, amount in index.build_cost_units().items():
             build_metrics.add(resource, amount)
         span.add_sim(build_metrics.seconds(model))
         span.set_attr("index_entries", len(index))
-    add_stage("build", build_metrics)
+    _add_stage(query, "build", [build_metrics], model)
 
     probe_metrics = TaskMetrics()
-    pairs: list[tuple[Any, Any]] = []
     with tracer.span("probe", category="phase") as span:
         for left_id, geometry in left_entries:
             matches, units = index.probe_with_cost(geometry)
@@ -152,18 +378,11 @@ def _profiled_spatial_join(
             pairs.extend((left_id, right_id) for right_id in matches)
         span.add_sim(probe_metrics.seconds(model))
         span.set_attr("rows_out", len(pairs))
-    add_stage("probe", probe_metrics)
+    _add_stage(query, "probe", [probe_metrics], model)
+    return pairs
 
-    return pairs, query.to_profile(model)
 
-
-def _dual_tree_join(
-    left_entries: list,
-    right_entries: list,
-    operator: SpatialOperator,
-    radius: float,
-    engine: str,
-) -> list:
+def _dual_tree_join(left_entries, right_entries, op, cfg, model, query):
     """Filter with a synchronized R-tree join (both sides indexed), then
     refine.  Section II's 'both can be indexed' option — it beats the
     probe-per-row plan when the left side is also large and indexable.
@@ -172,24 +391,161 @@ def _dual_tree_join(
     from repro.geometry.engine import create_engine
     from repro.index.rtree import STRtree
 
-    engine_obj = create_engine(engine)
-    expand = radius if operator.needs_radius else 0.0
-    left_tree = STRtree(
-        ((left_id, geometry), geometry.envelope)
-        for left_id, geometry in left_entries
-        if not geometry.is_empty
-    )
-    right_tree = STRtree(
-        ((right_id, geometry, engine_obj.prepare(geometry)), geometry.envelope)
-        for right_id, geometry in right_entries
-        if not geometry.is_empty
-    )
+    tracer = get_tracer()
+    engine_obj = create_engine(cfg.engine)
+    expand = cfg.radius if op.needs_radius else 0.0
+    build_metrics = TaskMetrics() if query is not None else None
+    with tracer.span("build", category="phase"):
+        left_tree = STRtree(
+            ((left_id, geometry), geometry.envelope)
+            for left_id, geometry in left_entries
+            if not geometry.is_empty
+        )
+        right_tree = STRtree(
+            ((right_id, geometry, engine_obj.prepare(geometry)), geometry.envelope)
+            for right_id, geometry in right_entries
+            if not geometry.is_empty
+        )
+        if build_metrics is not None:
+            build_metrics.add(
+                Resource.INDEX_BUILD, float(len(left_tree) + len(right_tree))
+            )
+    if query is not None:
+        _add_stage(query, "build", [build_metrics], model)
     pairs = []
-    for (left_id, left_geom), (right_id, right_geom, handle) in left_tree.join(
-        right_tree, expand=expand
-    ):
-        if refine_pair(engine_obj, operator, left_geom, right_geom, handle, radius):
-            pairs.append((left_id, right_id))
+    join_metrics = TaskMetrics() if query is not None else None
+    with tracer.span("join", category="phase") as span:
+        for (left_id, left_geom), (right_id, right_geom, handle) in left_tree.join(
+            right_tree, expand=expand
+        ):
+            if join_metrics is not None:
+                join_metrics.add(
+                    Resource.REFINE_VERTEX_FAST
+                    if cfg.engine != "slow"
+                    else Resource.REFINE_VERTEX_SLOW,
+                    float(max(right_geom.num_points, 2)),
+                )
+            if refine_pair(
+                engine_obj, op, left_geom, right_geom, handle, cfg.radius
+            ):
+                pairs.append((left_id, right_id))
+        if join_metrics is not None:
+            join_metrics.add(Resource.ROWS_OUT, float(len(pairs)))
+        span.set_attr("rows_out", len(pairs))
+    if query is not None:
+        _add_stage(query, "join", [join_metrics], model)
+    return pairs
+
+
+def _record_bytes(geometry: Geometry) -> float:
+    return 48.0 + 16.0 * geometry.num_points
+
+
+def _partitioned_join_local(
+    left_entries, right_entries, op, cfg, model, query, plan
+):
+    """Skew-aware tiled join over in-memory collections.
+
+    Mirrors :func:`repro.core.partitioned_join.partitioned_spatial_join`:
+    both sides are routed to every tile they overlap, each tile runs an
+    indexed join, and the reference-point owner rule (lowest common tile
+    emits) suppresses the duplicates replication would create.  Tiles come
+    from the optimizer's skew-aware partitioner, so hot spots are split
+    before tasks are formed.
+    """
+    from repro.optimizer import collect_join_stats
+    from repro.optimizer.planner import derive_skew_aware_partitioning
+
+    tracer = get_tracer()
+    expand = cfg.radius if op.needs_radius else 0.0
+    partitioning = plan.partitioning if plan is not None else None
+    if partitioning is None:
+        sample_kwargs = (
+            {"sample_size": cfg.sample_size} if cfg.sample_size else {}
+        )
+        stats = collect_join_stats(
+            left_entries, right_entries, radius=expand, **sample_kwargs
+        )
+        if not (stats.left.count and stats.right.count):
+            return []
+        with tracer.span("derive-partitioning", category="phase") as span:
+            partitioning, _, _ = derive_skew_aware_partitioning(
+                stats,
+                cfg.num_tiles or max(4, 2 * cfg.workers),
+                model,
+                skew_factor=cfg.skew_factor,
+                engine=cfg.engine,
+            )
+            span.set_attr("tiles", len(partitioning))
+    tiles = partitioning
+
+    shuffle_metrics = TaskMetrics() if query is not None else None
+    left_by_tile: dict[int, list] = {}
+    right_by_tile: dict[int, list] = {}
+    with tracer.span("route", category="phase"):
+        for left_id, geometry in left_entries:
+            if geometry.is_empty:
+                continue
+            for tile in tiles.route(geometry.envelope):
+                left_by_tile.setdefault(tile, []).append((left_id, geometry))
+                if shuffle_metrics is not None:
+                    shuffle_metrics.add(
+                        Resource.SHUFFLE_BYTES, _record_bytes(geometry)
+                    )
+        for right_id, geometry in right_entries:
+            if geometry.is_empty:
+                continue
+            for tile in tiles.route(geometry.envelope.expand_by(expand)):
+                right_by_tile.setdefault(tile, []).append((right_id, geometry))
+                if shuffle_metrics is not None:
+                    shuffle_metrics.add(
+                        Resource.SHUFFLE_BYTES, _record_bytes(geometry)
+                    )
+    if shuffle_metrics is not None:
+        _add_stage(query, "shuffle", [shuffle_metrics], model)
+
+    pairs: list[tuple[Any, Any]] = []
+    tile_tasks: list[TaskMetrics] = []
+    with tracer.span("join", category="phase") as span:
+        for tile_id in sorted(left_by_tile):
+            tile_left = left_by_tile[tile_id]
+            tile_right = right_by_tile.get(tile_id)
+            if not tile_right:
+                continue
+            task = TaskMetrics()
+            index = BroadcastIndex(
+                ((pair, pair[1]) for pair in tile_right),
+                op,
+                radius=cfg.radius,
+                engine=cfg.engine,
+            )
+            task.add(Resource.INDEX_BUILD, float(len(index)))
+            for left_id, geometry in tile_left:
+                matches, units = index.probe_with_cost(geometry)
+                for resource, amount in units.items():
+                    task.add(resource, amount)
+                left_tiles = None
+                for right_id, right_geometry in matches:
+                    if left_tiles is None:
+                        left_tiles = tiles.route(geometry.envelope)
+                    if len(left_tiles) == 1:
+                        owner = left_tiles[0]
+                    else:
+                        right_tiles = tiles.route(
+                            right_geometry.envelope.expand_by(expand)
+                        )
+                        common = set(left_tiles) & set(right_tiles)
+                        owner = min(common) if common else tile_id
+                    if owner == tile_id:
+                        pairs.append((left_id, right_id))
+            tile_tasks.append(task)
+        span.set_attr("rows_out", len(pairs))
+        span.set_attr("tiles_joined", len(tile_tasks))
+    if query is not None and tile_tasks:
+        makespan = simulate_dynamic(
+            [task.seconds(model) for task in tile_tasks], max(1, cfg.workers)
+        )
+        _add_stage(query, "join", tile_tasks, model, makespan=makespan)
     return pairs
 
 
@@ -199,8 +555,29 @@ def spatial_join_pairs(
     operator: SpatialOperator | str = SpatialOperator.WITHIN,
     radius: float = 0.0,
     engine: str = "fast",
-) -> list[tuple[int, int]]:
-    """Positional variant: ids are the sequences' indexes."""
+    method: str = "auto",
+    profile: bool = False,
+    cost_model: CostModel | None = None,
+    workers: int = 1,
+    config: JoinConfig | None = None,
+) -> JoinResult:
+    """Positional variant: ids are the sequences' indexes.
+
+    Forwards every option (``method``, ``profile``, ``cost_model``,
+    ``config``...) to :func:`spatial_join` — historically it silently
+    dropped everything past ``engine``.
+    """
     left = list(enumerate(left_geometries))
     right = list(enumerate(right_geometries))
-    return spatial_join(left, right, operator, radius=radius, engine=engine)
+    return spatial_join(
+        left,
+        right,
+        operator,
+        radius=radius,
+        engine=engine,
+        method=method,
+        profile=profile,
+        cost_model=cost_model,
+        workers=workers,
+        config=config,
+    )

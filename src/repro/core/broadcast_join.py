@@ -130,6 +130,7 @@ def broadcast_spatial_join(
     """
     if operator.needs_radius and radius <= 0.0:
         raise ReproError(f"{operator} requires a positive radius")
+    sc.record_plan({"join": "broadcast"})
     tracer = get_tracer()
     # Driver side: collect + bulk-load + broadcast (Fig 2's apply()).
     with tracer.span("collect-build-side", category="phase"):

@@ -32,20 +32,43 @@ def derive_partitioning(
     left: RDD[tuple[Any, Geometry]],
     num_tiles: int,
     sample_fraction: float = 0.05,
+    right: RDD[tuple[Any, Geometry]] | None = None,
+    radius: float = 0.0,
+    cost_model=None,
+    skew_factor: float | None = None,
 ) -> SpatialPartitioning:
     """Sample the left side's centroids and build a sort-tile partitioning.
 
     Sampling the *probe* side equalises per-tile probe work, which is the
     dominant cost for the paper's point-heavy workloads.
+
+    With ``right`` and ``skew_factor`` given, the layout additionally runs
+    the optimizer's LocationSpark-style refinement: per-tile costs are
+    estimated from both samples and hot tiles (cost above ``skew_factor x
+    median``) are recursively split before any task is formed, which is
+    what flattens the straggler tail of clustered workloads.
     """
-    sample_pairs = left.sample(sample_fraction).map(
-        lambda kv: kv[1].envelope.center
-    ).collect()
-    if not sample_pairs:
-        sample_pairs = left.take(1000)
-        sample_pairs = [g.envelope.center for _, g in sample_pairs]
-    if not sample_pairs:
+    left_sample = left.sample(sample_fraction).collect()
+    if not left_sample:
+        left_sample = left.take(1000)
+    if not left_sample:
         raise ReproError("cannot partition an empty left side")
+    if right is not None and skew_factor is not None:
+        from repro.optimizer import collect_join_stats
+        from repro.optimizer.planner import derive_skew_aware_partitioning
+
+        right_sample = right.sample(sample_fraction).collect()
+        if not right_sample:
+            right_sample = right.take(1000)
+        if right_sample:
+            # Sample-sized counts keep per-tile estimates *relatively*
+            # correct, which is all hot-tile detection needs.
+            stats = collect_join_stats(left_sample, right_sample, radius=radius)
+            partitioning, _, _ = derive_skew_aware_partitioning(
+                stats, num_tiles, cost_model, skew_factor=skew_factor
+            )
+            return partitioning
+    sample_pairs = [g.envelope.center for _, g in left_sample]
     min_x = min(p[0] for p in sample_pairs)
     min_y = min(p[1] for p in sample_pairs)
     max_x = max(p[0] for p in sample_pairs)
@@ -65,21 +88,37 @@ def partitioned_spatial_join(
     num_tiles: int | None = None,
     engine: str = "fast",
     partitioning: SpatialPartitioning | None = None,
+    skew_factor: float | None = 2.0,
 ) -> RDD[tuple[Any, Any]]:
     """Join two (id, geometry) RDDs via spatial partitioning + shuffle.
 
     Returns matching (left_id, right_id) pairs, exactly the broadcast
-    join's output (tests assert the two plans agree).
+    join's output (tests assert the two plans agree).  Unless an explicit
+    ``partitioning`` is supplied, the tile layout is skew-aware by
+    default: hot tiles are split per ``skew_factor`` (pass ``None`` to
+    restore the plain sort-tile layout).
     """
     if operator.needs_radius and radius <= 0.0:
         raise ReproError(f"{operator} requires a positive radius")
     if partitioning is None:
         with get_tracer().span("derive-partitioning", category="phase") as span:
             partitioning = derive_partitioning(
-                left, num_tiles or sc.cluster.total_cores
+                left,
+                num_tiles or sc.cluster.total_cores,
+                right=right,
+                radius=radius if operator.needs_radius else 0.0,
+                cost_model=sc.cost_model,
+                skew_factor=skew_factor,
             )
             span.set_attr("tiles", len(partitioning))
     tiles = partitioning
+    sc.record_plan(
+        {
+            "join": "partitioned",
+            "tiles": len(tiles),
+            "skew_factor": skew_factor if skew_factor is not None else "off",
+        }
+    )
     expand = radius if operator.needs_radius else 0.0
 
     def route_left(pair: tuple[Any, Geometry]):

@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass
 
 from repro.data.gbif import generate_gbif
+from repro.data.hotspot import generate_hotspot
 from repro.data.lion import generate_lion
 from repro.data.nycb import generate_nycb
 from repro.data.synthetic import SyntheticDataset
@@ -75,9 +76,14 @@ DATASETS = {
     "wwf": DatasetSpec(
         "wwf", 145, "14,458 polygons", "polygon", 14_458, scale_exponent=0.5
     ),
+    # Not from the paper: the skewed-synthetic stress workload for the
+    # optimizer's hot-tile splitting (sized like taxi so the same scale
+    # knob applies).
+    "hotspot": DatasetSpec("hotspot", 170_000, "(synthetic)", "point", 170e6),
 }
 
 _GENERATORS = {
+    "hotspot": generate_hotspot,
     "taxi": generate_taxi,
     "nycb": generate_nycb,
     "lion": generate_lion,

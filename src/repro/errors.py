@@ -36,8 +36,13 @@ class WKBParseError(GeometryError):
     """Malformed Well-Known Binary input."""
 
 
-class IndexError_(ReproError):
-    """Spatial index construction or query failure."""
+class SpatialIndexError(ReproError):
+    """Spatial index construction or query failure.
+
+    Formerly exported as ``IndexError_`` (an underscore hack to avoid
+    shadowing the ``IndexError`` builtin); the old name remains importable
+    as a deprecated alias via module ``__getattr__``.
+    """
 
 
 class HDFSError(ReproError):
@@ -66,5 +71,22 @@ class PlanError(ImpalaError):
     """Logical or physical planning failure (unknown table, bad predicate)."""
 
 
+class OptimizerError(ReproError):
+    """Statistics collection or plan-selection failure."""
+
+
 class BenchError(ReproError):
     """Benchmark-harness misconfiguration."""
+
+
+def __getattr__(name: str):
+    if name == "IndexError_":
+        import warnings
+
+        warnings.warn(
+            "repro.errors.IndexError_ is deprecated; use SpatialIndexError",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SpatialIndexError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -118,6 +118,15 @@ class Metastore:
         except KeyError:
             raise PlanError(f"unknown table {name!r}") from None
 
+    def table_bytes(self, name: str) -> int:
+        """On-disk size of a table's backing file.
+
+        The cheapest statistic the real metastore serves (``COMPUTE
+        STATS`` would refresh it); the planner's broadcast-vs-partitioned
+        choice needs nothing finer.
+        """
+        return self._hdfs.status(self.get(name).path).size
+
     def drop_table(self, name: str) -> None:
         """Unregister a table (the HDFS file is left in place)."""
         if name not in self._tables:

@@ -149,7 +149,7 @@ class ImpalaBackend:
         # benchmark scale; see MaterializedWorkload.build_cost_weight.
         self.build_cost_weight = build_cost_weight
         self.metastore = Metastore(self.hdfs)
-        self._planner = Planner(self.metastore)
+        self._planner = Planner(self.metastore, num_nodes=self.cluster.num_nodes)
 
     # -- public API -----------------------------------------------------------
 
@@ -195,7 +195,11 @@ class ImpalaBackend:
             lines.append(f"{cursor}FILTER {conj}")
         if plan.join is not None:
             pred = plan.join.predicate
-            kind = "SPATIAL JOIN [R-tree, BROADCAST]" if plan.join.indexed else                 "CROSS JOIN [single-core, BROADCAST]"
+            distribution = plan.join.distribution.upper()
+            kind = (
+                f"SPATIAL JOIN [R-tree, {distribution}]" if plan.join.indexed
+                else f"CROSS JOIN [single-core, {distribution}]"
+            )
             lines.append(
                 f"{cursor}{kind} {pred.function}({pred.probe_column}, "
                 f"{pred.build_column}"
@@ -206,7 +210,7 @@ class ImpalaBackend:
                 str(c) for c in plan.join.build.conjuncts
             )
             lines.append(
-                f"{cursor}SCAN {plan.join.build.table.name} [BROADCAST]"
+                f"{cursor}SCAN {plan.join.build.table.name} [{distribution}]"
                 + (f" filter: {build_filters}" if build_filters else "")
             )
         probe_filters = " AND ".join(str(c) for c in plan.probe.conjuncts)
@@ -381,12 +385,17 @@ class ImpalaBackend:
     def _build_side(
         self, plan: PhysicalPlan, instances: list[InstanceContext]
     ):
-        """Scan + broadcast + index the right side.
+        """Scan + distribute + index the right side.
 
-        The scan is distributed (each instance reads its own ranges); the
-        resulting rows are broadcast, so *every* instance is charged for
+        The scan is distributed (each instance reads its own ranges).
+        Under ``broadcast`` distribution *every* instance is charged for
         receiving the full row set, parsing its WKT and building its own
         R-tree copy — we build one real index and bill each instance.
+        Under ``partitioned`` distribution (the planner's choice for large
+        build sides) each side crosses the network once, so an instance
+        pays a 1/N shuffle share of both tables and parses only its own
+        build partition.  Execution still uses the one real shared index —
+        results are identical by construction; only the billing differs.
         """
         from repro.core.isp import build_spatial_index
 
@@ -415,11 +424,25 @@ class ImpalaBackend:
             all_rows, geometry_slot, operator, join.predicate.radius, self.engine_name
         )
         weight = self.build_cost_weight
-        broadcast_bytes = sum(estimate_bytes(r) for r in all_rows) * weight
-        for instance in instances:
-            if self.cluster.num_nodes > 1:
-                instance.charge_serial(Resource.BROADCAST_BYTES, broadcast_bytes)
-            instance.charge_serial(Resource.WKT_BYTES, wkt_bytes * weight)
+        build_bytes = sum(estimate_bytes(r) for r in all_rows) * weight
+        if join.distribution == "partitioned" and self.cluster.num_nodes > 1:
+            share = len(instances)
+            try:
+                probe_bytes = float(
+                    self.metastore.table_bytes(plan.probe.table.name)
+                )
+            except Exception:
+                probe_bytes = 0.0
+            for instance in instances:
+                instance.charge_serial(
+                    Resource.SHUFFLE_BYTES, (build_bytes + probe_bytes) / share
+                )
+                instance.charge_serial(Resource.WKT_BYTES, wkt_bytes * weight / share)
+        else:
+            for instance in instances:
+                if self.cluster.num_nodes > 1:
+                    instance.charge_serial(Resource.BROADCAST_BYTES, build_bytes)
+                instance.charge_serial(Resource.WKT_BYTES, wkt_bytes * weight)
         return index
 
     def _instance_pipeline(

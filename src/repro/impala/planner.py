@@ -74,17 +74,23 @@ class SpatialPredicate:
 
 @dataclass
 class JoinSpec:
-    """A broadcast join: build-side scan plus the predicate.
+    """A spatial join: build-side scan plus the predicate.
 
     ``indexed`` is True for ``SPATIAL JOIN`` (the paper's R-tree path) and
     False for the naive cross-join fallback used when a plain ``JOIN``
-    carries a spatial predicate.
+    carries a spatial predicate.  ``distribution`` records the planner's
+    stats-driven choice of how the build side reaches the instances:
+    ``"broadcast"`` replicates it to every node (the paper's only mode),
+    ``"partitioned"`` ships each side across the network once.  Fragment
+    binding stays static either way — the choice is made before execution
+    and never revisited.
     """
 
     build: ScanSpec
     predicate: SpatialPredicate
     indexed: bool
     residual: list[Expr] = field(default_factory=list)
+    distribution: str = "broadcast"
 
 
 @dataclass
@@ -123,10 +129,17 @@ class PhysicalPlan:
 
 
 class Planner:
-    """Builds physical plans from parsed statements and the metastore."""
+    """Builds physical plans from parsed statements and the metastore.
 
-    def __init__(self, metastore: Metastore):
+    ``num_nodes`` enables the stats-driven broadcast-vs-partitioned
+    choice for spatial joins (Impala's DistributedPlanner rule applied to
+    metastore file sizes); the default of 1 keeps every join broadcast,
+    the paper's original behaviour.
+    """
+
+    def __init__(self, metastore: Metastore, num_nodes: int = 1):
         self._metastore = metastore
+        self._num_nodes = max(1, num_nodes)
 
     def plan(self, statement: SelectStatement) -> PhysicalPlan:
         """Analyse and plan one SELECT; raises :class:`PlanError`."""
@@ -213,9 +226,31 @@ class Planner:
                 predicate=spatial_pred,
                 indexed=join_clause.spatial,
                 residual=[],
+                distribution=self._choose_distribution(probe, build),
             ),
             residual,
         )
+
+    def _choose_distribution(self, probe: ScanSpec, build: ScanSpec) -> str:
+        """Broadcast vs partitioned, by total network bytes.
+
+        Impala's DistributedPlanner rule: broadcasting ships the build
+        side to every node (``build_bytes x N``); partitioning ships each
+        side across the network once (``build_bytes + probe_bytes``).
+        Pick whichever moves fewer bytes.  On one node (or when the
+        metastore can't size a table) there is nothing to ship — stay
+        broadcast, the paper's static ISP-MC layout.
+        """
+        if self._num_nodes <= 1:
+            return "broadcast"
+        try:
+            build_bytes = self._metastore.table_bytes(build.table.name)
+            probe_bytes = self._metastore.table_bytes(probe.table.name)
+        except Exception:
+            return "broadcast"
+        if build_bytes * self._num_nodes > build_bytes + probe_bytes:
+            return "partitioned"
+        return "broadcast"
 
     def _tables_of(
         self, expr: Expr, probe: ScanSpec, build: ScanSpec | None

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Generic, Iterator, TypeVar
 
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.geometry.envelope import Envelope
 
 __all__ = ["RTree"]
@@ -51,7 +51,7 @@ class RTree(Generic[T]):
 
     def __init__(self, max_entries: int = 8):
         if max_entries < 4:
-            raise IndexError_(f"max_entries must be >= 4, got {max_entries}")
+            raise SpatialIndexError(f"max_entries must be >= 4, got {max_entries}")
         self._max = max_entries
         self._min = max(2, max_entries // 2)
         self._root: _Node[T] = _Node(leaf=True)
@@ -63,7 +63,7 @@ class RTree(Generic[T]):
     def insert(self, item: T, envelope: Envelope) -> None:
         """Insert an item; empty envelopes are rejected."""
         if envelope.is_empty:
-            raise IndexError_("cannot insert an empty envelope")
+            raise SpatialIndexError("cannot insert an empty envelope")
         leaf = self._choose_leaf(self._root, envelope)
         leaf.entries.append((item, envelope))
         leaf.envelope = leaf.envelope.union(envelope)

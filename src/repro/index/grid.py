@@ -10,7 +10,7 @@ from __future__ import annotations
 import math
 from typing import Generic, Iterable, Iterator, TypeVar
 
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.geometry.envelope import Envelope
 
 __all__ = ["GridIndex"]
@@ -28,9 +28,9 @@ class GridIndex(Generic[T]):
 
     def __init__(self, extent: Envelope, nx: int, ny: int):
         if extent.is_empty:
-            raise IndexError_("grid extent may not be empty")
+            raise SpatialIndexError("grid extent may not be empty")
         if nx < 1 or ny < 1:
-            raise IndexError_(f"grid must have >= 1 cell per axis, got {nx}x{ny}")
+            raise SpatialIndexError(f"grid must have >= 1 cell per axis, got {nx}x{ny}")
         self.extent = extent
         self.nx = nx
         self.ny = ny
@@ -73,7 +73,7 @@ class GridIndex(Generic[T]):
     def insert(self, item: T, envelope: Envelope) -> None:
         """Register an item in every overlapping cell."""
         if envelope.is_empty:
-            raise IndexError_("cannot insert an empty envelope")
+            raise SpatialIndexError("cannot insert an empty envelope")
         for cell in self.cells_overlapping(envelope):
             self._cells.setdefault(cell, []).append((item, envelope))
         self._size += 1

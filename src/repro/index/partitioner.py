@@ -15,7 +15,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.geometry.envelope import Envelope
 
 __all__ = [
@@ -88,7 +88,7 @@ class FixedGridPartitioner:
 
     def __init__(self, nx: int, ny: int):
         if nx < 1 or ny < 1:
-            raise IndexError_(f"grid partitioner needs >= 1 tile per axis, got {nx}x{ny}")
+            raise SpatialIndexError(f"grid partitioner needs >= 1 tile per axis, got {nx}x{ny}")
         self.nx = nx
         self.ny = ny
 
@@ -97,7 +97,7 @@ class FixedGridPartitioner:
     ) -> SpatialPartitioning:
         """Create the grid tiles (the sample is ignored for a fixed grid)."""
         if extent.is_empty:
-            raise IndexError_("cannot partition an empty extent")
+            raise SpatialIndexError("cannot partition an empty extent")
         tiles = []
         width = extent.width / self.nx
         height = extent.height / self.ny
@@ -124,7 +124,7 @@ class BinarySplitPartitioner:
 
     def __init__(self, levels: int):
         if levels < 0:
-            raise IndexError_(f"levels must be >= 0, got {levels}")
+            raise SpatialIndexError(f"levels must be >= 0, got {levels}")
         self.levels = levels
 
     def partition(
@@ -132,7 +132,7 @@ class BinarySplitPartitioner:
     ) -> SpatialPartitioning:
         """Split the extent on alternating-axis sample medians."""
         if extent.is_empty:
-            raise IndexError_("cannot partition an empty extent")
+            raise SpatialIndexError("cannot partition an empty extent")
         tiles: list[Envelope] = []
         self._split(extent, list(sample), self.levels, True, tiles)
         return SpatialPartitioning(extent, tuple(tiles))
@@ -180,7 +180,7 @@ class SortTilePartitioner:
 
     def __init__(self, target_tiles: int):
         if target_tiles < 1:
-            raise IndexError_(f"target_tiles must be >= 1, got {target_tiles}")
+            raise SpatialIndexError(f"target_tiles must be >= 1, got {target_tiles}")
         self.target_tiles = target_tiles
 
     def partition(
@@ -188,7 +188,7 @@ class SortTilePartitioner:
     ) -> SpatialPartitioning:
         """Derive ~target_tiles tiles from the sample."""
         if extent.is_empty:
-            raise IndexError_("cannot partition an empty extent")
+            raise SpatialIndexError("cannot partition an empty extent")
         points = sorted(sample)
         if not points or self.target_tiles == 1:
             return SpatialPartitioning(extent, (extent,))

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Generic, Iterator, TypeVar
 
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.geometry.envelope import Envelope
 
 __all__ = ["QuadTree"]
@@ -39,9 +39,9 @@ class QuadTree(Generic[T]):
 
     def __init__(self, extent: Envelope, capacity: int = 32, max_depth: int = 16):
         if extent.is_empty:
-            raise IndexError_("quadtree extent may not be empty")
+            raise SpatialIndexError("quadtree extent may not be empty")
         if capacity < 1:
-            raise IndexError_(f"capacity must be >= 1, got {capacity}")
+            raise SpatialIndexError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._max_depth = max_depth
         self._root: _QuadNode[T] = _QuadNode(extent, 0)
@@ -53,7 +53,7 @@ class QuadTree(Generic[T]):
     def insert(self, x: float, y: float, item: T) -> None:
         """Insert a point; raises when outside the tree extent."""
         if not self._root.extent.contains_point(x, y):
-            raise IndexError_(f"point ({x}, {y}) lies outside the quadtree extent")
+            raise SpatialIndexError(f"point ({x}, {y}) lies outside the quadtree extent")
         node = self._root
         while not node.is_leaf:
             node = self._child_for(node, x, y)

@@ -13,7 +13,7 @@ import heapq
 import math
 from typing import Callable, Generic, Iterable, Iterator, TypeVar
 
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.geometry.envelope import Envelope
 
 __all__ = ["STRtree", "RTreeNode"]
@@ -63,7 +63,7 @@ class STRtree(Generic[T]):
         node_capacity: int = 10,
     ):
         if node_capacity < 2:
-            raise IndexError_(f"node_capacity must be >= 2, got {node_capacity}")
+            raise SpatialIndexError(f"node_capacity must be >= 2, got {node_capacity}")
         self._node_capacity = node_capacity
         self._entries: list[tuple[T, Envelope]] = [
             (item, env) for item, env in entries if not env.is_empty
@@ -75,7 +75,7 @@ class STRtree(Generic[T]):
     def insert(self, item: T, envelope: Envelope) -> None:
         """Add an entry; only legal before the first query (STR is static)."""
         if self._built:
-            raise IndexError_("STRtree cannot be modified after it has been built")
+            raise SpatialIndexError("STRtree cannot be modified after it has been built")
         if not envelope.is_empty:
             self._entries.append((item, envelope))
 

@@ -53,6 +53,7 @@ class SparkContext:
         self.job_log: list[QueryMetrics] = []
         self._jar_shipped = False
         self.broadcast_overhead_seconds = 0.0
+        self.last_plan: dict | None = None
 
     # -- dataset creation -------------------------------------------------------
 
@@ -121,6 +122,15 @@ class SparkContext:
     def _record_job(self, metrics: QueryMetrics) -> None:
         self.job_log.append(metrics)
 
+    def record_plan(self, info: dict) -> None:
+        """Attach the optimizer's plan summary to the next profile.
+
+        Join helpers call this with :meth:`PlanChoice.to_info`-style dicts
+        so :meth:`to_profile` can render an explain()-style header without
+        perturbing any simulated-seconds accounting.
+        """
+        self.last_plan = dict(info)
+
     def simulated_seconds(self) -> float:
         """Total simulated runtime of every job since the last reset."""
         return self.broadcast_overhead_seconds + sum(
@@ -132,6 +142,7 @@ class SparkContext:
         self.job_log.clear()
         self.broadcast_overhead_seconds = 0.0
         self._jar_shipped = False
+        self.last_plan = None
 
     def totals(self) -> dict[str, float]:
         """Aggregate resource counters over the whole job log."""
@@ -158,6 +169,9 @@ class SparkContext:
                 "jobs": len(self.job_log),
             },
         )
+        if self.last_plan:
+            for key, value in self.last_plan.items():
+                root.info[f"plan_{key}"] = value
         if self.broadcast_overhead_seconds:
             root.add_child(
                 ProfileNode(

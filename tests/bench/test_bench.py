@@ -35,8 +35,10 @@ def mats():
 
 class TestWorkloads:
     def test_all_four_defined(self):
+        # The paper's four, plus the optimizer study's skew stress case.
         assert set(WORKLOADS) == {
             "taxi-nycb", "taxi-lion-100", "taxi-lion-500", "G10M-wwf",
+            "hotspot-nycb",
         }
 
     def test_materialize_memoised(self):
@@ -189,4 +191,9 @@ class TestReport:
             assert 0.2 < parallel_efficiency_of(series) <= 1.3
 
     def test_paper_constants_complete(self):
-        assert set(PAPER_TABLE1) == set(PAPER_TABLE2) == set(WORKLOADS)
+        from repro.bench.report import WORKLOAD_ORDER
+
+        # Paper numbers exist for the paper's workloads; the skewed
+        # optimizer-study workload has none by construction.
+        assert set(PAPER_TABLE1) == set(PAPER_TABLE2) == set(WORKLOAD_ORDER)
+        assert set(WORKLOAD_ORDER) <= set(WORKLOADS)

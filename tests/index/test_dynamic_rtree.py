@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.geometry.envelope import Envelope
 from repro.index import RTree
 
@@ -41,11 +41,11 @@ class TestInsertQuery:
             assert sorted(tree.query(query)) == expected
 
     def test_empty_envelope_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             RTree().insert("x", Envelope.empty())
 
     def test_small_max_entries_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             RTree(max_entries=3)
 
     def test_iter_all(self, rng):

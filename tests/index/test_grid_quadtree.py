@@ -2,16 +2,16 @@
 
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.geometry.envelope import Envelope
 from repro.index import GridIndex, QuadTree
 
 
 class TestGridIndex:
     def test_construction_validation(self, world):
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             GridIndex(Envelope.empty(), 4, 4)
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             GridIndex(world, 0, 4)
 
     def test_cell_of_clamps(self, world):
@@ -63,20 +63,20 @@ class TestGridIndex:
 
     def test_empty_envelope_rejected(self, world):
         grid = GridIndex(world, 4, 4)
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             grid.insert("x", Envelope.empty())
 
 
 class TestQuadTree:
     def test_construction_validation(self, world):
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             QuadTree(Envelope.empty())
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             QuadTree(world, capacity=0)
 
     def test_insert_outside_extent_rejected(self, world):
         qt = QuadTree(world)
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             qt.insert(200, 200, "x")
 
     def test_query_matches_brute_force(self, rng, world):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.geometry.envelope import Envelope
 from repro.index import (
     BinarySplitPartitioner,
@@ -33,9 +33,9 @@ class TestFixedGrid:
         assert sum(t.area for t in part.tiles) == pytest.approx(world.area)
 
     def test_validation(self, world):
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             FixedGridPartitioner(0, 3)
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             FixedGridPartitioner(2, 2).partition(Envelope.empty())
 
 

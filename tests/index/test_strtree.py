@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.geometry.envelope import Envelope
 from repro.index import STRtree
 
@@ -72,11 +72,11 @@ class TestBuildAndQuery:
     def test_insert_after_build_rejected(self):
         tree = STRtree([("x", Envelope(0, 0, 1, 1))])
         tree.build()
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             tree.insert("y", Envelope(2, 2, 3, 3))
 
     def test_bad_capacity(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             STRtree(node_capacity=1)
 
     def test_duplicate_envelopes_all_returned(self):

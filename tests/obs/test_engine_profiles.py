@@ -87,35 +87,62 @@ class TestSpatialJoinProfile:
     LEFT = [(0, "POINT (1 1)"), (1, "POINT (9 9)"), (2, "POINT (3 2)")]
     RIGHT = [("cell", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")]
 
-    def test_returns_pairs_and_profile(self):
-        pairs, profile = spatial_join(self.LEFT, self.RIGHT, profile=True)
+    def test_legacy_profile_keyword_returns_tuple(self):
+        with pytest.deprecated_call():
+            pairs, profile = spatial_join(self.LEFT, self.RIGHT, profile=True)
         assert sorted(pairs) == [(0, "cell"), (2, "cell")]
         assert isinstance(profile, QueryProfile)
 
+    def test_config_profile_returns_join_result(self):
+        from repro import JoinConfig
+
+        result = spatial_join(
+            self.LEFT, self.RIGHT, config=JoinConfig(profile=True)
+        )
+        assert sorted(result) == [(0, "cell"), (2, "cell")]
+        assert isinstance(result.profile, QueryProfile)
+
     def test_profile_matches_unprofiled_result(self):
+        from repro import JoinConfig
+
         plain = spatial_join(self.LEFT, self.RIGHT)
-        pairs, _ = spatial_join(self.LEFT, self.RIGHT, profile=True)
-        assert sorted(pairs) == sorted(plain)
+        result = spatial_join(
+            self.LEFT, self.RIGHT, config=JoinConfig(profile=True)
+        )
+        assert sorted(result) == sorted(plain)
 
     def test_phase_seconds_sum_to_query_metrics(self):
+        from repro import JoinConfig
+
         model = CostModel()
-        _, profile = spatial_join(
-            self.LEFT, self.RIGHT, profile=True, cost_model=model
+        result = spatial_join(
+            self.LEFT,
+            self.RIGHT,
+            config=JoinConfig(method="broadcast", profile=True, cost_model=model),
         )
+        profile = result.profile
         assert profile.metrics is not None
         assert sum(profile.phase_seconds().values()) == pytest.approx(
             profile.metrics.simulated_seconds, rel=1e-9
         )
         assert set(profile.phase_seconds()) == {"parse", "build", "probe"}
 
-    def test_profile_requires_index_method(self):
-        from repro.errors import ReproError
+    def test_naive_profile_has_join_phase(self):
+        from repro import JoinConfig
 
-        with pytest.raises(ReproError):
-            spatial_join(self.LEFT, self.RIGHT, method="naive", profile=True)
+        result = spatial_join(
+            self.LEFT, self.RIGHT, config=JoinConfig(method="naive", profile=True)
+        )
+        assert set(result.profile.phase_seconds()) == {"parse", "join"}
 
     def test_profiled_run_emits_spans_when_tracing(self):
+        from repro import JoinConfig
+
         with tracing() as tracer:
-            spatial_join(self.LEFT, self.RIGHT, profile=True)
+            spatial_join(
+                self.LEFT,
+                self.RIGHT,
+                config=JoinConfig(method="broadcast", profile=True),
+            )
         names = [root.name for root in tracer.roots]
         assert names == ["parse", "build", "probe"]

@@ -1,0 +1,106 @@
+"""Canned plan-chooser cases: one workload shape per join strategy.
+
+Each case is a workload whose cheapest strategy is unambiguous under the
+calibrated cost model; the chooser must pick it.  These four shapes are
+the acceptance scenarios for the stats-driven optimizer.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.model import ClusterSpec
+from repro.core.operators import SpatialOperator
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.optimizer import PlanChoice, choose_plan
+
+
+def grid_polys(n_side, cell=1.0, size=None, x0=0.0, y0=0.0):
+    size = cell if size is None else size
+    polys = []
+    for i in range(n_side):
+        for j in range(n_side):
+            x, y = x0 + i * cell, y0 + j * cell
+            polys.append(
+                (
+                    f"c{i}_{j}",
+                    Polygon(
+                        [(x, y), (x + size, y), (x + size, y + size), (x, y + size)]
+                    ),
+                )
+            )
+    return polys
+
+
+def rand_points(n, lo=0.0, hi=5.0, seed=7):
+    rng = random.Random(seed)
+    return [(k, Point(rng.uniform(lo, hi), rng.uniform(lo, hi))) for k in range(n)]
+
+
+class TestCannedCases:
+    def test_broadcast_wins_small_build_side(self):
+        """Many points against a tiny polygon table, several workers:
+        shipping the small side everywhere beats shuffling the big one."""
+        plan = choose_plan(rand_points(5000), grid_polys(5), workers=8)
+        assert plan.method == "broadcast"
+
+    def test_partitioned_wins_both_sides_large(self):
+        """Both sides large with many workers: per-tile parallel joins
+        amortise the shuffle."""
+        plan = choose_plan(rand_points(20000), grid_polys(40, cell=0.125), workers=8)
+        assert plan.method == "partitioned"
+
+    def test_dual_tree_wins_dense_overlap_single_worker(self):
+        """Dense overlapping polygons on one worker: candidate sets are so
+        large that a tree-vs-tree traversal beats per-probe descents."""
+        dense = grid_polys(40, cell=0.125, size=1.0)
+        plan = choose_plan(
+            rand_points(20000),
+            dense,
+            operator=SpatialOperator.INTERSECTS,
+            workers=1,
+        )
+        assert plan.method == "dual-tree"
+
+    def test_naive_wins_tiny_inputs(self):
+        """A handful of rows: any index or shuffle setup dwarfs the scan."""
+        plan = choose_plan(rand_points(8), grid_polys(2), workers=1)
+        assert plan.method == "naive"
+
+
+class TestPlanChoice:
+    @pytest.fixture()
+    def plan(self) -> PlanChoice:
+        return choose_plan(rand_points(500), grid_polys(5), workers=4)
+
+    def test_costs_cover_every_method(self, plan):
+        assert set(plan.costs) == {"broadcast", "partitioned", "dual-tree", "naive"}
+        assert all(cost > 0.0 for cost in plan.costs.values())
+
+    def test_chosen_method_is_cheapest(self, plan):
+        assert plan.estimated_seconds == min(plan.costs.values())
+
+    def test_explain_names_the_winner(self, plan):
+        text = "\n".join(plan.explain())
+        assert f"PLAN CHOICE: {plan.method}" in text
+        for method in plan.costs:
+            assert method in text
+
+    def test_to_info_is_json_safe(self, plan):
+        import json
+
+        info = plan.to_info()
+        assert json.loads(json.dumps(info)) == info
+        assert info["method"] == plan.method
+
+    def test_cluster_sets_workers(self):
+        cluster = ClusterSpec(num_nodes=2, cores_per_node=4)
+        plan = choose_plan(rand_points(500), grid_polys(5), cluster=cluster)
+        assert plan.workers == cluster.total_cores == 8
+
+    def test_empty_side_falls_back_to_naive(self):
+        plan = choose_plan([], grid_polys(2), workers=4)
+        assert plan.method == "naive"

@@ -1,0 +1,101 @@
+"""Sampling and statistics: the optimizer's measurement layer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.geometry.envelope import Envelope
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.index.partitioner import FixedGridPartitioner
+from repro.optimizer import reservoir_sample, stratified_sample
+from repro.optimizer.stats import (
+    collect_join_stats,
+    collect_table_stats,
+    tile_histogram,
+)
+
+
+def points(n, seed=5, lo=0.0, hi=10.0):
+    rng = random.Random(seed)
+    return [(i, Point(rng.uniform(lo, hi), rng.uniform(lo, hi))) for i in range(n)]
+
+
+class TestReservoirSample:
+    def test_exact_size_and_membership(self):
+        items = list(range(1000))
+        sample = reservoir_sample(items, 50)
+        assert len(sample) == 50
+        assert set(sample) <= set(items)
+
+    def test_deterministic_for_a_seed(self):
+        items = list(range(1000))
+        assert reservoir_sample(items, 50, seed=3) == reservoir_sample(
+            items, 50, seed=3
+        )
+        assert reservoir_sample(items, 50, seed=3) != reservoir_sample(
+            items, 50, seed=4
+        )
+
+    def test_short_input_returned_whole(self):
+        assert sorted(reservoir_sample([1, 2, 3], 50)) == [1, 2, 3]
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(OptimizerError):
+            reservoir_sample([1, 2, 3], 0)
+
+    def test_roughly_uniform(self):
+        """Each half of a 2000-item stream should get ~half the sample."""
+        items = list(range(2000))
+        sample = reservoir_sample(items, 400, seed=9)
+        low = sum(1 for x in sample if x < 1000)
+        assert 140 <= low <= 260
+
+
+class TestStratifiedSample:
+    def test_sparse_regions_keep_representation(self):
+        """99% of points in one corner; the lone far point must survive
+        stratification even at a small sample size."""
+        entries = points(990, lo=0.0, hi=1.0) + [(999, Point(9.5, 9.5))]
+        sample = stratified_sample(entries, 64)
+        assert any(p.x > 9.0 for _, p in sample)
+
+    def test_deterministic(self):
+        entries = points(500)
+        assert stratified_sample(entries, 64) == stratified_sample(entries, 64)
+
+
+class TestStats:
+    def test_table_stats_shape(self):
+        entries = points(300)
+        stats = collect_table_stats(entries)
+        assert stats.count == 300
+        assert stats.point_fraction == 1.0
+        assert stats.estimated_bytes > 0
+        assert not stats.extent.is_empty
+
+    def test_join_stats_selectivity_positive(self):
+        left = points(1000)
+        right = [("cell", Polygon([(0, 0), (10, 0), (10, 10), (0, 10)]))]
+        stats = collect_join_stats(left, right)
+        assert stats.left.count == 1000
+        assert stats.right.count == 1
+        assert stats.candidates_per_probe > 0
+
+    def test_tile_histogram_tracks_density(self):
+        """All the data in one quadrant: its tile must dominate the
+        histogram and empty tiles must cost nothing."""
+        left = points(2000, lo=0.0, hi=4.9)
+        right = [("cell", Polygon([(0, 0), (5, 0), (5, 5), (0, 5)]))]
+        stats = collect_join_stats(left, right)
+        grid = FixedGridPartitioner(2, 2).partition(Envelope(0, 0, 10, 10))
+        hist = tile_histogram(grid, stats)
+        assert len(hist.seconds) == 4
+        hot = max(range(4), key=lambda i: hist.seconds[i])
+        assert hist.left_counts[hot] > 0
+        # The far quadrant holds no data at all.
+        cold = min(range(4), key=lambda i: hist.left_counts[i])
+        assert hist.left_counts[cold] == 0
