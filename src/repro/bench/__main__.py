@@ -35,18 +35,50 @@ from repro.obs import spans_to_chrome_trace, tracing, write_chrome_trace
 ENGINES = ("spatialspark", "isp-mc", "isp-standalone")
 
 
+def _scale_or_mode(value: str):
+    """Positional argument: a float scale factor, or the ``kernels`` mode."""
+    if value == "kernels":
+        return value
+    try:
+        return float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a scale factor or 'kernels', got {value!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Reproduce the paper's tables and figures, or profile "
-        "a single spatial-join query.",
+        description="Reproduce the paper's tables and figures, profile "
+        "a single spatial-join query, or (with 'kernels') measure the "
+        "columnar batch kernels' wall-clock against the scalar path.",
     )
     parser.add_argument(
         "scale",
         nargs="?",
-        type=float,
+        type=_scale_or_mode,
         default=DEFAULT_SCALE,
-        help=f"dataset scale factor (default {DEFAULT_SCALE})",
+        help=f"dataset scale factor (default {DEFAULT_SCALE}), or 'kernels' "
+        "to run the columnar-kernels microbenchmark",
+    )
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=100_000,
+        help="probe points for the kernels microbenchmark (default 100000)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="for kernels mode: also write the JSON document to PATH",
+    )
+    parser.add_argument(
+        "--assert-not-slower",
+        action="store_true",
+        help="for kernels mode: exit nonzero if the batch path is slower "
+        "than the scalar path or any equivalence check fails",
     )
     parser.add_argument(
         "--json",
@@ -121,8 +153,45 @@ def _profile_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kernels_run(args: argparse.Namespace) -> int:
+    from repro.bench.kernels import (
+        render_kernels,
+        run_kernels_benchmark,
+        write_kernels_json,
+    )
+
+    doc = run_kernels_benchmark(points=args.points)
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(render_kernels(doc))
+    if args.out:
+        write_kernels_json(doc, args.out)
+        print(f"wrote kernels benchmark to {args.out}", file=sys.stderr)
+    identical = all(k["identical"] for k in doc["kernels"].values())
+    identical = identical and doc["equivalence"]["all_identical"]
+    if not identical:
+        print("FAIL: batch and scalar results differ", file=sys.stderr)
+        return 1
+    if args.assert_not_slower:
+        slower = [
+            k["kernel"]
+            for k in doc["kernels"].values()
+            if k["batch_seconds"] > k["scalar_seconds"]
+        ]
+        if slower:
+            print(
+                f"FAIL: batch path slower than scalar for {', '.join(slower)}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.scale == "kernels":
+        return _kernels_run(args)
     if args.method == "auto":
         study = optimizer_study(scale=args.scale, nodes=args.nodes)
         if args.json:

@@ -70,6 +70,7 @@ def run_spatialspark(
     engine: str = "fast",
     num_partitions: int | None = None,
     profile: bool = False,
+    batch_refine: bool = True,
 ) -> RunResult:
     """SpatialSpark: broadcast join on the mini-Spark substrate."""
     sc = SparkContext(cluster_spec(num_nodes), hdfs=mat.hdfs, cost_model=cost_model)
@@ -85,6 +86,7 @@ def run_spatialspark(
         radius=mat.radius,
         engine=engine,
         build_cost_weight=mat.build_cost_weight,
+        batch_refine=batch_refine,
     )
     count = pairs.count()
     return RunResult(
@@ -119,6 +121,8 @@ def run_ispmc(
     engine: str = "slow",
     assignment: str = "round_robin",
     profile: bool = False,
+    batch_refine: bool = True,
+    batch_size: int | None = None,
 ) -> RunResult:
     """ISP-MC: SQL spatial join on the mini-Impala substrate."""
     backend = ImpalaBackend(
@@ -128,6 +132,8 @@ def run_ispmc(
         engine=engine,
         assignment=assignment,
         build_cost_weight=mat.build_cost_weight,
+        batch_refine=batch_refine,
+        batch_size=batch_size,
     )
     schema = [("id", ColumnType.BIGINT), ("geom", ColumnType.STRING)]
     left_name = f"left_{mat.left.name}"
@@ -191,13 +197,18 @@ def run_engine(
     scale: float = 0.1,
     cost_model: CostModel | None = None,
     profile: bool = False,
+    batch_refine: bool = True,
 ) -> RunResult:
     """Dispatch by engine label (the harness entry used by benches)."""
     mat = materialize(workload_name, scale=scale)
     if engine == "spatialspark":
-        return run_spatialspark(mat, num_nodes, cost_model, profile=profile)
+        return run_spatialspark(
+            mat, num_nodes, cost_model, profile=profile, batch_refine=batch_refine
+        )
     if engine == "isp-mc":
-        return run_ispmc(mat, num_nodes, cost_model, profile=profile)
+        return run_ispmc(
+            mat, num_nodes, cost_model, profile=profile, batch_refine=batch_refine
+        )
     if engine == "isp-standalone":
         if num_nodes != 1:
             raise BenchError("standalone ISP-MC runs on a single node")

@@ -33,6 +33,7 @@ from repro.data.gbif import generate_gbif
 from repro.data.synthetic import SyntheticDataset
 from repro.errors import BenchError
 from repro.hdfs import SimulatedHDFS
+from repro.index.morton import morton_code
 
 __all__ = ["Workload", "WORKLOADS", "materialize", "MaterializedWorkload", "morton_key"]
 
@@ -106,15 +107,7 @@ class MaterializedWorkload:
 
 def morton_key(x: float, y: float, extent) -> int:
     """Interleave 16-bit normalised coordinates into a Morton (Z) code."""
-    nx = int(65535 * (x - extent.min_x) / max(extent.width, 1e-300))
-    ny = int(65535 * (y - extent.min_y) / max(extent.height, 1e-300))
-    nx = min(max(nx, 0), 65535)
-    ny = min(max(ny, 0), 65535)
-    code = 0
-    for bit in range(16):
-        code |= ((nx >> bit) & 1) << (2 * bit)
-        code |= ((ny >> bit) & 1) << (2 * bit + 1)
-    return code
+    return morton_code(x, y, extent)
 
 
 def _spatially_sorted(dataset: SyntheticDataset) -> SyntheticDataset:

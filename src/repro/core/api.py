@@ -49,6 +49,12 @@ class JoinConfig:
     against (and the partitioned method's simulated task slots);
     ``num_tiles``/``skew_factor``/``sample_size`` tune the partitioned
     plan's skew-aware tiling.
+
+    ``batch_refine`` toggles the columnar batch execution path (bulk
+    index probes + vectorized refinement kernels); results are identical
+    either way.  ``batch_size`` is the row-batch granularity shared with
+    the Impala substrate (how many probes each batched kernel dispatch
+    covers); it must be positive.
     """
 
     operator: SpatialOperator | str = SpatialOperator.WITHIN
@@ -61,6 +67,14 @@ class JoinConfig:
     num_tiles: int | None = None
     skew_factor: float = 2.0
     sample_size: int | None = None
+    batch_size: int = 1024
+    batch_refine: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.batch_size, int) or self.batch_size < 1:
+            raise ReproError(
+                f"batch_size must be a positive integer, got {self.batch_size!r}"
+            )
 
     def with_(self, **changes) -> "JoinConfig":
         """A copy with the given fields replaced."""
@@ -354,8 +368,17 @@ def _broadcast_join(left_entries, right_entries, op, cfg, model, query):
         index = BroadcastIndex(
             right_entries, op, radius=cfg.radius, engine=cfg.engine
         )
-        for left_id, geometry in left_entries:
-            pairs.extend((left_id, right_id) for right_id in index.probe(geometry))
+        if cfg.batch_refine:
+            for start in range(0, len(left_entries), cfg.batch_size):
+                chunk = left_entries[start : start + cfg.batch_size]
+                matches_per_row, _ = index.probe_batch(g for _, g in chunk)
+                for (left_id, _), matches in zip(chunk, matches_per_row):
+                    pairs.extend((left_id, right_id) for right_id in matches)
+        else:
+            for left_id, geometry in left_entries:
+                pairs.extend(
+                    (left_id, right_id) for right_id in index.probe(geometry)
+                )
         return pairs
 
     build_metrics = TaskMetrics()
@@ -371,11 +394,20 @@ def _broadcast_join(left_entries, right_entries, op, cfg, model, query):
 
     probe_metrics = TaskMetrics()
     with tracer.span("probe", category="phase") as span:
-        for left_id, geometry in left_entries:
-            matches, units = index.probe_with_cost(geometry)
-            for resource, amount in units.items():
-                probe_metrics.add(resource, amount)
-            pairs.extend((left_id, right_id) for right_id in matches)
+        if cfg.batch_refine:
+            for start in range(0, len(left_entries), cfg.batch_size):
+                chunk = left_entries[start : start + cfg.batch_size]
+                matches_per_row, totals = index.probe_batch(g for _, g in chunk)
+                for resource, amount in totals.items():
+                    probe_metrics.add(resource, amount)
+                for (left_id, _), matches in zip(chunk, matches_per_row):
+                    pairs.extend((left_id, right_id) for right_id in matches)
+        else:
+            for left_id, geometry in left_entries:
+                matches, units = index.probe_with_cost(geometry)
+                for resource, amount in units.items():
+                    probe_metrics.add(resource, amount)
+                pairs.extend((left_id, right_id) for right_id in matches)
         span.add_sim(probe_metrics.seconds(model))
         span.set_attr("rows_out", len(pairs))
     _add_stage(query, "probe", [probe_metrics], model)
@@ -520,10 +552,21 @@ def _partitioned_join_local(
                 engine=cfg.engine,
             )
             task.add(Resource.INDEX_BUILD, float(len(index)))
-            for left_id, geometry in tile_left:
-                matches, units = index.probe_with_cost(geometry)
-                for resource, amount in units.items():
+            if cfg.batch_refine:
+                matches_per_row, totals = index.probe_batch(
+                    g for _, g in tile_left
+                )
+                for resource, amount in totals.items():
                     task.add(resource, amount)
+            else:
+                matches_per_row = None
+            for row, (left_id, geometry) in enumerate(tile_left):
+                if matches_per_row is not None:
+                    matches = matches_per_row[row]
+                else:
+                    matches, units = index.probe_with_cost(geometry)
+                    for resource, amount in units.items():
+                        task.add(resource, amount)
                 left_tiles = None
                 for right_id, right_geometry in matches:
                     if left_tiles is None:

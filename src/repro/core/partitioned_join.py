@@ -89,6 +89,7 @@ def partitioned_spatial_join(
     engine: str = "fast",
     partitioning: SpatialPartitioning | None = None,
     skew_factor: float | None = 2.0,
+    batch_refine: bool = True,
 ) -> RDD[tuple[Any, Any]]:
     """Join two (id, geometry) RDDs via spatial partitioning + shuffle.
 
@@ -96,7 +97,9 @@ def partitioned_spatial_join(
     join's output (tests assert the two plans agree).  Unless an explicit
     ``partitioning`` is supplied, the tile layout is skew-aware by
     default: hot tiles are split per ``skew_factor`` (pass ``None`` to
-    restore the plain sort-tile layout).
+    restore the plain sort-tile layout).  ``batch_refine`` (default on)
+    switches each tile task to the columnar bulk-probe/batch-kernel path;
+    results and accrued counters are identical either way.
     """
     if operator.needs_radius and radius <= 0.0:
         raise ReproError(f"{operator} requires a positive radius")
@@ -160,11 +163,22 @@ def partitioned_spatial_join(
         )
         task = current_task()
         task.add(Resource.INDEX_BUILD, len(index))
-        results = []
-        for left_id, geometry in left_entries:
-            matches, units = index.probe_with_cost(geometry)
-            for resource, amount in units.items():
+        if batch_refine:
+            matches_per_row, totals = index.probe_batch(
+                geometry for _, geometry in left_entries
+            )
+            for resource, amount in totals.items():
                 task.add(resource, amount)
+        else:
+            matches_per_row = None
+        results = []
+        for row, (left_id, geometry) in enumerate(left_entries):
+            if matches_per_row is not None:
+                matches = matches_per_row[row]
+            else:
+                matches, units = index.probe_with_cost(geometry)
+                for resource, amount in units.items():
+                    task.add(resource, amount)
             left_tiles = None
             for right_id, right_geometry in matches:
                 # Owner rule: a replicated pair is produced in every tile

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from typing import Any, Iterable
 
+import numpy as np
+
 from repro.cluster.model import Resource
 from repro.errors import ReproError
 from repro.geometry.base import Geometry
@@ -153,6 +155,169 @@ class BroadcastIndex:
         if alloc_delta:
             units[Resource.REFINE_ALLOC] = float(alloc_delta)
         return matches, units
+
+    def probe_batch(
+        self, geometries: Iterable[Geometry | None], per_row: bool = False
+    ) -> tuple[list[list[Any]], dict[str, float] | list[dict[str, float] | None]]:
+        """Probe many geometries with one index traversal and batched kernels.
+
+        Matches — payloads per probe, in candidate order — and cost units
+        are exactly what N :meth:`probe_with_cost` calls produce; the
+        engine counters advance by the same totals.  ``None`` entries are
+        skipped entirely (their units slot is ``None``) so row-pipeline
+        callers can keep unparsable rows in place.  With ``per_row`` the
+        second element is the per-probe units list; otherwise it is the
+        summed totals dict.
+
+        Point probes under Within/NearestD take the columnar path: one
+        Morton-sorted bulk index probe, then candidates grouped by build
+        geometry so each polygon/polyline refines its whole point set with
+        one batch kernel call.  Everything else falls back to per-probe
+        scalar refinement (same answers, no batching benefit — mirroring
+        the scalar engines).
+        """
+        geometries = list(geometries)
+        n = len(geometries)
+        matches: list[list[Any]] = [[] for _ in range(n)]
+        row_units: list[dict[str, float] | None] = [None] * n
+        batchable: list[int] = []
+        batch_ok = self.operator in (
+            SpatialOperator.WITHIN,
+            SpatialOperator.NEAREST_D,
+        ) and hasattr(self.engine, "contains_batch_counted")
+        for i, geometry in enumerate(geometries):
+            if geometry is None:
+                continue
+            if geometry.is_empty:
+                row_units[i] = {
+                    Resource.INDEX_VISIT: 0.0,
+                    Resource.ROWS_OUT: 0.0,
+                }
+                continue
+            if batch_ok and isinstance(geometry, Point):
+                batchable.append(i)
+            else:
+                matches[i], row_units[i] = self.probe_with_cost(geometry)
+        batch_totals: dict[str, float] | None = None
+        if batchable:
+            batch_totals = self._probe_points_batch(
+                geometries, batchable, matches, row_units, per_row
+            )
+        if per_row:
+            return matches, row_units
+        totals: dict[str, float] = {}
+        for units in row_units:
+            if units is None:
+                continue
+            for resource, amount in units.items():
+                totals[resource] = totals.get(resource, 0.0) + amount
+        if batch_totals:
+            for resource, amount in batch_totals.items():
+                totals[resource] = totals.get(resource, 0.0) + amount
+        return matches, totals
+
+    def _probe_points_batch(
+        self,
+        geometries: list[Geometry | None],
+        batchable: list[int],
+        matches: list[list[Any]],
+        row_units: list[dict[str, float] | None],
+        per_row: bool,
+    ) -> dict[str, float] | None:
+        """Columnar filter+refine for the point probes in ``batchable``.
+
+        Fills ``matches`` in place.  With ``per_row`` it also fills
+        ``row_units`` (per-probe cost dicts, exactly what
+        :meth:`probe_with_cost` yields); otherwise it skips the per-probe
+        dicts and returns the batchable rows' summed totals — the floats
+        are integer-valued, so the sum equals the per-row sum exactly.
+        """
+        m = len(batchable)
+        xs = np.fromiter((geometries[i].x for i in batchable), dtype=np.float64, count=m)
+        ys = np.fromiter((geometries[i].y for i in batchable), dtype=np.float64, count=m)
+        # Each chunk is one build item plus every probe that reached it —
+        # already the grouping a batched refinement kernel wants.
+        chunks, visits = self._tree.query_batch_points_chunks(xs, ys)
+        if per_row:
+            vertex_acc = np.zeros(m, dtype=np.int64)
+            alloc_acc = np.zeros(m, dtype=np.int64)
+        vertex_total = 0
+        alloc_total = 0
+        engine = self.engine
+        within = self.operator is SpatialOperator.WITHIN
+        chunk_hits: list[np.ndarray] = []
+        for item, positions in chunks:
+            _, _, handle = item
+            if within:
+                hit, vertex, alloc = engine.contains_batch_counted(
+                    handle, xs[positions], ys[positions]
+                )
+            else:
+                hit, vertex, alloc = engine.within_distance_batch_counted(
+                    handle, xs[positions], ys[positions], self.radius
+                )
+            chunk_hits.append(hit)
+            if per_row:
+                # A chunk holds each probe at most once, so the fancy
+                # index has no duplicates and += accumulates correctly.
+                vertex_acc[positions] += vertex
+                alloc_acc[positions] += alloc
+            else:
+                vertex_total += int(vertex.sum())
+                alloc_total += int(alloc.sum())
+        hits_total = 0
+        if chunks:
+            pair_probe = np.concatenate([positions for _, positions in chunks])
+            pair_chunk = np.repeat(
+                np.arange(len(chunks), dtype=np.int64),
+                np.fromiter(
+                    (len(positions) for _, positions in chunks),
+                    dtype=np.int64,
+                    count=len(chunks),
+                ),
+            )
+            pair_hit = np.concatenate(chunk_hits)
+            hits_total = int(pair_hit.sum())
+            # Chunks arrive in DFS order; a stable sort by probe restores
+            # the scalar query's per-probe candidate order.
+            order = np.argsort(pair_probe, kind="stable")
+            sel = order[pair_hit[order]]
+            payloads = [item[0] for item, _ in chunks]
+            for j, k in zip(pair_probe[sel].tolist(), pair_chunk[sel].tolist()):
+                matches[batchable[j]].append(payloads[k])
+        slow = engine.name == "slow"
+        if not per_row:
+            totals: dict[str, float] = {
+                Resource.INDEX_VISIT: float(visits.sum()),
+                Resource.ROWS_OUT: float(hits_total),
+            }
+            if vertex_total:
+                if slow:
+                    totals[Resource.REFINE_VERTEX_SLOW] = float(vertex_total)
+                else:
+                    totals[Resource.REFINE_VERTEX_FAST] = float(vertex_total)
+            if alloc_total:
+                totals[Resource.REFINE_ALLOC] = float(alloc_total)
+            return totals
+        visits_list = visits.tolist()
+        vertex_list = vertex_acc.tolist()
+        alloc_list = alloc_acc.tolist()
+        rows_out = np.zeros(m, dtype=np.int64)
+        if hits_total:
+            rows_out += np.bincount(pair_probe[pair_hit], minlength=m)
+        rows_list = rows_out.tolist()
+        vertex_key = Resource.REFINE_VERTEX_SLOW if slow else Resource.REFINE_VERTEX_FAST
+        for j, i in enumerate(batchable):
+            units: dict[str, float] = {
+                Resource.INDEX_VISIT: float(visits_list[j]),
+                Resource.ROWS_OUT: float(rows_list[j]),
+            }
+            if vertex_list[j]:
+                units[vertex_key] = float(vertex_list[j])
+            if alloc_list[j]:
+                units[Resource.REFINE_ALLOC] = float(alloc_list[j])
+            row_units[i] = units
+        return None
 
     def nearest(
         self, point: Point, k: int = 1, max_distance: float = math.inf

@@ -20,7 +20,13 @@ from repro.geometry.wkt import loads as wkt_loads
 from repro.geometry.wkt import dumps as wkt_dumps
 from repro.geometry.wkb import loads as wkb_loads
 from repro.geometry.wkb import dumps as wkb_dumps
-from repro.geometry.prepared import PreparedLineString, PreparedPolygon, prepare
+from repro.geometry.prepared import (
+    PreparedLineString,
+    PreparedPolygon,
+    clear_prepared_cache,
+    prepare,
+    prepare_cached,
+)
 from repro.geometry.engine import (
     EngineCounters,
     FastGeometryEngine,
@@ -50,6 +56,8 @@ __all__ = [
     "PreparedPolygon",
     "PreparedLineString",
     "prepare",
+    "prepare_cached",
+    "clear_prepared_cache",
     "EngineCounters",
     "GeometryEngine",
     "FastGeometryEngine",

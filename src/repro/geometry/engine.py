@@ -26,13 +26,19 @@ import math
 from dataclasses import dataclass
 from typing import Protocol
 
+import numpy as np
+
 from repro.errors import GeometryError
 from repro.geometry.base import Geometry
 from repro.geometry.linestring import LineString
 from repro.geometry.multi import MultiLineString, MultiPolygon
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
-from repro.geometry.prepared import PreparedLineString, PreparedPolygon
+from repro.geometry.prepared import (
+    PreparedLineString,
+    PreparedPolygon,
+    prepare_cached,
+)
 from repro.geometry.algorithms import distance as distance_mod
 
 __all__ = [
@@ -98,6 +104,29 @@ class GeometryEngine(Protocol):
         """Exact minimum distance from a point to the handle."""
         ...
 
+    def contains_batch_counted(
+        self, handle: object, xs, ys
+    ) -> tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+        """Batched Within: (results, vertex_ops, allocations) per point.
+
+        Counter totals accrued by one batch call equal those of N scalar
+        :meth:`point_within` calls; the per-point arrays carry each point's
+        share, for schedulers that charge per row.
+        """
+        ...
+
+    def within_distance_batch_counted(
+        self, handle: object, xs, ys, d: float
+    ) -> tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+        """Batched NearestD threshold test with per-point counter shares."""
+        ...
+
+    def distance_batch_counted(
+        self, handle: object, xs, ys
+    ) -> tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+        """Batched exact distance with per-point counter shares."""
+        ...
+
 
 class FastGeometryEngine:
     """Prepared-geometry engine (the JTS-like fast path)."""
@@ -108,20 +137,12 @@ class FastGeometryEngine:
         self.counters = EngineCounters()
 
     def prepare(self, geometry: Geometry) -> object:
-        if isinstance(geometry, Polygon):
-            return PreparedPolygon(geometry)
-        if isinstance(geometry, LineString):
-            return PreparedLineString(geometry)
-        if isinstance(geometry, MultiPolygon):
-            return [PreparedPolygon(p) for p in geometry.parts if not p.is_empty]
-        if isinstance(geometry, MultiLineString):
-            return [
-                PreparedLineString(part)
-                for part in geometry.parts
-                if not part.is_empty
-            ]
-        if isinstance(geometry, Point):
-            return geometry
+        if isinstance(
+            geometry, (Polygon, LineString, MultiPolygon, MultiLineString, Point)
+        ):
+            # Shared identity-keyed cache: tasks probing the same broadcast
+            # or tile geometry reuse one strip index instead of rebuilding.
+            return prepare_cached(geometry)
         raise GeometryError(f"fast engine cannot prepare {geometry.geometry_type}")
 
     def point_within(self, point: Point, handle: object) -> bool:
@@ -175,6 +196,148 @@ class FastGeometryEngine:
             return min(self.point_distance(point, part) for part in handle)
         if isinstance(handle, Point):
             return math.hypot(point.x - handle.x, point.y - handle.y)
+        raise GeometryError(f"point_distance against {type(handle).__name__}")
+
+    # -- batch kernels ----------------------------------------------------
+    #
+    # One numpy dispatch refines a whole coordinate batch against a handle.
+    # Results are bit-identical to N scalar calls (the prepared kernels
+    # evaluate the same IEEE expressions) and the counter totals match,
+    # including the early-exit accounting on Multi* handles: a point stops
+    # being charged for later parts once an earlier part matched it.
+
+    def contains_batch(self, handle: object, xs, ys) -> np.ndarray:
+        """Batched :meth:`point_within` returning a boolean array."""
+        return self.contains_batch_counted(handle, xs, ys)[0]
+
+    def within_distance_batch(self, handle: object, xs, ys, d: float) -> np.ndarray:
+        """Batched :meth:`point_within_distance` returning a boolean array."""
+        return self.within_distance_batch_counted(handle, xs, ys, d)[0]
+
+    def distance_batch(self, handle: object, xs, ys) -> np.ndarray:
+        """Batched :meth:`point_distance` returning a float array."""
+        return self.distance_batch_counted(handle, xs, ys)[0]
+
+    def contains_batch_counted(self, handle, xs, ys):
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        results, vertex, pred = self._contains_arrays(handle, xs, ys)
+        self.counters.predicate_calls += int(pred.sum())
+        self.counters.vertex_ops += int(vertex.sum())
+        return results, vertex, np.zeros(len(xs), dtype=np.int64)
+
+    def within_distance_batch_counted(self, handle, xs, ys, d):
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        results, vertex, pred = self._within_distance_arrays(handle, xs, ys, d)
+        self.counters.predicate_calls += int(pred.sum())
+        self.counters.vertex_ops += int(vertex.sum())
+        return results, vertex, np.zeros(len(xs), dtype=np.int64)
+
+    def distance_batch_counted(self, handle, xs, ys):
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        results, vertex, pred = self._distance_arrays(handle, xs, ys)
+        self.counters.predicate_calls += int(pred.sum())
+        self.counters.vertex_ops += int(vertex.sum())
+        return results, vertex, np.zeros(len(xs), dtype=np.int64)
+
+    def _contains_arrays(self, handle, xs, ys):
+        n = len(xs)
+        pred = np.ones(n, dtype=np.int64)
+        vertex = np.zeros(n, dtype=np.int64)
+        if isinstance(handle, PreparedPolygon):
+            vertex += handle.edge_count
+            return handle.contains_batch(xs, ys), vertex, pred
+        if isinstance(handle, list):
+            results = np.zeros(n, dtype=bool)
+            active = np.arange(n)
+            for part in handle:
+                if active.size == 0:
+                    break
+                hit, part_vertex, part_pred = self._contains_arrays(
+                    part, xs[active], ys[active]
+                )
+                pred[active] += part_pred
+                vertex[active] += part_vertex
+                results[active[hit]] = True
+                active = active[~hit]
+            return results, vertex, pred
+        raise GeometryError(f"point_within against {type(handle).__name__}")
+
+    def _within_distance_arrays(self, handle, xs, ys, d):
+        n = len(xs)
+        pred = np.ones(n, dtype=np.int64)
+        vertex = np.zeros(n, dtype=np.int64)
+        if isinstance(handle, PreparedLineString):
+            results, examined = handle.within_distance_batch_counted(xs, ys, d)
+            vertex += examined
+            return results, vertex, pred
+        if isinstance(handle, PreparedPolygon):
+            vertex += handle.edge_count
+            results = handle.contains_batch(xs, ys)
+            for i in np.flatnonzero(~results):
+                point = Point(float(xs[i]), float(ys[i]))
+                results[i] = distance_mod.distance(point, handle.polygon) <= d
+            return results, vertex, pred
+        if isinstance(handle, list):
+            results = np.zeros(n, dtype=bool)
+            active = np.arange(n)
+            for part in handle:
+                if active.size == 0:
+                    break
+                hit, part_vertex, part_pred = self._within_distance_arrays(
+                    part, xs[active], ys[active], d
+                )
+                pred[active] += part_pred
+                vertex[active] += part_vertex
+                results[active[hit]] = True
+                active = active[~hit]
+            return results, vertex, pred
+        if isinstance(handle, Point):
+            results = np.fromiter(
+                (
+                    math.hypot(float(x) - handle.x, float(y) - handle.y) <= d
+                    for x, y in zip(xs, ys)
+                ),
+                dtype=bool,
+                count=n,
+            )
+            return results, vertex, pred
+        raise GeometryError(f"point_within_distance against {type(handle).__name__}")
+
+    def _distance_arrays(self, handle, xs, ys):
+        n = len(xs)
+        pred = np.ones(n, dtype=np.int64)
+        vertex = np.zeros(n, dtype=np.int64)
+        if isinstance(handle, PreparedLineString):
+            vertex += len(handle.line.coords)
+            return handle.distance_batch(xs, ys), vertex, pred
+        if isinstance(handle, PreparedPolygon):
+            vertex += handle.edge_count
+            dists = np.empty(n, dtype=np.float64)
+            for i in range(n):
+                point = Point(float(xs[i]), float(ys[i]))
+                dists[i] = distance_mod.distance(point, handle.polygon)
+            return dists, vertex, pred
+        if isinstance(handle, list):
+            best = np.full(n, math.inf)
+            for part in handle:
+                part_d, part_vertex, part_pred = self._distance_arrays(part, xs, ys)
+                pred += part_pred
+                vertex += part_vertex
+                best = np.minimum(best, part_d)
+            return best, vertex, pred
+        if isinstance(handle, Point):
+            dists = np.fromiter(
+                (
+                    math.hypot(float(x) - handle.x, float(y) - handle.y)
+                    for x, y in zip(xs, ys)
+                ),
+                dtype=np.float64,
+                count=n,
+            )
+            return dists, vertex, pred
         raise GeometryError(f"point_distance against {type(handle).__name__}")
 
 
@@ -343,6 +506,53 @@ class SlowGeometryEngine:
         if isinstance(handle, Point):
             return math.hypot(point.x - handle.x, point.y - handle.y)
         raise GeometryError(f"point_distance against {type(handle).__name__}")
+
+    # -- batch kernels ----------------------------------------------------
+    #
+    # GEOS has no columnar path: the slow engine satisfies the batch
+    # interface with a per-point scalar loop, preserving the JTS/GEOS cost
+    # axis (churn and all) while recording each point's counter share.
+
+    def contains_batch(self, handle: object, xs, ys) -> np.ndarray:
+        """Batched :meth:`point_within` via the scalar churn loop."""
+        return self.contains_batch_counted(handle, xs, ys)[0]
+
+    def within_distance_batch(self, handle: object, xs, ys, d: float) -> np.ndarray:
+        """Batched :meth:`point_within_distance` via the scalar churn loop."""
+        return self.within_distance_batch_counted(handle, xs, ys, d)[0]
+
+    def distance_batch(self, handle: object, xs, ys) -> np.ndarray:
+        """Batched :meth:`point_distance` via the scalar churn loop."""
+        return self.distance_batch_counted(handle, xs, ys)[0]
+
+    def contains_batch_counted(self, handle, xs, ys):
+        return self._scalar_batch(
+            lambda point: self.point_within(point, handle), xs, ys, bool
+        )
+
+    def within_distance_batch_counted(self, handle, xs, ys, d):
+        return self._scalar_batch(
+            lambda point: self.point_within_distance(point, handle, d), xs, ys, bool
+        )
+
+    def distance_batch_counted(self, handle, xs, ys):
+        return self._scalar_batch(
+            lambda point: self.point_distance(point, handle), xs, ys, np.float64
+        )
+
+    def _scalar_batch(self, call, xs, ys, dtype):
+        n = len(xs)
+        results = np.zeros(n, dtype=dtype)
+        vertex = np.zeros(n, dtype=np.int64)
+        alloc = np.zeros(n, dtype=np.int64)
+        counters = self.counters
+        for i in range(n):
+            vertex_before = counters.vertex_ops
+            alloc_before = counters.allocations
+            results[i] = call(Point(float(xs[i]), float(ys[i])))
+            vertex[i] = counters.vertex_ops - vertex_before
+            alloc[i] = counters.allocations - alloc_before
+        return results, vertex, alloc
 
 
 _ENGINES = {

@@ -12,6 +12,7 @@ polylines get a segment-envelope table for early distance pruning.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 
 import numpy as np
 
@@ -22,9 +23,19 @@ from repro.geometry.multi import MultiLineString, MultiPolygon
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
 
-__all__ = ["PreparedPolygon", "PreparedLineString", "prepare"]
+__all__ = [
+    "PreparedPolygon",
+    "PreparedLineString",
+    "prepare",
+    "prepare_cached",
+    "clear_prepared_cache",
+]
 
 _EPS = 1e-12
+
+# Budget for one broadcasted (points x edges) kernel evaluation; batches are
+# chunked so intermediate matrices stay cache- and memory-friendly.
+_BATCH_CELL_BUDGET = 1 << 22
 
 
 class PreparedPolygon:
@@ -41,6 +52,7 @@ class PreparedPolygon:
         "envelope",
         "_strip_edges",
         "_strip_edge_lists",
+        "_batch_tables_cache",
         "_y_min",
         "_strip_height",
         "_num_strips",
@@ -104,6 +116,7 @@ class PreparedPolygon:
             ]
         else:
             self._strip_edge_lists = None
+        self._batch_tables_cache = None
 
     @staticmethod
     def _edge_tuple(edge) -> tuple:
@@ -190,6 +203,118 @@ class PreparedPolygon:
     def count_edges_tested(self, y: float) -> int:
         """Number of edges a query at ``y`` inspects (for cost accounting)."""
         return len(self._strip_for(y))
+
+    def _batch_tables(self) -> list[np.ndarray]:
+        """Per-strip edge tables for the batch kernel, built lazily.
+
+        Each table row is ``(x1, y1, x2, y2, bx0, by0, bx1, by1, ceps)``;
+        the boundary test is ``in-bbox AND |cross| <= ceps`` for both of
+        the scalar code paths, they only bake different epsilons into the
+        bbox — so the tables reuse the exact per-path constants and the
+        batch kernel reproduces either path bit-for-bit.
+        """
+        tables = self._batch_tables_cache
+        if tables is None:
+            if self._strip_edge_lists is not None:
+                tables = [
+                    np.asarray(strip, dtype=np.float64).reshape(-1, 9)
+                    for strip in self._strip_edge_lists
+                ]
+            else:
+                tables = [
+                    self._numpy_strip_table(edges) for edges in self._strip_edges
+                ]
+            self._batch_tables_cache = tables
+        return tables
+
+    @staticmethod
+    def _numpy_strip_table(edges: np.ndarray) -> np.ndarray:
+        x1, y1, x2, y2 = edges[:, 0], edges[:, 1], edges[:, 2], edges[:, 3]
+        scale = np.maximum(np.abs(x2 - x1) + np.abs(y2 - y1), 1.0)
+        return np.column_stack(
+            [
+                x1,
+                y1,
+                x2,
+                y2,
+                np.minimum(x1, x2) - _EPS,
+                np.minimum(y1, y2) - _EPS,
+                np.maximum(x1, x2) + _EPS,
+                np.maximum(y1, y2) + _EPS,
+                _EPS * scale,
+            ]
+        )
+
+    def contains_batch(self, xs, ys) -> np.ndarray:
+        """Vectorised :meth:`contains_point` over coordinate arrays.
+
+        Answers are bit-identical to N scalar calls: the kernel evaluates
+        the same boundary and crossing-parity expressions in the same IEEE
+        double order, just for a whole strip's worth of points per numpy
+        dispatch instead of one.
+        """
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        result = np.zeros(len(xs), dtype=bool)
+        if len(xs) == 0:
+            return result
+        env = self.envelope
+        in_env = (
+            (env.min_x <= xs)
+            & (xs <= env.max_x)
+            & (env.min_y <= ys)
+            & (ys <= env.max_y)
+        )
+        if not bool(in_env.any()):
+            return result
+        idx = np.flatnonzero(in_env)
+        sx = xs[idx]
+        sy = ys[idx]
+        # int() truncation equals floor here: the envelope check guarantees
+        # sy >= y_min, so the quotient is never negative.
+        strips = np.clip(
+            ((sy - self._y_min) / self._strip_height).astype(np.int64),
+            0,
+            self._num_strips - 1,
+        )
+        tables = self._batch_tables()
+        for strip in np.unique(strips):
+            table = tables[strip]
+            if table.shape[0] == 0:
+                continue
+            sel = strips == strip
+            result[idx[sel]] = _edges_contain_batch(table, sx[sel], sy[sel])
+        return result
+
+
+def _edges_contain_batch(table: np.ndarray, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+    """Crossing-count containment of many points against one edge table."""
+    x1, y1, x2, y2 = table[:, 0], table[:, 1], table[:, 2], table[:, 3]
+    bx0, by0, bx1, by1 = table[:, 4], table[:, 5], table[:, 6], table[:, 7]
+    ceps = table[:, 8]
+    n = len(px)
+    out = np.empty(n, dtype=bool)
+    chunk = max(1, _BATCH_CELL_BUDGET // max(table.shape[0], 1))
+    for lo in range(0, n, chunk):
+        X = px[lo : lo + chunk, None]
+        Y = py[lo : lo + chunk, None]
+        cross = (x2 - x1) * (Y - y1) - (y2 - y1) * (X - x1)
+        on_edge = (
+            (by0 <= Y)
+            & (Y <= by1)
+            & (bx0 <= X)
+            & (X <= bx1)
+            & (-ceps <= cross)
+            & (cross <= ceps)
+        )
+        straddles = (y1 > Y) != (y2 > Y)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_cross = x1 + (Y - y1) * (x2 - x1) / (y2 - y1)
+        crossings = straddles & (X < x_cross)
+        out[lo : lo + chunk] = on_edge.any(axis=1) | (
+            crossings.sum(axis=1) % 2 == 1
+        )
+    return out
 
 
 class PreparedLineString:
@@ -336,6 +461,85 @@ class PreparedLineString:
         dy = rel_y - t * self._deltas[:, 1]
         return dx * dx + dy * dy
 
+    def _segment_distances_sq_batch(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        """Squared point-to-segment distances for a (points, 1) column pair.
+
+        Broadcasts the exact per-element operation sequence of
+        :meth:`_segment_distances_sq`, so every cell equals the scalar
+        value bit-for-bit.
+        """
+        rel_x = X - self._starts[:, 0]
+        rel_y = Y - self._starts[:, 1]
+        dot = rel_x * self._deltas[:, 0] + rel_y * self._deltas[:, 1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = np.where(self._seg_len_sq > 0.0, dot / self._seg_len_sq, 0.0)
+        t = np.clip(t, 0.0, 1.0)
+        dx = rel_x - t * self._deltas[:, 0]
+        dy = rel_y - t * self._deltas[:, 1]
+        return dx * dx + dy * dy
+
+    def distance_batch(self, xs, ys) -> np.ndarray:
+        """Vectorised :meth:`distance_to_point` over coordinate arrays."""
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        n = len(xs)
+        out = np.empty(n, dtype=np.float64)
+        nsegs = len(self._starts)
+        chunk = max(1, _BATCH_CELL_BUDGET // max(nsegs, 1))
+        for lo in range(0, n, chunk):
+            d_sq = self._segment_distances_sq_batch(
+                xs[lo : lo + chunk, None], ys[lo : lo + chunk, None]
+            )
+            out[lo : lo + chunk] = np.sqrt(d_sq.min(axis=1))
+        return out
+
+    def within_distance_batch_counted(
+        self, xs, ys, d: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`within_distance_counted` over coordinate arrays.
+
+        Returns (within, segments_examined) arrays with the exact values N
+        scalar calls would produce: the envelope prune reports one examined
+        segment, an in-threshold point reports the 1-based index of its
+        first matching segment, a miss reports the full segment count.
+        """
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        n = len(xs)
+        within = np.zeros(n, dtype=bool)
+        examined = np.ones(n, dtype=np.int64)
+        if n == 0:
+            return within, examined
+        env = self.envelope
+        dxe = np.maximum(np.maximum(env.min_x - xs, xs - env.max_x), 0.0)
+        dye = np.maximum(np.maximum(env.min_y - ys, ys - env.max_y), 0.0)
+        env_d = np.hypot(dxe, dye)
+        live = env_d <= d
+        # np.hypot and math.hypot may round differently in the last ulp;
+        # re-decide borderline prunes with math.hypot, which is what the
+        # scalar path uses, so the examined counts agree exactly.
+        borderline = np.flatnonzero(
+            np.abs(env_d - d) <= 1e-9 * max(abs(d), 1.0)
+        )
+        for i in borderline:
+            live[i] = math.hypot(float(dxe[i]), float(dye[i])) <= d
+        idx = np.flatnonzero(live)
+        if len(idx) == 0:
+            return within, examined
+        d_sq = d * d
+        nsegs = len(self._starts)
+        chunk = max(1, _BATCH_CELL_BUDGET // max(nsegs, 1))
+        for lo in range(0, len(idx), chunk):
+            sub = idx[lo : lo + chunk]
+            dist_sq = self._segment_distances_sq_batch(
+                xs[sub, None], ys[sub, None]
+            )
+            hit = dist_sq <= d_sq
+            any_hit = hit.any(axis=1)
+            within[sub] = any_hit
+            examined[sub] = np.where(any_hit, np.argmax(hit, axis=1) + 1, nsegs)
+        return within, examined
+
 
 def prepare(geometry: Geometry):
     """Prepare a geometry for repeated probing.
@@ -355,3 +559,34 @@ def prepare(geometry: Geometry):
     if isinstance(geometry, Point):
         return geometry
     raise GeometryError(f"cannot prepare geometry type {geometry.geometry_type}")
+
+
+# Prepared handles keyed by geometry identity.  Broadcast/partitioned joins
+# repeatedly prepare the same right-side geometry objects (every tile that a
+# polygon's envelope overlaps builds its own index over it); the cache lets
+# those tasks share one strip index.  Entries hold a strong reference to the
+# geometry so an id() can never be recycled while its entry is live.
+_PREPARED_CACHE_CAPACITY = 4096
+_prepared_cache: OrderedDict[int, tuple[Geometry, object]] = OrderedDict()
+
+
+def prepare_cached(geometry: Geometry):
+    """Like :func:`prepare` but memoised by geometry identity (LRU)."""
+    key = id(geometry)
+    entry = _prepared_cache.get(key)
+    if entry is not None and entry[0] is geometry:
+        _prepared_cache.move_to_end(key)
+        return entry[1]
+    handle = prepare(geometry)
+    if not isinstance(geometry, Point):
+        # Points prepare to themselves; caching them would only add churn.
+        _prepared_cache[key] = (geometry, handle)
+        _prepared_cache.move_to_end(key)
+        while len(_prepared_cache) > _PREPARED_CACHE_CAPACITY:
+            _prepared_cache.popitem(last=False)
+    return handle
+
+
+def clear_prepared_cache() -> None:
+    """Drop every cached prepared geometry (tests, memory pressure)."""
+    _prepared_cache.clear()

@@ -34,7 +34,8 @@ from repro.impala.exec_nodes import (
     InstanceContext,
     ScanNode,
 )
-from repro.impala.exprs import TupleDescriptor, compile_expr
+from repro.impala.exprs import TupleDescriptor, compile_expr, vectorize_conjuncts
+from repro.impala.rowbatch import BATCH_SIZE
 from repro.impala.parser import parse
 from repro.impala.planner import PhysicalPlan, Planner
 from repro.obs.profile import ProfileNode, QueryProfile
@@ -133,10 +134,18 @@ class ImpalaBackend:
         engine: str = "slow",
         assignment: str = "round_robin",
         build_cost_weight: float = 1.0,
+        batch_size: int | None = None,
+        batch_refine: bool = True,
     ):
         if assignment not in ("contiguous", "round_robin"):
             raise ImpalaError(
                 f"assignment must be contiguous|round_robin, got {assignment!r}"
+            )
+        if batch_size is None:
+            batch_size = BATCH_SIZE
+        if not isinstance(batch_size, int) or batch_size < 1:
+            raise ImpalaError(
+                f"batch_size must be a positive integer, got {batch_size!r}"
             )
         self.cluster = cluster
         self.hdfs = hdfs or SimulatedHDFS(
@@ -145,6 +154,8 @@ class ImpalaBackend:
         self.cost_model = cost_model or CostModel()
         self.engine_name = engine
         self.assignment = assignment
+        self.batch_size = batch_size
+        self.batch_refine = batch_refine
         # Representativity correction for right-side work at reduced
         # benchmark scale; see MaterializedWorkload.build_cost_weight.
         self.build_cost_weight = build_cost_weight
@@ -413,6 +424,7 @@ class ImpalaBackend:
                     join.build.table,
                     build_ranges[instance.node_id],
                     row_filter=build_filter,
+                    batch_size=self.batch_size,
                 )
                 for batch in scan.batches():
                     all_rows.extend(batch.rows)
@@ -457,7 +469,12 @@ class ImpalaBackend:
             plan.probe.conjuncts, plan.probe.descriptor
         )
         scan = ScanNode(
-            instance, self.hdfs, plan.probe.table, scan_ranges, row_filter=probe_filter
+            instance,
+            self.hdfs,
+            plan.probe.table,
+            scan_ranges,
+            row_filter=probe_filter,
+            batch_size=self.batch_size,
         )
         root: ExecNode = scan
         if plan.join is not None:
@@ -471,12 +488,21 @@ class ImpalaBackend:
                     shared_index,
                     probe_slot,
                     build_cost_weight=self.build_cost_weight,
+                    batch_refine=self.batch_refine,
+                    batch_size=self.batch_size,
                 )
             else:
                 # Naive fallback: Impala's single-core cross join + UDF filter.
                 root = self._cross_join(plan, instance, root, shared_index)
         if residual_eval is not None:
-            root = FilterNode(instance, root, residual_eval)
+            vector_residual = (
+                vectorize_conjuncts(plan.residual, plan.row_descriptor)
+                if self.batch_refine
+                else None
+            )
+            root = FilterNode(
+                instance, root, residual_eval, vector_predicate=vector_residual
+            )
         return root
 
     def _cross_join(self, plan, instance, probe_node, shared_index) -> ExecNode:

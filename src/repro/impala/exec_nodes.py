@@ -23,7 +23,7 @@ from repro.cluster.simulation import simulate_static_chunked
 from repro.errors import ImpalaError
 from repro.hdfs import SimulatedHDFS, read_split_lines
 from repro.impala.catalog import Table
-from repro.impala.rowbatch import RowBatch, batches_of
+from repro.impala.rowbatch import BATCH_SIZE, RowBatch, batches_of
 from repro.obs.registry import REGISTRY
 
 __all__ = [
@@ -128,16 +128,20 @@ class ScanNode(ExecNode):
         table: Table,
         scan_ranges: list[tuple[int, int]],
         row_filter: Callable[[tuple], object] | None = None,
+        batch_size: int = BATCH_SIZE,
     ):
+        if batch_size < 1:
+            raise ImpalaError(f"batch_size must be positive, got {batch_size}")
         self.ctx = ctx
         self.hdfs = hdfs
         self.table = table
         self.scan_ranges = scan_ranges
         self.row_filter = row_filter
+        self.batch_size = batch_size
         self.rows_skipped = 0
 
     def batches(self) -> Iterator[RowBatch]:
-        batch = RowBatch()
+        batch = RowBatch(capacity=self.batch_size)
         rows_out = 0
         REGISTRY.inc("impala.scan_ranges", len(self.scan_ranges))
         for offset, length in self.scan_ranges:
@@ -153,7 +157,7 @@ class ScanNode(ExecNode):
                 rows_out += 1
                 if batch.is_full:
                     yield batch
-                    batch = RowBatch()
+                    batch = RowBatch(capacity=self.batch_size)
         if len(batch):
             yield batch
         REGISTRY.inc("impala.rows_scanned", rows_out)
@@ -162,19 +166,40 @@ class ScanNode(ExecNode):
 
 class FilterNode(ExecNode):
     """Applies a compiled predicate to the child's rows (SQL semantics:
-    NULL is not a match)."""
+    NULL is not a match).
 
-    def __init__(self, ctx: InstanceContext, child: ExecNode, predicate):
+    When ``vector_predicate`` is supplied it is handed the batch's column
+    lists and may return a boolean mask covering every row; returning
+    ``None`` (e.g. for types it cannot vectorize) falls back to the
+    row-at-a-time predicate.  Both paths keep identical rows and charge
+    identical (zero) time, so plans produce the same simulated runtimes.
+    """
+
+    def __init__(
+        self,
+        ctx: InstanceContext,
+        child: ExecNode,
+        predicate,
+        vector_predicate: Callable[[list[list]], object] | None = None,
+    ):
         self.ctx = ctx
         self.child = child
         self.predicate = predicate
+        self.vector_predicate = vector_predicate
 
     def batches(self) -> Iterator[RowBatch]:
         predicate = self.predicate
+        vector_predicate = self.vector_predicate
         for batch in self.child.batches():
-            kept = [row for row in batch if predicate(row) is True]
+            mask = None
+            if vector_predicate is not None and len(batch):
+                mask = vector_predicate(batch.columns())
+            if mask is not None:
+                kept = [row for row, keep in zip(batch.rows, mask) if keep]
+            else:
+                kept = [row for row in batch if predicate(row) is True]
             if kept:
-                yield RowBatch(kept)
+                yield RowBatch(kept, capacity=batch.capacity)
 
 
 class BlockingJoinNode(ExecNode):
@@ -186,10 +211,19 @@ class BlockingJoinNode(ExecNode):
     the first probe batch is pulled.
     """
 
-    def __init__(self, ctx: InstanceContext, probe: ExecNode, build_rows: list[tuple]):
+    def __init__(
+        self,
+        ctx: InstanceContext,
+        probe: ExecNode,
+        build_rows: list[tuple],
+        batch_size: int = BATCH_SIZE,
+    ):
+        if batch_size < 1:
+            raise ImpalaError(f"batch_size must be positive, got {batch_size}")
         self.ctx = ctx
         self.probe = probe
         self.build_rows = build_rows
+        self.batch_size = batch_size
         self._built = False
 
     def build(self) -> None:
@@ -206,7 +240,7 @@ class BlockingJoinNode(ExecNode):
             self._built = True
         for batch in self.probe.batches():
             joined = self.probe_batch(batch)
-            yield from batches_of(joined)
+            yield from batches_of(joined, self.batch_size)
 
 
 class CrossJoinNode(BlockingJoinNode):

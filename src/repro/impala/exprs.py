@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.errors import PlanError
 from repro.impala.ast_nodes import (
     BinaryOp,
@@ -24,7 +26,7 @@ from repro.impala.ast_nodes import (
 )
 from repro.impala.udf import evaluate_spatial, is_spatial_function
 
-__all__ = ["Slot", "TupleDescriptor", "compile_expr"]
+__all__ = ["Slot", "TupleDescriptor", "compile_expr", "vectorize_conjuncts"]
 
 
 @dataclass(frozen=True)
@@ -149,6 +151,60 @@ def _compile_function(expr: FunctionCall, descriptor: TupleDescriptor):
             "not compiled as a scalar"
         )
     raise PlanError(f"unknown function {expr.name!r}")
+
+
+_VECTOR_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def vectorize_conjuncts(conjuncts, descriptor: TupleDescriptor):
+    """Compile AND-ed conjuncts into a column-batch evaluator, if possible.
+
+    Only ``column <cmp> literal`` (either operand order) conjuncts with
+    numeric literals vectorize; any other shape returns ``None`` and the
+    caller keeps its row-at-a-time predicate.  The returned evaluator
+    takes a batch's column lists and yields a boolean keep-mask — or
+    ``None`` when a column holds non-numeric values (NULLs, strings), so
+    the scalar path decides and the kept rows are identical either way.
+    """
+    if not conjuncts:
+        return None
+    specs: list[tuple[int, str, float, bool]] = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, BinaryOp):
+            return None
+        op = conjunct.op
+        if op not in _VECTOR_COMPARATORS:
+            return None
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            slot, literal, flipped = descriptor.resolve(left), right.value, False
+        elif isinstance(left, Literal) and isinstance(right, ColumnRef):
+            slot, literal, flipped = descriptor.resolve(right), left.value, True
+        else:
+            return None
+        if isinstance(literal, bool) or not isinstance(literal, (int, float)):
+            return None
+        specs.append((slot, op, float(literal), flipped))
+
+    def evaluate(columns: list[list]):
+        mask = None
+        for slot, op, literal, flipped in specs:
+            values = np.asarray(columns[slot])
+            if values.dtype.kind not in "if":
+                return None
+            compare = _VECTOR_COMPARATORS[op]
+            hits = compare(literal, values) if flipped else compare(values, literal)
+            mask = hits if mask is None else (mask & hits)
+        return mask
+
+    return evaluate
 
 
 def _sql_and(a, b):

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from repro.errors import ImpalaError
+
 __all__ = ["RowBatch", "BATCH_SIZE", "batches_of"]
 
 BATCH_SIZE = 1024  # Impala's default row-batch capacity
@@ -18,10 +20,13 @@ BATCH_SIZE = 1024  # Impala's default row-batch capacity
 class RowBatch:
     """A bounded list of row tuples flowing between exec nodes."""
 
-    __slots__ = ("rows",)
+    __slots__ = ("rows", "capacity")
 
-    def __init__(self, rows: list[tuple] | None = None):
+    def __init__(self, rows: list[tuple] | None = None, capacity: int = BATCH_SIZE):
+        if capacity < 1:
+            raise ImpalaError(f"row-batch capacity must be positive, got {capacity}")
         self.rows: list[tuple] = rows if rows is not None else []
+        self.capacity = capacity
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -32,20 +37,32 @@ class RowBatch:
     @property
     def is_full(self) -> bool:
         """True once the batch reaches its capacity."""
-        return len(self.rows) >= BATCH_SIZE
+        return len(self.rows) >= self.capacity
 
     def add(self, row: tuple) -> None:
         """Append one row tuple."""
         self.rows.append(row)
 
+    def column(self, slot: int) -> list:
+        """One slot's values across the whole batch (columnar view)."""
+        return [row[slot] for row in self.rows]
+
+    def columns(self) -> list[list]:
+        """All slots as column lists; empty list for an empty batch."""
+        if not self.rows:
+            return []
+        return [self.column(slot) for slot in range(len(self.rows[0]))]
+
 
 def batches_of(rows: Iterable[tuple], batch_size: int = BATCH_SIZE) -> Iterator[RowBatch]:
     """Re-batch a row stream into :class:`RowBatch` chunks."""
-    batch = RowBatch()
+    if batch_size < 1:
+        raise ImpalaError(f"batch_size must be positive, got {batch_size}")
+    batch = RowBatch(capacity=batch_size)
     for row in rows:
         batch.add(row)
         if len(batch) >= batch_size:
             yield batch
-            batch = RowBatch()
+            batch = RowBatch(capacity=batch_size)
     if len(batch):
         yield batch

@@ -1,5 +1,6 @@
 """Spatial indexing substrate: R-trees, grid, quadtree, partitioners."""
 
+from repro.index.morton import morton_code, morton_codes
 from repro.index.rtree import STRtree, RTreeNode
 from repro.index.dynamic_rtree import RTree
 from repro.index.grid import GridIndex
@@ -14,6 +15,8 @@ from repro.index.partitioner import (
 
 __all__ = [
     "STRtree",
+    "morton_code",
+    "morton_codes",
     "RTreeNode",
     "RTree",
     "GridIndex",

@@ -13,8 +13,11 @@ import heapq
 import math
 from typing import Callable, Generic, Iterable, Iterator, TypeVar
 
+import numpy as np
+
 from repro.errors import SpatialIndexError
 from repro.geometry.envelope import Envelope
+from repro.index.morton import morton_codes
 
 __all__ = ["STRtree", "RTreeNode"]
 
@@ -175,6 +178,165 @@ class STRtree(Generic[T]):
     def query_point(self, x: float, y: float) -> list[T]:
         """Return items whose envelopes contain the point."""
         return self.query(Envelope.of_point(x, y))
+
+    def query_batch(
+        self, envelopes: Iterable[Envelope], with_visits: bool = False
+    ) -> list[list[T]] | tuple[list[list[T]], np.ndarray]:
+        """Bulk :meth:`query`: one traversal answers every probe envelope.
+
+        Probes are sorted by the Morton code of their envelope centres so
+        probes descending the same subtrees stay adjacent, and the tree is
+        walked once with a (node, probe-subset) stack.  Per-probe candidate
+        *order* and per-probe visit counts are identical to running
+        :meth:`query` once per envelope; ``nodes_visited`` advances by the
+        same total.  With ``with_visits`` the per-probe visit counts are
+        returned alongside the candidate lists.
+        """
+        envelopes = list(envelopes)
+        empty = np.fromiter(
+            (env.is_empty for env in envelopes), dtype=bool, count=len(envelopes)
+        )
+        pmin_x = np.fromiter((env.min_x for env in envelopes), dtype=np.float64)
+        pmin_y = np.fromiter((env.min_y for env in envelopes), dtype=np.float64)
+        pmax_x = np.fromiter((env.max_x for env in envelopes), dtype=np.float64)
+        pmax_y = np.fromiter((env.max_y for env in envelopes), dtype=np.float64)
+        return self._query_batch_arrays(
+            pmin_x, pmin_y, pmax_x, pmax_y, empty, with_visits
+        )
+
+    def query_batch_points(
+        self, xs, ys, with_visits: bool = False
+    ) -> list[list[T]] | tuple[list[list[T]], np.ndarray]:
+        """Bulk point-envelope queries straight from coordinate arrays.
+
+        Equivalent to ``query_batch([Envelope.of_point(x, y) ...])`` without
+        materialising the envelope objects — the shape every point-probe
+        join uses.
+        """
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        empty = np.zeros(len(xs), dtype=bool)
+        return self._query_batch_arrays(xs, ys, xs, ys, empty, with_visits)
+
+    def query_batch_points_chunks(
+        self, xs, ys
+    ) -> tuple[list[tuple[T, np.ndarray]], np.ndarray]:
+        """Bulk point queries returning per-item probe chunks.
+
+        Every tree node is pushed exactly once, so each build item
+        surfaces in at most one ``(item, probe_indices)`` chunk — the
+        chunk holds *all* probes whose point hits the item's envelope,
+        which makes it exactly the group a batched refinement kernel
+        wants, with no per-pair regrouping.  Chunks arrive in DFS pop
+        order; stably sorting the flattened pairs by probe therefore
+        reproduces :meth:`query`'s per-probe candidate order.  Per-probe
+        ``visits`` and ``nodes_visited`` accrue identically to one
+        :meth:`query` per point.
+        """
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        self.build()
+        n = len(xs)
+        visits = np.zeros(n, dtype=np.int64)
+        chunks: list[tuple[T, np.ndarray]] = []
+        if self._root is None or n == 0:
+            return chunks, visits
+        root_env = self._root.envelope
+        codes = morton_codes(
+            xs, ys, root_env.min_x, root_env.min_y, root_env.width, root_env.height
+        )
+        order = np.argsort(codes, kind="stable")
+        stack: list[tuple[RTreeNode[T], np.ndarray]] = [(self._root, order)]
+        while stack:
+            node, idx = stack.pop()
+            visits[idx] += 1
+            env = node.envelope
+            px = xs[idx]
+            py = ys[idx]
+            mask = (
+                (env.min_x <= px)
+                & (px <= env.max_x)
+                & (env.min_y <= py)
+                & (py <= env.max_y)
+            )
+            alive = idx[mask]
+            if alive.size == 0:
+                continue
+            if node.is_leaf:
+                ax = xs[alive]
+                ay = ys[alive]
+                for item, item_env in node.items:
+                    hits = (
+                        (item_env.min_x <= ax)
+                        & (ax <= item_env.max_x)
+                        & (item_env.min_y <= ay)
+                        & (ay <= item_env.max_y)
+                    )
+                    if hits.any():
+                        chunks.append((item, alive[hits]))
+            else:
+                stack.extend((child, alive) for child in node.children)
+        self.nodes_visited += int(visits.sum())
+        return chunks, visits
+
+    def _query_batch_arrays(
+        self,
+        pmin_x: np.ndarray,
+        pmin_y: np.ndarray,
+        pmax_x: np.ndarray,
+        pmax_y: np.ndarray,
+        empty: np.ndarray,
+        with_visits: bool,
+    ):
+        self.build()
+        n = len(pmin_x)
+        results: list[list[T]] = [[] for _ in range(n)]
+        visits = np.zeros(n, dtype=np.int64)
+        live = np.flatnonzero(~empty)
+        if self._root is None or live.size == 0:
+            return (results, visits) if with_visits else results
+        root_env = self._root.envelope
+        codes = morton_codes(
+            (pmin_x[live] + pmax_x[live]) / 2.0,
+            (pmin_y[live] + pmax_y[live]) / 2.0,
+            root_env.min_x,
+            root_env.min_y,
+            root_env.width,
+            root_env.height,
+        )
+        order = live[np.argsort(codes, kind="stable")]
+        stack: list[tuple[RTreeNode[T], np.ndarray]] = [(self._root, order)]
+        while stack:
+            node, idx = stack.pop()
+            visits[idx] += 1
+            env = node.envelope
+            mask = (
+                (env.min_x <= pmax_x[idx])
+                & (pmin_x[idx] <= env.max_x)
+                & (env.min_y <= pmax_y[idx])
+                & (pmin_y[idx] <= env.max_y)
+            )
+            alive = idx[mask]
+            if alive.size == 0:
+                continue
+            if node.is_leaf:
+                ax0 = pmin_x[alive]
+                ay0 = pmin_y[alive]
+                ax1 = pmax_x[alive]
+                ay1 = pmax_y[alive]
+                for item, item_env in node.items:
+                    hits = (
+                        (item_env.min_x <= ax1)
+                        & (ax0 <= item_env.max_x)
+                        & (item_env.min_y <= ay1)
+                        & (ay0 <= item_env.max_y)
+                    )
+                    for probe in alive[hits].tolist():
+                        results[probe].append(item)
+            else:
+                stack.extend((child, alive) for child in node.children)
+        self.nodes_visited += int(visits.sum())
+        return (results, visits) if with_visits else results
 
     def iter_all(self) -> Iterator[tuple[T, Envelope]]:
         """Iterate over every stored entry (build not required)."""

@@ -1,0 +1,249 @@
+"""Batch refinement kernels agree with the scalar predicates, bit for bit.
+
+The columnar execution path promises that ``contains_batch`` /
+``within_distance_batch`` / ``distance_batch`` over N points return
+exactly what N scalar calls return — same booleans, same distances, and
+(through the ``*_counted`` variants) the same counter totals on both the
+fast (JTS-like) and slow (GEOS-like) engines.  These tests check that
+promise on seeded random geometry as well as the degenerate shapes the
+strip index is most likely to get wrong.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    LineString,
+    MultiLineString,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.engine import create_engine
+from repro.geometry.prepared import clear_prepared_cache, prepare_cached
+
+
+@pytest.fixture(params=["fast", "slow"])
+def engine(request):
+    return create_engine(request.param)
+
+
+def random_polygon(rng, cx, cy, num_vertices=8, radius=3.0):
+    """A simple star-shaped polygon around (cx, cy)."""
+    angles = sorted(rng.uniform(0, 2 * np.pi) for _ in range(num_vertices))
+    return Polygon(
+        [
+            (
+                cx + rng.uniform(0.3, 1.0) * radius * np.cos(a),
+                cy + rng.uniform(0.3, 1.0) * radius * np.sin(a),
+            )
+            for a in angles
+        ]
+    )
+
+
+def random_polyline(rng, num_vertices=6):
+    x, y = rng.uniform(-5, 5), rng.uniform(-5, 5)
+    coords = [(x, y)]
+    for _ in range(num_vertices - 1):
+        x += rng.uniform(-3, 3)
+        y += rng.uniform(-3, 3)
+        coords.append((x, y))
+    return LineString(coords)
+
+
+def batch_xy(points):
+    xs = np.array([p.x for p in points], dtype=np.float64)
+    ys = np.array([p.y for p in points], dtype=np.float64)
+    return xs, ys
+
+
+def assert_contains_parity(engine, geometry, points):
+    handle = engine.prepare(geometry)
+    xs, ys = batch_xy(points)
+    batch = engine.contains_batch(handle, xs, ys)
+    scalar = [engine.point_within(p, handle) for p in points]
+    assert batch.tolist() == scalar
+
+
+def assert_distance_parity(engine, geometry, points, d):
+    handle = engine.prepare(geometry)
+    xs, ys = batch_xy(points)
+    within = engine.within_distance_batch(handle, xs, ys, d)
+    dist = engine.distance_batch(handle, xs, ys)
+    assert within.tolist() == [
+        engine.point_within_distance(p, handle, d) for p in points
+    ]
+    assert dist.tolist() == [engine.point_distance(p, handle) for p in points]
+
+
+class TestRandomizedEquivalence:
+    def test_contains_random_polygons(self, engine, rng):
+        for _ in range(20):
+            polygon = random_polygon(
+                rng, rng.uniform(-5, 5), rng.uniform(-5, 5), rng.randint(3, 12)
+            )
+            points = [
+                Point(rng.uniform(-10, 10), rng.uniform(-10, 10))
+                for _ in range(40)
+            ]
+            assert_contains_parity(engine, polygon, points)
+
+    def test_within_distance_random_polylines(self, engine, rng):
+        for _ in range(20):
+            line = random_polyline(rng, rng.randint(2, 10))
+            points = [
+                Point(rng.uniform(-10, 10), rng.uniform(-10, 10))
+                for _ in range(40)
+            ]
+            assert_distance_parity(engine, line, points, rng.uniform(0.5, 4.0))
+
+    def test_random_multipolygons(self, engine, rng):
+        for _ in range(10):
+            multi = MultiPolygon(
+                [
+                    random_polygon(rng, rng.uniform(-6, 6), rng.uniform(-6, 6))
+                    for _ in range(rng.randint(1, 3))
+                ]
+            )
+            points = [
+                Point(rng.uniform(-10, 10), rng.uniform(-10, 10))
+                for _ in range(30)
+            ]
+            assert_contains_parity(engine, multi, points)
+
+    def test_random_multilinestrings(self, engine, rng):
+        for _ in range(10):
+            multi = MultiLineString(
+                [random_polyline(rng) for _ in range(rng.randint(1, 3))]
+            )
+            points = [
+                Point(rng.uniform(-10, 10), rng.uniform(-10, 10))
+                for _ in range(30)
+            ]
+            assert_distance_parity(engine, multi, points, rng.uniform(0.5, 4.0))
+
+    def test_point_build_geometry(self, engine, rng):
+        target = Point(1.5, -2.5)
+        points = [
+            Point(rng.uniform(-5, 5), rng.uniform(-5, 5)) for _ in range(50)
+        ]
+        assert_distance_parity(engine, target, points, 2.0)
+
+
+class TestEdgeCases:
+    def test_point_on_vertex(self, engine, unit_square):
+        assert_contains_parity(engine, unit_square, [Point(0, 0), Point(10, 10)])
+
+    def test_point_on_edge(self, engine, unit_square):
+        assert_contains_parity(engine, unit_square, [Point(5, 0), Point(0, 5)])
+
+    def test_empty_batch(self, engine, unit_square):
+        handle = engine.prepare(unit_square)
+        xs = np.array([], dtype=np.float64)
+        result = engine.contains_batch(handle, xs, xs)
+        assert result.shape == (0,)
+        dist = engine.distance_batch(handle, xs, xs)
+        assert dist.shape == (0,)
+
+    def test_all_outside_batch(self, engine, unit_square):
+        points = [Point(100 + i, 100 + i) for i in range(20)]
+        assert_contains_parity(engine, unit_square, points)
+        handle = engine.prepare(unit_square)
+        xs, ys = batch_xy(points)
+        assert not engine.contains_batch(handle, xs, ys).any()
+
+    def test_single_strip_polygon(self, engine):
+        # A triangle: few enough edges that the strip index degenerates to
+        # a single strip, exercising the one-bucket binning path.
+        triangle = Polygon([(0, 0), (4, 0), (2, 3)])
+        points = [
+            Point(2, 1),  # inside
+            Point(2, 3),  # apex vertex
+            Point(2, 0),  # on the base edge
+            Point(5, 5),  # outside
+        ]
+        assert_contains_parity(engine, triangle, points)
+
+    def test_hole_and_concave(self, engine, square_with_hole, l_shape, random_points):
+        assert_contains_parity(engine, square_with_hole, random_points)
+        assert_contains_parity(engine, l_shape, random_points)
+
+    def test_polyline_distances(self, engine, diagonal_line, random_points):
+        assert_distance_parity(engine, diagonal_line, random_points, 1.5)
+
+
+class TestCounterParity:
+    """A batch of N charges exactly what N scalar calls charge."""
+
+    @pytest.mark.parametrize("name", ["fast", "slow"])
+    def test_contains_counters(self, name, unit_square, random_points):
+        scalar_engine = create_engine(name)
+        handle = scalar_engine.prepare(unit_square)
+        for p in random_points:
+            scalar_engine.point_within(p, handle)
+
+        batch_engine = create_engine(name)
+        handle = batch_engine.prepare(unit_square)
+        xs, ys = batch_xy(random_points)
+        batch_engine.contains_batch(handle, xs, ys)
+
+        assert (
+            batch_engine.counters.predicate_calls
+            == scalar_engine.counters.predicate_calls
+        )
+        assert batch_engine.counters.vertex_ops == scalar_engine.counters.vertex_ops
+        assert (
+            batch_engine.counters.allocations == scalar_engine.counters.allocations
+        )
+
+    @pytest.mark.parametrize("name", ["fast", "slow"])
+    def test_distance_counters(self, name, diagonal_line, random_points):
+        scalar_engine = create_engine(name)
+        handle = scalar_engine.prepare(diagonal_line)
+        for p in random_points:
+            scalar_engine.point_within_distance(p, handle, 2.0)
+
+        batch_engine = create_engine(name)
+        handle = batch_engine.prepare(diagonal_line)
+        xs, ys = batch_xy(random_points)
+        batch_engine.within_distance_batch(handle, xs, ys, 2.0)
+
+        assert (
+            batch_engine.counters.predicate_calls
+            == scalar_engine.counters.predicate_calls
+        )
+        assert batch_engine.counters.vertex_ops == scalar_engine.counters.vertex_ops
+        assert (
+            batch_engine.counters.allocations == scalar_engine.counters.allocations
+        )
+
+    def test_counted_per_point_arrays(self, engine, unit_square, random_points):
+        """The counted variant's per-point arrays sum to the counter delta."""
+        handle = engine.prepare(unit_square)
+        xs, ys = batch_xy(random_points)
+        before = engine.counters.vertex_ops
+        results, vertex, alloc = engine.contains_batch_counted(handle, xs, ys)
+        assert len(results) == len(vertex) == len(alloc) == len(random_points)
+        assert engine.counters.vertex_ops - before == int(vertex.sum())
+
+
+class TestPreparedCache:
+    def test_identity_memoisation(self, unit_square):
+        clear_prepared_cache()
+        first = prepare_cached(unit_square)
+        assert prepare_cached(unit_square) is first
+
+    def test_distinct_objects_get_distinct_handles(self):
+        clear_prepared_cache()
+        a = Polygon([(0, 0), (1, 0), (1, 1)])
+        b = Polygon([(0, 0), (1, 0), (1, 1)])
+        assert prepare_cached(a) is not prepare_cached(b)
+
+    def test_clear_resets(self, unit_square):
+        clear_prepared_cache()
+        first = prepare_cached(unit_square)
+        clear_prepared_cache()
+        assert prepare_cached(unit_square) is not first

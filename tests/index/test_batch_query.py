@@ -1,0 +1,166 @@
+"""Bulk STRtree probes: same candidates, same order, same visit counts.
+
+``query_batch`` / ``query_batch_points`` promise per-probe candidate
+lists (including order) and per-probe node-visit counts identical to one
+``query`` per probe; ``query_batch_points_chunks`` additionally promises
+that each build item surfaces in at most one chunk and that the
+flattened pairs, stably sorted by probe, reproduce the scalar order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.envelope import Envelope
+from repro.index import STRtree, morton_code, morton_codes
+
+
+def build_tree(rng, n=300, node_capacity=8):
+    tree = STRtree(node_capacity=node_capacity)
+    for i in range(n):
+        x = rng.uniform(0, 100)
+        y = rng.uniform(0, 100)
+        tree.insert(i, Envelope(x, y, x + rng.uniform(0, 5), y + rng.uniform(0, 5)))
+    return tree
+
+
+def probe_envelopes(rng, n=80):
+    envs = []
+    for _ in range(n):
+        x = rng.uniform(-5, 100)
+        y = rng.uniform(-5, 100)
+        envs.append(Envelope(x, y, x + rng.uniform(0, 8), y + rng.uniform(0, 8)))
+    return envs
+
+
+class TestQueryBatch:
+    def test_matches_scalar_queries(self, rng):
+        tree = build_tree(rng)
+        envs = probe_envelopes(rng)
+        scalar = [tree.query(env) for env in envs]
+        batch = tree.query_batch(envs)
+        assert batch == scalar  # lists AND per-probe order
+
+    def test_per_probe_visits_match_scalar(self, rng):
+        tree = build_tree(rng)
+        envs = probe_envelopes(rng)
+        tree.build()
+        scalar_visits = []
+        for env in envs:
+            before = tree.nodes_visited
+            tree.query(env)
+            scalar_visits.append(tree.nodes_visited - before)
+        before = tree.nodes_visited
+        _, visits = tree.query_batch(envs, with_visits=True)
+        assert visits.tolist() == scalar_visits
+        assert tree.nodes_visited - before == sum(scalar_visits)
+
+    def test_empty_envelope_probe(self, rng):
+        tree = build_tree(rng, n=50)
+        envs = [Envelope.empty(), Envelope(10, 10, 30, 30), Envelope.empty()]
+        results, visits = tree.query_batch(envs, with_visits=True)
+        assert results[0] == [] and results[2] == []
+        assert visits[0] == 0 and visits[2] == 0
+        assert results[1] == tree.query(envs[1])
+
+    def test_empty_tree(self):
+        tree = STRtree()
+        assert tree.query_batch([Envelope(0, 0, 1, 1)]) == [[]]
+        assert tree.query_batch([]) == []
+
+
+class TestQueryBatchPoints:
+    def test_matches_point_queries(self, rng):
+        tree = build_tree(rng)
+        xs = np.array([rng.uniform(-5, 105) for _ in range(120)])
+        ys = np.array([rng.uniform(-5, 105) for _ in range(120)])
+        scalar = [tree.query_point(x, y) for x, y in zip(xs, ys)]
+        assert tree.query_batch_points(xs, ys) == scalar
+
+    def test_accepts_plain_lists(self, rng):
+        tree = build_tree(rng, n=40)
+        xs = [10.0, 50.0, 99.0]
+        ys = [10.0, 50.0, 99.0]
+        scalar = [tree.query_point(x, y) for x, y in zip(xs, ys)]
+        assert tree.query_batch_points(xs, ys) == scalar
+
+
+class TestQueryBatchPointsChunks:
+    def flatten(self, tree, xs, ys):
+        """Reconstruct per-probe candidate lists from the chunk primitive."""
+        chunks, visits = tree.query_batch_points_chunks(xs, ys)
+        if not chunks:
+            return [[] for _ in range(len(xs))], visits, chunks
+        pair_probe = np.concatenate([positions for _, positions in chunks])
+        pair_item = np.repeat(
+            np.arange(len(chunks)),
+            np.fromiter((len(p) for _, p in chunks), dtype=np.int64),
+        )
+        order = np.argsort(pair_probe, kind="stable")
+        results = [[] for _ in range(len(xs))]
+        items = [item for item, _ in chunks]
+        for probe, k in zip(pair_probe[order].tolist(), pair_item[order].tolist()):
+            results[probe].append(items[k])
+        return results, visits, chunks
+
+    def test_reproduces_scalar_order(self, rng):
+        tree = build_tree(rng)
+        xs = np.array([rng.uniform(-5, 105) for _ in range(150)])
+        ys = np.array([rng.uniform(-5, 105) for _ in range(150)])
+        scalar = [tree.query_point(x, y) for x, y in zip(xs, ys)]
+        results, _, _ = self.flatten(tree, xs, ys)
+        assert results == scalar
+
+    def test_each_item_at_most_one_chunk(self, rng):
+        tree = build_tree(rng)
+        xs = np.array([rng.uniform(0, 100) for _ in range(200)])
+        ys = np.array([rng.uniform(0, 100) for _ in range(200)])
+        chunks, _ = tree.query_batch_points_chunks(xs, ys)
+        items = [item for item, _ in chunks]
+        assert len(items) == len(set(items))
+
+    def test_chunk_probes_unique(self, rng):
+        tree = build_tree(rng)
+        xs = np.array([rng.uniform(0, 100) for _ in range(200)])
+        ys = np.array([rng.uniform(0, 100) for _ in range(200)])
+        chunks, _ = tree.query_batch_points_chunks(xs, ys)
+        for _, positions in chunks:
+            assert len(positions) == len(set(positions.tolist()))
+
+    def test_visits_match_scalar(self, rng):
+        tree = build_tree(rng)
+        xs = np.array([rng.uniform(-5, 105) for _ in range(100)])
+        ys = np.array([rng.uniform(-5, 105) for _ in range(100)])
+        tree.build()
+        scalar_visits = []
+        for x, y in zip(xs, ys):
+            before = tree.nodes_visited
+            tree.query_point(x, y)
+            scalar_visits.append(tree.nodes_visited - before)
+        before = tree.nodes_visited
+        _, visits = tree.query_batch_points_chunks(xs, ys)
+        assert visits.tolist() == scalar_visits
+        assert tree.nodes_visited - before == sum(scalar_visits)
+
+    def test_empty_batch_and_empty_tree(self, rng):
+        tree = build_tree(rng, n=20)
+        chunks, visits = tree.query_batch_points_chunks(
+            np.array([]), np.array([])
+        )
+        assert chunks == [] and len(visits) == 0
+        empty = STRtree()
+        chunks, visits = empty.query_batch_points_chunks(
+            np.array([1.0]), np.array([1.0])
+        )
+        assert chunks == [] and visits.tolist() == [0]
+
+
+class TestMortonConsistency:
+    def test_vectorized_matches_scalar(self, rng, world):
+        xs = np.array([rng.uniform(-10, 110) for _ in range(500)])
+        ys = np.array([rng.uniform(-10, 110) for _ in range(500)])
+        vectorised = morton_codes(
+            xs, ys, world.min_x, world.min_y, world.width, world.height
+        )
+        scalar = [morton_code(x, y, world) for x, y in zip(xs, ys)]
+        assert vectorised.tolist() == scalar

@@ -83,6 +83,58 @@ class TestEngineProfiles:
         assert profile.find("instance-0").counters
 
 
+class TestBatchInvariance:
+    """Columnar batch execution must not move a single simulated second.
+
+    Table 1/2 runtimes come from the engine counters; a batch call over N
+    rows accrues exactly what N scalar calls accrue, so profiles, phase
+    sums and simulated totals are identical with batching on or off.
+    """
+
+    @pytest.mark.parametrize("workload", ("taxi-nycb", "taxi-lion-100"))
+    @pytest.mark.parametrize("engine", ENGINES[:2])
+    def test_simulated_runtime_unchanged_by_batching(self, runs, workload, engine):
+        batch = runs[workload, engine]  # default batch_refine=True
+        scalar = run_engine(
+            workload, engine, 1, scale=SCALE, profile=True, batch_refine=False
+        )
+        assert batch.result_rows == scalar.result_rows
+        assert batch.simulated_seconds == scalar.simulated_seconds
+        assert batch.profile.phase_seconds() == scalar.profile.phase_seconds()
+
+    @pytest.mark.parametrize("name", ("fast", "slow"))
+    def test_batch_counters_equal_n_scalar_calls(self, name):
+        import numpy as np
+
+        from repro.geometry import Point, Polygon
+        from repro.geometry.engine import create_engine
+
+        polygon = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        points = [Point(0.07 * i, 0.11 * i) for i in range(150)]
+
+        scalar_engine = create_engine(name)
+        handle = scalar_engine.prepare(polygon)
+        for p in points:
+            scalar_engine.point_within(p, handle)
+
+        batch_engine = create_engine(name)
+        handle = batch_engine.prepare(polygon)
+        batch_engine.contains_batch(
+            handle,
+            np.array([p.x for p in points]),
+            np.array([p.y for p in points]),
+        )
+
+        assert (
+            batch_engine.counters.predicate_calls
+            == scalar_engine.counters.predicate_calls
+        )
+        assert batch_engine.counters.vertex_ops == scalar_engine.counters.vertex_ops
+        assert (
+            batch_engine.counters.allocations == scalar_engine.counters.allocations
+        )
+
+
 class TestSpatialJoinProfile:
     LEFT = [(0, "POINT (1 1)"), (1, "POINT (9 9)"), (2, "POINT (3 2)")]
     RIGHT = [("cell", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")]
