@@ -36,14 +36,14 @@ ENGINES = ("spatialspark", "isp-mc", "isp-standalone")
 
 
 def _scale_or_mode(value: str):
-    """Positional argument: a float scale factor, or the ``kernels`` mode."""
-    if value == "kernels":
+    """Positional argument: a float scale factor, or a named bench mode."""
+    if value in ("kernels", "parallel"):
         return value
     try:
         return float(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"expected a scale factor or 'kernels', got {value!r}"
+            f"expected a scale factor, 'kernels' or 'parallel', got {value!r}"
         ) from None
 
 
@@ -59,26 +59,45 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         type=_scale_or_mode,
         default=DEFAULT_SCALE,
-        help=f"dataset scale factor (default {DEFAULT_SCALE}), or 'kernels' "
-        "to run the columnar-kernels microbenchmark",
+        help=f"dataset scale factor (default {DEFAULT_SCALE}), 'kernels' "
+        "for the columnar-kernels microbenchmark, or 'parallel' for the "
+        "process-pool runtime benchmark",
     )
     parser.add_argument(
         "--points",
         type=int,
         default=100_000,
-        help="probe points for the kernels microbenchmark (default 100000)",
+        help="probe points for the kernels/parallel benchmarks "
+        "(default 100000)",
     )
     parser.add_argument(
         "--out",
         metavar="PATH",
         default=None,
-        help="for kernels mode: also write the JSON document to PATH",
+        help="for kernels/parallel modes: also write the JSON document "
+        "to PATH",
     )
     parser.add_argument(
         "--assert-not-slower",
         action="store_true",
         help="for kernels mode: exit nonzero if the batch path is slower "
         "than the scalar path or any equivalence check fails",
+    )
+    parser.add_argument(
+        "--executors",
+        default=None,
+        help="executor pool size for --profile runs ('serial' or an "
+        "integer >= 1); in parallel mode, comma-separated pool sizes to "
+        "benchmark (default 2,4)",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        metavar="RATIO",
+        default=None,
+        help="for parallel mode: exit nonzero unless the largest pool "
+        "reaches RATIOx speedup over serial (use on multi-core CI "
+        "runners; meaningless on one core) or any equivalence check fails",
     )
     parser.add_argument(
         "--json",
@@ -126,6 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _profile_run(args: argparse.Namespace) -> int:
+    executors = args.executors
+    if isinstance(executors, str) and executors != "serial":
+        executors = int(executors)
     with tracing() as tracer:
         result = run_engine(
             args.workload,
@@ -133,6 +155,7 @@ def _profile_run(args: argparse.Namespace) -> int:
             args.nodes,
             scale=args.scale,
             profile=True,
+            executors=executors,
         )
     profile = result.profile
     if args.json:
@@ -188,10 +211,55 @@ def _kernels_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parallel_run(args: argparse.Namespace) -> int:
+    from repro.bench.parallel import (
+        render_parallel,
+        run_parallel_benchmark,
+        write_parallel_json,
+    )
+
+    counts = tuple(
+        int(part) for part in (args.executors or "2,4").split(",") if part
+    )
+    doc = run_parallel_benchmark(points=args.points, executor_counts=counts)
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(render_parallel(doc))
+    if args.out:
+        write_parallel_json(doc, args.out)
+        print(f"wrote parallel benchmark to {args.out}", file=sys.stderr)
+    identical = doc["equivalence"]["all_identical"] and all(
+        pool["identical"]
+        for entry in doc["workloads"].values()
+        for pool in entry["pools"].values()
+    )
+    if not identical:
+        print("FAIL: pooled and serial results differ", file=sys.stderr)
+        return 1
+    if args.assert_speedup is not None:
+        best = max(
+            pool["speedup"]
+            for entry in doc["workloads"].values()
+            for pool in entry["pools"].values()
+        )
+        if best < args.assert_speedup:
+            print(
+                f"FAIL: best pool speedup {best:.2f}x < "
+                f"{args.assert_speedup:.2f}x "
+                f"({doc['available_cores']} core(s) available)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.scale == "kernels":
         return _kernels_run(args)
+    if args.scale == "parallel":
+        return _parallel_run(args)
     if args.method == "auto":
         study = optimizer_study(scale=args.scale, nodes=args.nodes)
         if args.json:

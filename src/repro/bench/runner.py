@@ -71,9 +71,15 @@ def run_spatialspark(
     num_partitions: int | None = None,
     profile: bool = False,
     batch_refine: bool = True,
+    executors: int | str | None = None,
 ) -> RunResult:
     """SpatialSpark: broadcast join on the mini-Spark substrate."""
-    sc = SparkContext(cluster_spec(num_nodes), hdfs=mat.hdfs, cost_model=cost_model)
+    sc = SparkContext(
+        cluster_spec(num_nodes),
+        hdfs=mat.hdfs,
+        cost_model=cost_model,
+        executors=executors,
+    )
     left = read_geometry_pairs(sc, mat.left_path, 1, num_partitions=num_partitions)
     right = read_geometry_pairs(
         sc, mat.right_path, 1, cost_weight=mat.build_cost_weight
@@ -123,6 +129,7 @@ def run_ispmc(
     profile: bool = False,
     batch_refine: bool = True,
     batch_size: int | None = None,
+    executors: int | str | None = None,
 ) -> RunResult:
     """ISP-MC: SQL spatial join on the mini-Impala substrate."""
     backend = ImpalaBackend(
@@ -134,6 +141,7 @@ def run_ispmc(
         build_cost_weight=mat.build_cost_weight,
         batch_refine=batch_refine,
         batch_size=batch_size,
+        executors=executors,
     )
     schema = [("id", ColumnType.BIGINT), ("geom", ColumnType.STRING)]
     left_name = f"left_{mat.left.name}"
@@ -198,16 +206,27 @@ def run_engine(
     cost_model: CostModel | None = None,
     profile: bool = False,
     batch_refine: bool = True,
+    executors: int | str | None = None,
 ) -> RunResult:
     """Dispatch by engine label (the harness entry used by benches)."""
     mat = materialize(workload_name, scale=scale)
     if engine == "spatialspark":
         return run_spatialspark(
-            mat, num_nodes, cost_model, profile=profile, batch_refine=batch_refine
+            mat,
+            num_nodes,
+            cost_model,
+            profile=profile,
+            batch_refine=batch_refine,
+            executors=executors,
         )
     if engine == "isp-mc":
         return run_ispmc(
-            mat, num_nodes, cost_model, profile=profile, batch_refine=batch_refine
+            mat,
+            num_nodes,
+            cost_model,
+            profile=profile,
+            batch_refine=batch_refine,
+            executors=executors,
         )
     if engine == "isp-standalone":
         if num_nodes != 1:

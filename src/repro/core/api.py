@@ -30,6 +30,7 @@ from repro.errors import ReproError
 from repro.geometry.base import Geometry
 from repro.geometry.wkt import loads as wkt_loads
 from repro.obs.tracer import get_tracer
+from repro.runtime.pool import make_pool, validate_executors
 
 __all__ = ["spatial_join", "spatial_join_pairs", "JoinConfig", "JoinResult"]
 
@@ -55,6 +56,13 @@ class JoinConfig:
     either way.  ``batch_size`` is the row-batch granularity shared with
     the Impala substrate (how many probes each batched kernel dispatch
     covers); it must be positive.
+
+    ``executors`` is the *real*-parallelism knob: ``"serial"`` (default)
+    runs everything inline; an int >= 1 dispatches probe chunks / tile
+    joins to that many worker processes.  Unlike ``workers`` (which only
+    scales the *simulated* task slots), ``executors`` changes wall-clock
+    time — and nothing else: results, counters and profiles are
+    byte-identical either way.
     """
 
     operator: SpatialOperator | str = SpatialOperator.WITHIN
@@ -69,12 +77,14 @@ class JoinConfig:
     sample_size: int | None = None
     batch_size: int = 1024
     batch_refine: bool = True
+    executors: int | str = "serial"
 
     def __post_init__(self) -> None:
         if not isinstance(self.batch_size, int) or self.batch_size < 1:
             raise ReproError(
                 f"batch_size must be a positive integer, got {self.batch_size!r}"
             )
+        validate_executors(self.executors, what="executors")
 
     def with_(self, **changes) -> "JoinConfig":
         """A copy with the given fields replaced."""
@@ -195,6 +205,7 @@ def spatial_join(
     profile: bool = False,
     cost_model: CostModel | None = None,
     workers: int = 1,
+    executors: int | str = "serial",
     config: JoinConfig | None = None,
 ) -> JoinResult:
     """Join two (id, geometry) collections; returns matching id pairs.
@@ -242,6 +253,7 @@ def spatial_join(
             profile=profile,
             cost_model=cost_model,
             workers=workers,
+            executors=executors,
         )
         legacy_profile_shape = bool(profile)
     result = _execute_join(left, right, cfg)
@@ -359,16 +371,62 @@ def _naive_join(left_entries, right_entries, op, cfg, model, query):
     return pairs
 
 
+def _probe_pool(cfg: JoinConfig):
+    """The probe-chunk pool, or None when the serial path should run.
+
+    Pooled probing needs the batch path (chunks are the task granularity)
+    and fork-style closure dispatch (the index rides into workers free).
+    """
+    if not cfg.batch_refine:
+        return None
+    pool = make_pool(cfg.executors)
+    if pool.is_serial or not pool.supports_closures:
+        return None
+    return pool
+
+
+def _probe_chunks_pooled(pool, index, left_entries, cfg):
+    """Probe ``batch_size`` chunks on the pool; (pairs, totals) per chunk.
+
+    Pure fan-out: each task reads the fork-inherited index and its chunk,
+    returning the chunk's matching pairs plus its cost-unit totals.  The
+    caller consumes the ordered results exactly as the serial chunk loop
+    would have produced them.
+    """
+    chunks = [
+        left_entries[start : start + cfg.batch_size]
+        for start in range(0, len(left_entries), cfg.batch_size)
+    ]
+
+    def make_task(chunk):
+        def probe_chunk():
+            matches_per_row, totals = index.probe_batch(g for _, g in chunk)
+            chunk_pairs = []
+            for (left_id, _), matches in zip(chunk, matches_per_row):
+                chunk_pairs.extend((left_id, right_id) for right_id in matches)
+            return chunk_pairs, totals
+
+        return probe_chunk
+
+    return pool.run([make_task(chunk) for chunk in chunks])
+
+
 def _broadcast_join(left_entries, right_entries, op, cfg, model, query):
     """The paper's broadcast join: index the right side, probe with the
     left.  With profiling on, build/probe become exactly-billed stages."""
     tracer = get_tracer()
     pairs: list[tuple[Any, Any]] = []
+    pool = _probe_pool(cfg)
     if query is None:
         index = BroadcastIndex(
             right_entries, op, radius=cfg.radius, engine=cfg.engine
         )
-        if cfg.batch_refine:
+        if pool is not None:
+            for chunk_pairs, _ in _probe_chunks_pooled(
+                pool, index, left_entries, cfg
+            ):
+                pairs.extend(chunk_pairs)
+        elif cfg.batch_refine:
             for start in range(0, len(left_entries), cfg.batch_size):
                 chunk = left_entries[start : start + cfg.batch_size]
                 matches_per_row, _ = index.probe_batch(g for _, g in chunk)
@@ -394,7 +452,14 @@ def _broadcast_join(left_entries, right_entries, op, cfg, model, query):
 
     probe_metrics = TaskMetrics()
     with tracer.span("probe", category="phase") as span:
-        if cfg.batch_refine:
+        if pool is not None:
+            for chunk_pairs, totals in _probe_chunks_pooled(
+                pool, index, left_entries, cfg
+            ):
+                for resource, amount in totals.items():
+                    probe_metrics.add(resource, amount)
+                pairs.extend(chunk_pairs)
+        elif cfg.batch_refine:
             for start in range(0, len(left_entries), cfg.batch_size):
                 chunk = left_entries[start : start + cfg.batch_size]
                 matches_per_row, totals = index.probe_batch(g for _, g in chunk)
@@ -473,6 +538,51 @@ def _record_bytes(geometry: Geometry) -> float:
     return 48.0 + 16.0 * geometry.num_points
 
 
+def _join_one_tile(tile_id, tile_left, tile_right, tiles, op, cfg, task, expand):
+    """Index-join one tile, owner-rule deduped; accrues costs into ``task``.
+
+    This is the partitioned join's task granularity — the unit the
+    executors pool fans out — so it must stay free of driver-global side
+    effects (it only touches its own ``TaskMetrics``).
+    """
+    index = BroadcastIndex(
+        ((pair, pair[1]) for pair in tile_right),
+        op,
+        radius=cfg.radius,
+        engine=cfg.engine,
+    )
+    task.add(Resource.INDEX_BUILD, float(len(index)))
+    if cfg.batch_refine:
+        matches_per_row, totals = index.probe_batch(g for _, g in tile_left)
+        for resource, amount in totals.items():
+            task.add(resource, amount)
+    else:
+        matches_per_row = None
+    tile_pairs: list[tuple[Any, Any]] = []
+    for row, (left_id, geometry) in enumerate(tile_left):
+        if matches_per_row is not None:
+            matches = matches_per_row[row]
+        else:
+            matches, units = index.probe_with_cost(geometry)
+            for resource, amount in units.items():
+                task.add(resource, amount)
+        left_tiles = None
+        for right_id, right_geometry in matches:
+            if left_tiles is None:
+                left_tiles = tiles.route(geometry.envelope)
+            if len(left_tiles) == 1:
+                owner = left_tiles[0]
+            else:
+                right_tiles = tiles.route(
+                    right_geometry.envelope.expand_by(expand)
+                )
+                common = set(left_tiles) & set(right_tiles)
+                owner = min(common) if common else tile_id
+            if owner == tile_id:
+                tile_pairs.append((left_id, right_id))
+    return tile_pairs
+
+
 def _partitioned_join_local(
     left_entries, right_entries, op, cfg, model, query, plan
 ):
@@ -538,50 +648,39 @@ def _partitioned_join_local(
 
     pairs: list[tuple[Any, Any]] = []
     tile_tasks: list[TaskMetrics] = []
+    joinable = [
+        tile_id for tile_id in sorted(left_by_tile) if right_by_tile.get(tile_id)
+    ]
+    pool = make_pool(cfg.executors)
     with tracer.span("join", category="phase") as span:
-        for tile_id in sorted(left_by_tile):
-            tile_left = left_by_tile[tile_id]
-            tile_right = right_by_tile.get(tile_id)
-            if not tile_right:
-                continue
-            task = TaskMetrics()
-            index = BroadcastIndex(
-                ((pair, pair[1]) for pair in tile_right),
-                op,
-                radius=cfg.radius,
-                engine=cfg.engine,
-            )
-            task.add(Resource.INDEX_BUILD, float(len(index)))
-            if cfg.batch_refine:
-                matches_per_row, totals = index.probe_batch(
-                    g for _, g in tile_left
+        if not pool.is_serial and pool.supports_closures and len(joinable) > 1:
+
+            def make_tile_task(tile_id):
+                def join_tile():
+                    task = TaskMetrics()
+                    tile_pairs = _join_one_tile(
+                        tile_id, left_by_tile[tile_id], right_by_tile[tile_id],
+                        tiles, op, cfg, task, expand,
+                    )
+                    return tile_pairs, task
+
+                return join_tile
+
+            for tile_pairs, task in pool.run(
+                [make_tile_task(tile_id) for tile_id in joinable]
+            ):
+                pairs.extend(tile_pairs)
+                tile_tasks.append(task)
+        else:
+            for tile_id in joinable:
+                task = TaskMetrics()
+                pairs.extend(
+                    _join_one_tile(
+                        tile_id, left_by_tile[tile_id], right_by_tile[tile_id],
+                        tiles, op, cfg, task, expand,
+                    )
                 )
-                for resource, amount in totals.items():
-                    task.add(resource, amount)
-            else:
-                matches_per_row = None
-            for row, (left_id, geometry) in enumerate(tile_left):
-                if matches_per_row is not None:
-                    matches = matches_per_row[row]
-                else:
-                    matches, units = index.probe_with_cost(geometry)
-                    for resource, amount in units.items():
-                        task.add(resource, amount)
-                left_tiles = None
-                for right_id, right_geometry in matches:
-                    if left_tiles is None:
-                        left_tiles = tiles.route(geometry.envelope)
-                    if len(left_tiles) == 1:
-                        owner = left_tiles[0]
-                    else:
-                        right_tiles = tiles.route(
-                            right_geometry.envelope.expand_by(expand)
-                        )
-                        common = set(left_tiles) & set(right_tiles)
-                        owner = min(common) if common else tile_id
-                    if owner == tile_id:
-                        pairs.append((left_id, right_id))
-            tile_tasks.append(task)
+                tile_tasks.append(task)
         span.set_attr("rows_out", len(pairs))
         span.set_attr("tiles_joined", len(tile_tasks))
     if query is not None and tile_tasks:
@@ -602,6 +701,7 @@ def spatial_join_pairs(
     profile: bool = False,
     cost_model: CostModel | None = None,
     workers: int = 1,
+    executors: int | str = "serial",
     config: JoinConfig | None = None,
 ) -> JoinResult:
     """Positional variant: ids are the sequences' indexes.
@@ -622,5 +722,6 @@ def spatial_join_pairs(
         profile=profile,
         cost_model=cost_model,
         workers=workers,
+        executors=executors,
         config=config,
     )

@@ -40,6 +40,8 @@ from repro.impala.parser import parse
 from repro.impala.planner import PhysicalPlan, Planner
 from repro.obs.profile import ProfileNode, QueryProfile
 from repro.obs.tracer import get_tracer
+from repro.runtime.pool import make_pool, picklable_error
+from repro.runtime.shipping import ObsCapture, apply_capture, capture_observability
 from repro.spark.shuffle import estimate_bytes
 from repro.spark.taskcontext import task_scope
 
@@ -136,6 +138,7 @@ class ImpalaBackend:
         build_cost_weight: float = 1.0,
         batch_size: int | None = None,
         batch_refine: bool = True,
+        executors: int | str | None = None,
     ):
         if assignment not in ("contiguous", "round_robin"):
             raise ImpalaError(
@@ -161,6 +164,13 @@ class ImpalaBackend:
         self.build_cost_weight = build_cost_weight
         self.metastore = Metastore(self.hdfs)
         self._planner = Planner(self.metastore, num_nodes=self.cluster.num_nodes)
+        # Real-parallelism knob: fragment instances for different workers
+        # run concurrently on a process pool while keeping the *static*
+        # fragment→worker binding (instance i still owns exactly the scan
+        # ranges bound to it at plan time — the pool changes when a
+        # fragment runs, never what it runs).  Results are byte-identical
+        # with the pool on or off.
+        self.task_pool = make_pool(executors)
 
     # -- public API -----------------------------------------------------------
 
@@ -250,7 +260,10 @@ class ImpalaBackend:
                 build_span.set_attr("index_entries", len(shared_index))
         # Probe fragments: real execution once per instance's ranges.
         residual_eval = self._compile_conjuncts(plan.residual, row_descriptor)
-        aggregators: list[Aggregator] = []
+        # One entry per instance: its materialised partial-aggregate pairs
+        # (a plain list so pooled fragments can ship it — the Aggregator
+        # itself holds compiled expressions and stays worker-side).
+        aggregators: list[list] = []
         # Projection pushdown: instances materialise only the SELECT
         # columns plus precomputed ORDER BY keys, not whole joined rows
         # (which would re-ship every WKT string to the coordinator).
@@ -265,44 +278,29 @@ class ImpalaBackend:
             projector = None
             order_key_fns = []
         instance_keyed_rows: list[list[tuple[tuple, tuple]]] = []
-        for instance in instances:
-            fragment_span = tracer.span(
-                f"fragment-instance-{instance.node_id}", category="fragment"
-            )
-            seconds_before = instance.total_seconds
-            with fragment_span as span, task_scope(instance.metrics):
-                root = self._instance_pipeline(
+        pool = self.task_pool
+        if pool.is_serial or not pool.supports_closures or len(instances) < 2:
+            for instance in instances:
+                payload = self._run_fragment(
                     plan, instance, probe_ranges[instance.node_id],
-                    shared_index, residual_eval,
+                    shared_index, residual_eval, projector, order_key_fns,
                 )
-                if plan.aggregate is not None:
-                    aggregator = self._new_aggregator(plan, row_descriptor)
-                    for batch in root.batches():
-                        for row in batch:
-                            aggregator.accumulate(row)
-                    aggregators.append(aggregator)
-                    exchange = sum(
-                        estimate_bytes((k, s)) for k, s in aggregator.partials()
-                    )
+                if payload[0] == "agg":
+                    aggregators.append(payload[1])
                 else:
-                    keyed = [
-                        (tuple(fn(row) for fn in order_key_fns), projector(row))
-                        for row in root.rows()
-                    ]
-                    instance_keyed_rows.append(keyed)
-                    exchange = sum(estimate_bytes(r) for r in keyed)
-                # Result exchange crosses the network only on a real
-                # cluster; single-node results land in a local buffer.
-                if self.cluster.num_nodes > 1:
-                    instance.charge_serial(Resource.SHUFFLE_BYTES, exchange)
-            span.add_sim(instance.total_seconds - seconds_before)
-            span.set_attr("row_batches", instance.row_batches)
+                    instance_keyed_rows.append(payload[1])
+        else:
+            instances = self._run_fragments_pooled(
+                pool, plan, instances, probe_ranges, shared_index,
+                residual_eval, projector, order_key_fns,
+                aggregators, instance_keyed_rows,
+            )
         # Coordinator: merge, sort, limit, project.
         coordinator_seconds = 0.0
         if plan.aggregate is not None:
             final = self._new_aggregator(plan, row_descriptor)
-            for aggregator in aggregators:
-                for key, states in aggregator.partials():
+            for partials in aggregators:
+                for key, states in partials:
                     final.merge(key, states)
             output_rows = list(final.finalize())
             output_rows = self._project_aggregate(plan, output_rows)
@@ -360,6 +358,103 @@ class ImpalaBackend:
             coordinator_seconds=coordinator_seconds,
             breakdown=breakdown,
         )
+
+    # -- fragment execution -----------------------------------------------------
+
+    def _run_fragment(
+        self, plan, instance, scan_ranges, shared_index,
+        residual_eval, projector, order_key_fns,
+    ) -> tuple:
+        """Execute one fragment instance; returns its exchange payload.
+
+        ``("agg", partials)`` for aggregated queries (the materialised
+        partial-state pairs the coordinator merges), else ``("rows",
+        keyed)`` with precomputed ORDER BY keys.  Runs identically inline
+        (serial path, driver tracer) and inside a pool worker (capture
+        tracer) — the span, charging and byte-accounting arithmetic is
+        shared, which is what keeps the two modes byte-identical.
+        """
+        fragment_span = get_tracer().span(
+            f"fragment-instance-{instance.node_id}", category="fragment"
+        )
+        seconds_before = instance.total_seconds
+        with fragment_span as span, task_scope(instance.metrics):
+            root = self._instance_pipeline(
+                plan, instance, scan_ranges, shared_index, residual_eval
+            )
+            if plan.aggregate is not None:
+                aggregator = self._new_aggregator(plan, plan.row_descriptor)
+                for batch in root.batches():
+                    for row in batch:
+                        aggregator.accumulate(row)
+                partials = list(aggregator.partials())
+                exchange = sum(estimate_bytes((k, s)) for k, s in partials)
+                payload = ("agg", partials)
+            else:
+                keyed = [
+                    (tuple(fn(row) for fn in order_key_fns), projector(row))
+                    for row in root.rows()
+                ]
+                exchange = sum(estimate_bytes(r) for r in keyed)
+                payload = ("rows", keyed)
+            # Result exchange crosses the network only on a real
+            # cluster; single-node results land in a local buffer.
+            if self.cluster.num_nodes > 1:
+                instance.charge_serial(Resource.SHUFFLE_BYTES, exchange)
+        span.add_sim(instance.total_seconds - seconds_before)
+        span.set_attr("row_batches", instance.row_batches)
+        return payload
+
+    def _run_fragments_pooled(
+        self, pool, plan, instances, probe_ranges, shared_index,
+        residual_eval, projector, order_key_fns,
+        aggregators, instance_keyed_rows,
+    ) -> list[InstanceContext]:
+        """All fragment instances concurrently; returns the mutated contexts.
+
+        Static binding is preserved by construction: each task closes
+        over one ``(instance, scan_ranges)`` pair fixed at plan time —
+        the pool only decides *when* a fragment runs, never *what* it
+        runs.  Workers mutate their forked copy of the InstanceContext
+        and ship it back whole (it is a picklable dataclass of floats and
+        counter dicts); spans and registry increments ride back in an
+        :class:`ObsCapture`, merged here in instance order.
+        """
+
+        def make_task(instance, scan_ranges):
+            def run_fragment():
+                capture = ObsCapture()
+                payload = None
+                error = None
+                with capture_observability(capture):
+                    try:
+                        payload = self._run_fragment(
+                            plan, instance, scan_ranges, shared_index,
+                            residual_eval, projector, order_key_fns,
+                        )
+                    except Exception as exc:  # noqa: BLE001 - re-raised on driver
+                        error = picklable_error(exc)
+                return (instance, payload, capture, error)
+
+            return run_fragment
+
+        shipments = pool.run(
+            [
+                make_task(instance, probe_ranges[instance.node_id])
+                for instance in instances
+            ]
+        )
+        merged: list[InstanceContext] = []
+        for instance, payload, capture, error in shipments:
+            apply_capture(capture)
+            if error is not None:
+                raise error
+            merged.append(instance)
+            if payload[0] == "agg":
+                aggregators.append(payload[1])
+            else:
+                instance_keyed_rows.append(payload[1])
+        return merged
 
     # -- fragment construction --------------------------------------------------
 

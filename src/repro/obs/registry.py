@@ -60,6 +60,39 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
 
+    # -- pool-safe capture -------------------------------------------------------
+
+    def begin_capture(self) -> tuple[dict[str, float], dict[str, float]]:
+        """Swap in fresh counter/gauge dicts; returns the old pair as a token.
+
+        Pool workers bracket task execution with ``begin_capture`` /
+        ``end_capture`` so counter increments accumulate task-locally and
+        ship back with the result instead of mutating the driver registry
+        from another process.  Dict swapping (rather than snapshot
+        subtraction) keeps captured values exactly what ``inc`` wrote —
+        no float arithmetic on the way in or out.
+        """
+        token = (self._counters, self._gauges)
+        self._counters = {}
+        self._gauges = {}
+        return token
+
+    def end_capture(
+        self, token: tuple[dict[str, float], dict[str, float]]
+    ) -> tuple[dict[str, float], dict[str, float]]:
+        """Finish a capture: restore the token's dicts, return the captured."""
+        captured = (self._counters, self._gauges)
+        self._counters, self._gauges = token
+        return captured
+
+    def merge(self, counters: dict[str, float], gauges: dict[str, float]) -> None:
+        """Fold a captured delta into this registry (driver-side merge)."""
+        if not self.enabled:
+            return
+        for name, amount in counters.items():
+            self._counters[name] = self._counters.get(name, 0.0) + amount
+        self._gauges.update(gauges)
+
 
 # The process-wide registry instrumented substrate code reports to.
 REGISTRY = MetricsRegistry(enabled=False)

@@ -178,6 +178,20 @@ class Tracer:
         """Drop all collected spans (open spans keep recording)."""
         self.roots.clear()
 
+    def graft(self, spans: list[Span]) -> None:
+        """Re-parent spans recorded elsewhere under the current open span.
+
+        Pool workers trace into their own fresh tracer and ship the root
+        spans back with the task result; the driver grafts them so the
+        profile tree looks exactly as if the task had run inline.  Wall
+        clocks line up because ``perf_counter`` is CLOCK_MONOTONIC, which
+        forked children share with the driver.
+        """
+        if not self.enabled or not spans:
+            return
+        for span in spans:
+            self._attach(span)
+
     # -- internals -------------------------------------------------------------
 
     def _stack(self) -> list[Span]:

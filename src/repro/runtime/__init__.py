@@ -1,0 +1,31 @@
+"""Shared executor-pool runtime used by both substrates.
+
+See :mod:`repro.runtime.pool` for the :class:`TaskPool` abstraction and
+its serial / multiprocessing backends, and :mod:`repro.runtime.shipping`
+for the observability capture protocol that keeps pooled runs
+byte-identical to serial ones.
+"""
+
+from repro.runtime.pool import (
+    PoolError,
+    ProcessBackend,
+    SerialBackend,
+    TaskPool,
+    get_payload,
+    make_pool,
+    validate_executors,
+)
+from repro.runtime.shipping import ObsCapture, apply_capture, capture_observability
+
+__all__ = [
+    "PoolError",
+    "ProcessBackend",
+    "SerialBackend",
+    "TaskPool",
+    "get_payload",
+    "make_pool",
+    "validate_executors",
+    "ObsCapture",
+    "apply_capture",
+    "capture_observability",
+]

@@ -1,0 +1,392 @@
+"""Executor pools: real multicore execution under both substrates.
+
+Until this layer existed, every Spark task and every Impala plan fragment
+ran serially in one Python process — parallelism lived only in the
+simulated-time accounting.  :class:`TaskPool` is the shared abstraction
+both substrates dispatch through:
+
+* :class:`SerialBackend` — the current behaviour and the default for
+  tests: tasks run inline, in submission order, on the driver.
+* :class:`ProcessBackend` — ``multiprocessing`` workers.  Dispatch is
+  *pickle-once*: on platforms with ``fork`` (Linux), task closures and
+  every broadcast/index payload they capture are inherited by the worker
+  processes at fork time and never serialised at all; elsewhere payloads
+  registered via :meth:`TaskPool.install_payload` are pickled once and
+  installed into each worker exactly once, never re-pickled per task.
+
+Workers pull task indices from a shared queue — free worker takes the
+next task, i.e. *dynamic* placement — and the driver consumes completed
+results as they land, then returns them in deterministic task order.
+Results must be picklable; tasks that raise ship the exception back and
+the driver re-raises the lowest-indexed failure after the batch drains.
+
+The hard invariant carried by both substrates: results are byte-identical
+with the pool on or off (pairs, pair order, counter totals, profiles and
+simulated seconds), so the simulation model stays the ground truth and
+real parallelism is purely a wall-clock win.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import queue as queue_mod
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "PoolError",
+    "TaskPool",
+    "SerialBackend",
+    "ProcessBackend",
+    "validate_executors",
+    "make_pool",
+    "picklable_error",
+]
+
+
+class PoolError(ReproError):
+    """Task-pool failure: bad configuration, dead worker, unpicklable data."""
+
+
+# Worker-side state.  Under ``fork`` the dict is populated on the driver
+# and inherited by the workers (zero serialisation); under ``spawn`` each
+# worker's initializer unpickles the install blob into it exactly once.
+_PAYLOADS: dict[str, Any] = {}
+
+# Tasks for the current fork-mode run; workers inherit the reference at
+# fork time, so closures (and everything they capture) cross the process
+# boundary without ever touching pickle.
+_FORK_TASKS: Sequence[Callable[[], Any]] | None = None
+
+
+def get_payload(key: str) -> Any:
+    """Worker-side accessor for a payload installed with ``install_payload``."""
+    try:
+        return _PAYLOADS[key]
+    except KeyError:
+        raise PoolError(f"no payload installed under {key!r}") from None
+
+
+def validate_executors(executors, what: str = "executors") -> int:
+    """Normalise the executors knob to a worker count.
+
+    Accepts ``None`` / ``"serial"`` (run inline) or an integer >= 1;
+    anything else raises :class:`ReproError` with a clear message.
+    """
+    if executors is None or executors == "serial":
+        return 1
+    if isinstance(executors, bool) or not isinstance(executors, int):
+        raise ReproError(
+            f"{what} must be 'serial' or an integer >= 1, got {executors!r}"
+        )
+    if executors < 1:
+        raise ReproError(
+            f"{what} must be 'serial' or an integer >= 1, got {executors}"
+        )
+    return executors
+
+
+def make_pool(executors=None) -> "TaskPool":
+    """Build the pool for an ``executors`` knob value.
+
+    ``None``/``"serial"``/``1`` give the inline :class:`SerialBackend`;
+    larger integers give a :class:`ProcessBackend` with that many workers.
+    An existing :class:`TaskPool` instance passes through unchanged.
+    """
+    if isinstance(executors, TaskPool):
+        return executors
+    workers = validate_executors(executors)
+    if workers <= 1:
+        return SerialBackend()
+    return ProcessBackend(workers)
+
+
+class TaskPool:
+    """Executes a batch of zero-argument tasks, preserving task order."""
+
+    workers: int = 1
+    name: str = "pool"
+
+    @property
+    def is_serial(self) -> bool:
+        return self.workers <= 1
+
+    @property
+    def supports_closures(self) -> bool:
+        """True when tasks may be arbitrary closures (inline or fork)."""
+        return True
+
+    def install_payload(self, key: str, value: Any) -> None:
+        """Register a heavy read-only payload for worker-side access.
+
+        The payload is shipped to workers at most once (inherited for
+        free under ``fork``); tasks retrieve it with
+        :func:`get_payload` instead of capturing it per task.
+        """
+        _PAYLOADS[key] = value
+
+    def run(
+        self,
+        tasks: Sequence[Callable[[], Any]],
+        on_result: Callable[[int, Any], None] | None = None,
+    ) -> list:
+        """Run every task; returns their results in task order.
+
+        ``on_result(index, value)`` is invoked as completions land (in
+        completion order under a process pool), before the ordered list is
+        returned — the hook dynamic schedulers use to consume stragglers'
+        siblings early.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (workers are per-run; this is a no-op)."""
+
+
+class SerialBackend(TaskPool):
+    """Run tasks inline on the driver, in submission order."""
+
+    workers = 1
+    name = "serial"
+
+    def run(self, tasks, on_result=None) -> list:
+        results = []
+        for index, task in enumerate(tasks):
+            value = task()
+            if on_result is not None:
+                on_result(index, value)
+            results.append(value)
+        return results
+
+
+def picklable_error(error: BaseException) -> BaseException:
+    """Ship ``error`` across the process boundary, degrading gracefully.
+
+    Tries the exception itself, then a same-type rebuild from its message
+    (dropping unpicklable ``__cause__`` chains), then a :class:`PoolError`
+    carrying the repr.  The message the driver re-raises is unchanged in
+    the first two cases, which is what the retry-semantics tests pin.
+    """
+    try:
+        pickle.dumps(error)
+        return error
+    except Exception:
+        pass
+    try:
+        rebuilt = type(error)(str(error))
+        pickle.dumps(rebuilt)
+        return rebuilt
+    except Exception:
+        return PoolError(
+            f"task raised unpicklable {type(error).__name__}: {error}"
+        )
+
+
+def _ship_error(exc: BaseException, tb: str):
+    """Best-effort picklable form of a worker exception."""
+    try:
+        pickle.dumps(exc)
+    except Exception:
+        exc = PoolError(f"task raised unpicklable {type(exc).__name__}: {exc}")
+    return (exc, tb)
+
+
+def _worker_loop(tasks, task_queue, result_queue) -> None:
+    """Pull task indices until the poison pill; ship pre-pickled results.
+
+    Results are pickled *in this thread* (not ``mp.Queue``'s feeder
+    thread) so serialisation failures are catchable and shipped as
+    errors instead of hanging the driver.
+    """
+    while True:
+        index = task_queue.get()
+        if index is None:
+            return
+        try:
+            value = tasks[index]()
+            blob = pickle.dumps((index, True, value))
+        except BaseException as exc:  # noqa: BLE001 - everything ships back
+            blob = pickle.dumps(
+                (index, False, _ship_error(exc, traceback.format_exc()))
+            )
+        result_queue.put(blob)
+
+
+def _fork_worker_main(task_queue, result_queue) -> None:
+    _worker_loop(_FORK_TASKS, task_queue, result_queue)
+
+
+class _SpawnTask:
+    """A pickled task for spawn-mode dispatch (must be a picklable callable)."""
+
+    __slots__ = ("blob",)
+
+    def __init__(self, func: Callable[[], Any]):
+        try:
+            self.blob = pickle.dumps(func)
+        except Exception as exc:
+            raise PoolError(
+                "ProcessBackend without fork requires picklable tasks "
+                f"(module-level functions / functools.partial): {exc}"
+            ) from exc
+
+    def __call__(self):
+        return pickle.loads(self.blob)()
+
+
+def _spawn_worker_main(payload_blobs, task_queue, result_queue) -> None:
+    # Each value was pickled exactly once on the driver; the bytes cross
+    # the process boundary verbatim and are unpickled here exactly once.
+    for key, blob in payload_blobs.items():
+        _PAYLOADS[key] = pickle.loads(blob)
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        index, blob = item
+        try:
+            value = pickle.loads(blob)()
+            out = pickle.dumps((index, True, value))
+        except BaseException as exc:  # noqa: BLE001
+            out = pickle.dumps(
+                (index, False, _ship_error(exc, traceback.format_exc()))
+            )
+        result_queue.put(out)
+
+
+class ProcessBackend(TaskPool):
+    """``multiprocessing`` workers with pickle-once dispatch.
+
+    Workers are forked (or spawned) per :meth:`run` call so they always
+    see the driver's current state — shuffle blocks, caches, broadcast
+    values — without any per-task serialisation.  The fork cost is paid
+    once per stage and amortised by PR 3's coarse batch tasks.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int, start_method: str | None = None):
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise PoolError(f"workers must be an integer >= 1, got {workers!r}")
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        if start_method not in mp.get_all_start_methods():
+            raise PoolError(f"start method {start_method!r} not available")
+        self.workers = workers
+        self._ctx = mp.get_context(start_method)
+        self._start_method = start_method
+        self._payload_blobs: dict[str, bytes] = {}
+
+    @property
+    def supports_closures(self) -> bool:
+        return self._start_method == "fork"
+
+    def install_payload(self, key: str, value: Any) -> None:
+        _PAYLOADS[key] = value
+        if not self.supports_closures:
+            # Pickled exactly once, ever; reused for every worker and run.
+            self._payload_blobs[key] = pickle.dumps(value)
+
+    def run(self, tasks, on_result=None) -> list:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.supports_closures:
+            return self._run_fork(tasks, on_result)
+        return self._run_spawn(tasks, on_result)
+
+    # -- fork dispatch ---------------------------------------------------------
+
+    def _run_fork(self, tasks, on_result) -> list:
+        global _FORK_TASKS
+        n = len(tasks)
+        workers = min(self.workers, n)
+        task_queue = self._ctx.Queue()
+        result_queue = self._ctx.Queue()
+        for index in range(n):
+            task_queue.put(index)
+        for _ in range(workers):
+            task_queue.put(None)
+        _FORK_TASKS = tasks
+        procs = [
+            self._ctx.Process(
+                target=_fork_worker_main,
+                args=(task_queue, result_queue),
+                daemon=True,
+            )
+            for _ in range(workers)
+        ]
+        try:
+            for proc in procs:
+                proc.start()
+        finally:
+            _FORK_TASKS = None
+        return self._collect(n, result_queue, procs, on_result)
+
+    # -- spawn dispatch --------------------------------------------------------
+
+    def _run_spawn(self, tasks, on_result) -> list:
+        n = len(tasks)
+        workers = min(self.workers, n)
+        blobs = [task.blob if isinstance(task, _SpawnTask) else _SpawnTask(task).blob
+                 for task in tasks]
+        task_queue = self._ctx.Queue()
+        result_queue = self._ctx.Queue()
+        for index, blob in enumerate(blobs):
+            task_queue.put((index, blob))
+        for _ in range(workers):
+            task_queue.put(None)
+        procs = [
+            self._ctx.Process(
+                target=_spawn_worker_main,
+                args=(dict(self._payload_blobs), task_queue, result_queue),
+                daemon=True,
+            )
+            for _ in range(workers)
+        ]
+        for proc in procs:
+            proc.start()
+        return self._collect(n, result_queue, procs, on_result)
+
+    # -- completion consumption ------------------------------------------------
+
+    def _collect(self, n, result_queue, procs, on_result) -> list:
+        """Consume completions as they land; return results in task order."""
+        results: list = [None] * n
+        errors: list[tuple[int, BaseException, str]] = []
+        remaining = n
+        try:
+            while remaining:
+                try:
+                    blob = result_queue.get(timeout=1.0)
+                except queue_mod.Empty:
+                    if not any(proc.is_alive() for proc in procs):
+                        raise PoolError(
+                            f"{remaining} task(s) lost: worker process(es) "
+                            "died without reporting results"
+                        ) from None
+                    continue
+                index, ok, value = pickle.loads(blob)
+                if ok:
+                    results[index] = value
+                    if on_result is not None:
+                        on_result(index, value)
+                else:
+                    errors.append((index, *value))
+                remaining -= 1
+        finally:
+            for proc in procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+        if errors:
+            errors.sort(key=lambda e: e[0])
+            _, exc, tb = errors[0]
+            exc.add_note(f"(in pool worker)\n{tb}")
+            raise exc
+        return results

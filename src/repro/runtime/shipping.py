@@ -1,0 +1,67 @@
+"""Worker-side observability capture and driver-side replay.
+
+Pool workers must not mutate the driver's process-wide observability
+state (they literally can't — they're separate processes), yet the hard
+invariant says profiles, counters and traces must be byte-identical with
+the pool on or off.  The protocol:
+
+* the worker wraps task execution in :func:`capture_observability`,
+  which gives the task a fresh tracer and swaps the registry's dicts so
+  every ``REGISTRY.inc`` lands task-locally;
+* the resulting :class:`ObsCapture` (root spans + counter/gauge deltas)
+  ships back with the task result — everything in it is picklable;
+* the driver calls :func:`apply_capture` while merging results in
+  deterministic task order, folding counters into the real registry and
+  grafting the worker's spans under the currently open driver span.
+
+Counter values throughout the codebase are integer-valued floats (bytes,
+rows, tiles), so driver-side summation is exact regardless of how tasks
+were grouped across workers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.obs.registry import REGISTRY
+from repro.obs.tracer import Span, Tracer, get_tracer, set_tracer
+
+__all__ = ["ObsCapture", "capture_observability", "apply_capture"]
+
+
+@dataclass
+class ObsCapture:
+    """Everything a task did to observability state, in picklable form."""
+
+    spans: list[Span] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+
+
+@contextlib.contextmanager
+def capture_observability(capture: ObsCapture) -> Iterator[ObsCapture]:
+    """Redirect tracer spans and registry increments into ``capture``.
+
+    Used on both the worker (always) and, crucially, never on the serial
+    path — the serial backends run tasks inline against the real driver
+    state, which is what the equivalence suite pins the pool path to.
+    """
+    previous_tracer = get_tracer()
+    worker_tracer = set_tracer(Tracer(enabled=previous_tracer.enabled))
+    token = REGISTRY.begin_capture()
+    try:
+        yield capture
+    finally:
+        counters, gauges = REGISTRY.end_capture(token)
+        set_tracer(previous_tracer)
+        capture.spans = worker_tracer.roots
+        capture.counters = counters
+        capture.gauges = gauges
+
+
+def apply_capture(capture: ObsCapture) -> None:
+    """Replay a shipped capture into the driver's observability state."""
+    REGISTRY.merge(capture.counters, capture.gauges)
+    get_tracer().graft(capture.spans)

@@ -13,6 +13,7 @@ from repro.cluster.metrics import QueryMetrics
 from repro.cluster.model import ClusterSpec, CostModel
 from repro.hdfs import SimulatedHDFS
 from repro.obs.profile import ProfileNode, QueryProfile
+from repro.runtime.pool import make_pool
 from repro.spark.broadcast import Broadcast
 from repro.spark.rdd import BinaryRecordsRDD, ParallelCollectionRDD, RDD, TextFileRDD
 from repro.spark.scheduler import DAGScheduler
@@ -39,8 +40,14 @@ class SparkContext:
         hdfs: SimulatedHDFS | None = None,
         cost_model: CostModel | None = None,
         default_parallelism: int | None = None,
+        executors: int | str | None = None,
     ):
         self.cluster = cluster
+        # Real-parallelism knob: "serial"/None/1 runs tasks inline (the
+        # default, and what tests use); an int > 1 dispatches each stage's
+        # tasks to that many worker processes.  Results are byte-identical
+        # either way; a TaskPool instance passes through for tests.
+        self.task_pool = make_pool(executors)
         self.hdfs = hdfs or SimulatedHDFS(
             datanodes=tuple(f"node{i}" for i in range(cluster.num_nodes))
         )

@@ -12,17 +12,41 @@ charged here per shuffle stage, which is what the partition-count ablation
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.cluster.metrics import QueryMetrics, StageMetrics, TaskMetrics
 from repro.cluster.model import Resource
 from repro.errors import SparkError
 from repro.obs.tracer import get_tracer
+from repro.runtime.pool import picklable_error
+from repro.runtime.shipping import ObsCapture, apply_capture, capture_observability
 from repro.spark.rdd import RDD, NarrowDependency, ShuffleDependency
+from repro.spark.shuffle import ShuffleStore
 from repro.spark.taskcontext import task_scope
 from repro.cluster.simulation import simulate_dynamic
 
 __all__ = ["DAGScheduler"]
+
+
+@dataclass
+class _TaskShipment:
+    """Everything one pool task sends back to the driver.
+
+    Worker processes can't touch driver state, so every side effect a
+    serial task would have — counter increments, spans, cache fills,
+    scheduler failure counts, shuffle-store writes — rides back here and
+    is replayed by :meth:`DAGScheduler._absorb_shipment` in deterministic
+    task order.
+    """
+
+    task: TaskMetrics
+    capture: ObsCapture
+    value: object = None
+    seconds: float = 0.0
+    failures: int = 0  # failed attempts (the driver's task_failures delta)
+    error: BaseException | None = None  # fatal/terminal error to re-raise
+    cache_entries: dict = field(default_factory=dict)
 
 
 class DAGScheduler:
@@ -72,6 +96,88 @@ class DAGScheduler:
             f"task failed {self.MAX_TASK_ATTEMPTS} times; last error: "
             f"{last_error!r}"
         ) from last_error
+
+    # -- pool execution ---------------------------------------------------------
+
+    def _pool(self):
+        """The context's task pool when it can run this scheduler's closures."""
+        pool = self.sc.task_pool
+        if pool.is_serial or not pool.supports_closures:
+            return None
+        return pool
+
+    def _pool_run_tasks(self, pool, specs) -> list[_TaskShipment]:
+        """Run ``(label, body)`` specs on the pool; shipments in task order.
+
+        Each worker wrapper mirrors :meth:`_attempt_task` exactly — same
+        retry loop, same span shape, same simulated-seconds arithmetic —
+        but accumulates every side effect into a :class:`_TaskShipment`
+        instead of touching (its forked copy of) driver state.  Failures
+        never raise in the worker; the driver re-raises at merge time so
+        error semantics match the serial path.
+        """
+        model = self.sc.cost_model
+        max_attempts = self.MAX_TASK_ATTEMPTS
+        cache = self.sc._cache
+
+        def make_task(label: str, body: Callable):
+            def run_one() -> _TaskShipment:
+                task = TaskMetrics()
+                capture = ObsCapture()
+                shipment = _TaskShipment(task=task, capture=capture)
+                cache_before = set(cache)
+                with capture_observability(capture):
+                    with get_tracer().span(label, category="task") as span:
+                        last_error: Exception | None = None
+                        for attempt in range(max_attempts):
+                            try:
+                                with task_scope(task):
+                                    value = body(task)
+                                seconds = (
+                                    task.seconds(model) * model.spark_jvm_factor
+                                )
+                                span.add_sim(seconds)
+                                span.add_counts(task.counts)
+                                if attempt:
+                                    span.set_attr("attempts", attempt + 1)
+                                shipment.value = value
+                                shipment.seconds = seconds
+                                last_error = None
+                                break
+                            except SparkError as error:
+                                # Fatal in the serial path: no retry.
+                                shipment.error = picklable_error(error)
+                                last_error = None
+                                break
+                            except Exception as error:  # noqa: BLE001
+                                shipment.failures += 1
+                                last_error = error
+                        if last_error is not None:
+                            shipment.error = picklable_error(
+                                SparkError(
+                                    f"task failed {max_attempts} times; "
+                                    f"last error: {last_error!r}"
+                                )
+                            )
+                shipment.cache_entries = {
+                    key: cache[key] for key in cache.keys() - cache_before
+                }
+                return shipment
+
+            return run_one
+
+        return pool.run([make_task(label, body) for label, body in specs])
+
+    def _absorb_shipment(self, shipment: _TaskShipment, stage: StageMetrics):
+        """Replay one task's side effects on the driver (deterministic order)."""
+        self.task_failures += shipment.failures
+        apply_capture(shipment.capture)
+        for key, value in shipment.cache_entries.items():
+            self.sc._cache.setdefault(key, value)
+        if shipment.error is not None:
+            raise shipment.error
+        stage.tasks.append(shipment.task)
+        return shipment
 
     # -- public entry ---------------------------------------------------------
 
@@ -132,33 +238,43 @@ class DAGScheduler:
         with get_tracer().span(stage.name, category="stage"):
             self._run_shuffle_tasks(dep, store, parent, partitioner, stage, metrics)
 
+    @staticmethod
+    def _shuffle_buckets(dep, parent, partitioner, split: int) -> dict[int, list]:
+        """One map task's output, bucketed by reduce partition."""
+        bucketed: dict[int, list] = {}
+        if dep.combiner is not None:
+            create, merge_value, _ = dep.combiner
+            combined: dict[int, dict] = {}
+            for key, value in parent.iterator(split):
+                bucket = partitioner.partition(key)
+                per_bucket = combined.setdefault(bucket, {})
+                if key in per_bucket:
+                    per_bucket[key] = merge_value(per_bucket[key], value)
+                else:
+                    per_bucket[key] = create(value)
+            for bucket, pairs in combined.items():
+                bucketed[bucket] = list(pairs.items())
+        else:
+            for record in parent.iterator(split):
+                key = record[0]
+                bucketed.setdefault(partitioner.partition(key), []).append(record)
+        return bucketed
+
     def _run_shuffle_tasks(
         self, dep, store, parent, partitioner, stage, metrics
     ) -> None:
+        pool = self._pool()
+        if pool is not None:
+            self._run_shuffle_tasks_pooled(
+                pool, dep, store, parent, partitioner, stage, metrics
+            )
+            return
         task_seconds: list[float] = []
         for split in range(parent.num_partitions):
             task = TaskMetrics()
 
             def map_task(split=split, task=task):
-                bucketed: dict[int, list] = {}
-                if dep.combiner is not None:
-                    create, merge_value, _ = dep.combiner
-                    combined: dict[int, dict] = {}
-                    for key, value in parent.iterator(split):
-                        bucket = partitioner.partition(key)
-                        per_bucket = combined.setdefault(bucket, {})
-                        if key in per_bucket:
-                            per_bucket[key] = merge_value(per_bucket[key], value)
-                        else:
-                            per_bucket[key] = create(value)
-                    for bucket, pairs in combined.items():
-                        bucketed[bucket] = list(pairs.items())
-                else:
-                    for record in parent.iterator(split):
-                        key = record[0]
-                        bucketed.setdefault(partitioner.partition(key), []).append(
-                            record
-                        )
+                bucketed = self._shuffle_buckets(dep, parent, partitioner, split)
                 written = store.write(dep.shuffle_id, split, bucketed)
                 task.add(Resource.SHUFFLE_BYTES, written)
 
@@ -166,6 +282,37 @@ class DAGScheduler:
                 self._attempt_task(task, map_task, label=f"map-{split}")
             )
             stage.tasks.append(task)
+        self._finish_stage(stage, task_seconds, shuffling=True, metrics=metrics)
+
+    def _run_shuffle_tasks_pooled(
+        self, pool, dep, store, parent, partitioner, stage, metrics
+    ) -> None:
+        """Map tasks on the pool; the driver replays the store writes.
+
+        Workers charge ``SHUFFLE_BYTES`` via :meth:`ShuffleStore.bucket_bytes`
+        (byte-for-byte what ``write`` returns) and ship the buckets; the
+        actual store write — and its registry increments — happens here,
+        in task order, exactly as the serial path would have done it.
+        """
+
+        def make_body(split: int):
+            def body(task: TaskMetrics):
+                bucketed = self._shuffle_buckets(dep, parent, partitioner, split)
+                task.add(Resource.SHUFFLE_BYTES, ShuffleStore.bucket_bytes(bucketed))
+                return bucketed
+
+            return body
+
+        specs = [
+            (f"map-{split}", make_body(split))
+            for split in range(parent.num_partitions)
+        ]
+        shipments = self._pool_run_tasks(pool, specs)
+        task_seconds: list[float] = []
+        for split, shipment in enumerate(shipments):
+            self._absorb_shipment(shipment, stage)
+            store.write(dep.shuffle_id, split, shipment.value)
+            task_seconds.append(shipment.seconds)
         self._finish_stage(stage, task_seconds, shuffling=True, metrics=metrics)
 
     def _run_result_stage(
@@ -179,17 +326,31 @@ class DAGScheduler:
         results = []
         task_seconds: list[float] = []
         reads_shuffle = self._pipeline_reads_shuffle(rdd)
+        pool = self._pool()
         with get_tracer().span(stage.name, category="stage"):
-            for split in partitions:
-                task = TaskMetrics()
+            if pool is not None:
+                specs = [
+                    (
+                        f"task-{split}",
+                        lambda task, split=split: func(rdd.iterator(split)),
+                    )
+                    for split in partitions
+                ]
+                for shipment in self._pool_run_tasks(pool, specs):
+                    self._absorb_shipment(shipment, stage)
+                    results.append(shipment.value)
+                    task_seconds.append(shipment.seconds)
+            else:
+                for split in partitions:
+                    task = TaskMetrics()
 
-                def result_task(split=split):
-                    results.append(func(rdd.iterator(split)))
+                    def result_task(split=split):
+                        results.append(func(rdd.iterator(split)))
 
-                task_seconds.append(
-                    self._attempt_task(task, result_task, label=f"task-{split}")
-                )
-                stage.tasks.append(task)
+                    task_seconds.append(
+                        self._attempt_task(task, result_task, label=f"task-{split}")
+                    )
+                    stage.tasks.append(task)
             self._finish_stage(
                 stage, task_seconds, shuffling=reads_shuffle, metrics=metrics
             )

@@ -21,27 +21,38 @@ def estimate_bytes(record: Any) -> int:
     """Cheap serialized-size estimate for shuffle/broadcast accounting.
 
     Not exact serialisation — a stable, fast heuristic: containers are the
-    sum of their elements plus a small header, geometries weigh in at 16
-    bytes per vertex (two float64 coordinates), scalars at 8.
+    sum of their elements plus a small header, strings weigh their UTF-8
+    byte length, geometries 16 bytes per vertex (two float64 coordinates),
+    scalars 8.  The container walk is iterative (explicit stack) so deeply
+    nested records can't hit the interpreter recursion limit.
     """
-    if record is None:
-        return 1
-    if isinstance(record, (bytes, bytearray)):
-        return len(record)
-    if isinstance(record, str):
-        return len(record)
-    if isinstance(record, (int, float, bool)):
-        return 8
-    if isinstance(record, (tuple, list)):
-        return 8 + sum(estimate_bytes(item) for item in record)
-    if isinstance(record, dict):
-        return 16 + sum(
-            estimate_bytes(k) + estimate_bytes(v) for k, v in record.items()
-        )
-    num_points = getattr(record, "num_points", None)
-    if num_points is not None:
-        return 24 + 16 * int(num_points)
-    return 64  # opaque object
+    total = 0
+    stack = [record]
+    while stack:
+        item = stack.pop()
+        if item is None:
+            total += 1
+        elif isinstance(item, (bytes, bytearray)):
+            total += len(item)
+        elif isinstance(item, str):
+            total += len(item.encode("utf-8"))
+        elif isinstance(item, (int, float, bool)):
+            total += 8
+        elif isinstance(item, (tuple, list)):
+            total += 8
+            stack.extend(item)
+        elif isinstance(item, dict):
+            total += 16
+            for key, value in item.items():
+                stack.append(key)
+                stack.append(value)
+        else:
+            num_points = getattr(item, "num_points", None)
+            if num_points is not None:
+                total += 24 + 16 * int(num_points)
+            else:
+                total += 64  # opaque object
+    return total
 
 
 class HashPartitioner:
@@ -130,6 +141,20 @@ class ShuffleStore:
         REGISTRY.inc("shuffle.blocks_written", len(bucketed))
         REGISTRY.inc("shuffle.bytes_written", written)
         return written
+
+    @staticmethod
+    def bucket_bytes(bucketed: dict[int, list]) -> int:
+        """Bytes :meth:`write` would report for these buckets — no side effects.
+
+        Pool workers charge ``SHUFFLE_BYTES`` with this (the actual
+        ``write`` happens on the driver at merge time, so the store and
+        its registry counters only ever mutate in one process).
+        """
+        return sum(
+            estimate_bytes(record)
+            for records in bucketed.values()
+            for record in records
+        )
 
     def read(
         self, shuffle_id: int, num_map_partitions: int, reduce_partition: int

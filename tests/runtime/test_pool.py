@@ -1,0 +1,216 @@
+"""Unit tests for the executor-pool layer itself (no substrates)."""
+
+import functools
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime import (
+    PoolError,
+    ProcessBackend,
+    SerialBackend,
+    TaskPool,
+    get_payload,
+    make_pool,
+    validate_executors,
+)
+
+HAS_FORK = "fork" in mp.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+
+
+class TestValidateExecutors:
+    def test_serial_spellings(self):
+        assert validate_executors(None) == 1
+        assert validate_executors("serial") == 1
+        assert validate_executors(1) == 1
+
+    def test_integers_pass_through(self):
+        assert validate_executors(2) == 2
+        assert validate_executors(16) == 16
+
+    @pytest.mark.parametrize("bad", [0, -3, 1.5, "parallel", True, False, []])
+    def test_rejects_everything_else(self, bad):
+        with pytest.raises(ReproError, match="must be 'serial' or an integer >= 1"):
+            validate_executors(bad)
+
+    def test_error_names_the_knob(self):
+        with pytest.raises(ReproError, match="num_workers must be"):
+            validate_executors(0, what="num_workers")
+
+
+class TestMakePool:
+    def test_serial_values_give_serial_backend(self):
+        assert isinstance(make_pool(None), SerialBackend)
+        assert isinstance(make_pool("serial"), SerialBackend)
+        assert isinstance(make_pool(1), SerialBackend)
+
+    def test_integer_gives_process_backend(self):
+        pool = make_pool(3)
+        assert isinstance(pool, ProcessBackend)
+        assert pool.workers == 3
+
+    def test_existing_pool_passes_through(self):
+        pool = SerialBackend()
+        assert make_pool(pool) is pool
+
+    def test_serial_flags(self):
+        assert make_pool(1).is_serial
+        assert not make_pool(2).is_serial
+
+
+class TestSerialBackend:
+    def test_runs_in_order(self):
+        order = []
+
+        def make(i):
+            return lambda: (order.append(i), i * 10)[1]
+
+        assert SerialBackend().run([make(i) for i in range(5)]) == [
+            0, 10, 20, 30, 40,
+        ]
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_on_result_hook(self):
+        seen = []
+        SerialBackend().run(
+            [lambda: "a", lambda: "b"],
+            on_result=lambda i, v: seen.append((i, v)),
+        )
+        assert seen == [(0, "a"), (1, "b")]
+
+    def test_exception_propagates(self):
+        def boom():
+            raise ValueError("inline")
+
+        with pytest.raises(ValueError, match="inline"):
+            SerialBackend().run([boom])
+
+    def test_empty_batch(self):
+        assert SerialBackend().run([]) == []
+
+
+@needs_fork
+class TestProcessBackendFork:
+    def test_results_in_task_order(self):
+        pool = ProcessBackend(2)
+        tasks = [(lambda i=i: i * i) for i in range(8)]
+        assert pool.run(tasks) == [i * i for i in range(8)]
+
+    def test_runs_in_separate_processes(self):
+        pool = ProcessBackend(2)
+        pids = pool.run([os.getpid for _ in range(4)])
+        assert all(pid != os.getpid() for pid in pids)
+
+    def test_closures_capture_driver_state(self):
+        big = {"lookup": list(range(1000))}
+        pool = ProcessBackend(2)
+        assert pool.supports_closures
+        assert pool.run([lambda: big["lookup"][-1]]) == [999]
+
+    def test_on_result_sees_every_completion(self):
+        pool = ProcessBackend(2)
+        seen = []
+        results = pool.run(
+            [(lambda i=i: i) for i in range(6)],
+            on_result=lambda i, v: seen.append((i, v)),
+        )
+        assert sorted(seen) == [(i, i) for i in range(6)]
+        assert results == list(range(6))
+
+    def test_lowest_index_error_raised(self):
+        def ok():
+            return 1
+
+        def boom(msg):
+            raise RuntimeError(msg)
+
+        pool = ProcessBackend(2)
+        with pytest.raises(RuntimeError, match="first"):
+            pool.run([ok, lambda: boom("first"), ok, lambda: boom("second")])
+
+    def test_worker_traceback_attached_as_note(self):
+        def boom():
+            raise RuntimeError("with context")
+
+        try:
+            ProcessBackend(2).run([boom])
+        except RuntimeError as exc:
+            notes = "".join(getattr(exc, "__notes__", []))
+            assert "in pool worker" in notes
+            assert "boom" in notes
+        else:  # pragma: no cover
+            pytest.fail("worker error not raised")
+
+    def test_unpicklable_result_ships_as_error(self):
+        # The worker's own pickling failure ships back and re-raises on the
+        # driver instead of hanging the queue's feeder thread.
+        pool = ProcessBackend(2)
+        with pytest.raises(Exception, match="[Pp]ickle"):
+            pool.run([lambda: (lambda: 1)])  # lambdas don't pickle
+
+    def test_empty_batch_spawns_nothing(self):
+        assert ProcessBackend(2).run([]) == []
+
+    def test_more_workers_than_tasks(self):
+        assert ProcessBackend(8).run([lambda: 42]) == [42]
+
+    def test_payload_inherited_by_fork(self):
+        pool = ProcessBackend(2)
+        pool.install_payload("index", {"tree": [1, 2, 3]})
+        assert pool.run([lambda: get_payload("index")["tree"]]) == [[1, 2, 3]]
+
+
+def _square(x):
+    return x * x
+
+
+def _crash(msg):
+    raise RuntimeError(msg)
+
+
+def _read_payload(key):
+    return get_payload(key)
+
+
+class TestProcessBackendSpawn:
+    """Spawn dispatch: picklable tasks, payloads installed once per worker."""
+
+    def test_results_in_task_order(self):
+        pool = ProcessBackend(2, start_method="spawn")
+        assert not pool.supports_closures
+        tasks = [functools.partial(_square, i) for i in range(5)]
+        assert pool.run(tasks) == [0, 1, 4, 9, 16]
+
+    def test_closure_rejected_with_clear_error(self):
+        pool = ProcessBackend(2, start_method="spawn")
+        with pytest.raises(PoolError, match="picklable tasks"):
+            pool.run([lambda: 1])
+
+    def test_error_propagates(self):
+        pool = ProcessBackend(2, start_method="spawn")
+        with pytest.raises(RuntimeError, match="spawn boom"):
+            pool.run([functools.partial(_crash, "spawn boom")])
+
+    def test_installed_payload_reaches_workers(self):
+        pool = ProcessBackend(2, start_method="spawn")
+        pool.install_payload("cfg", {"radius": 2.5})
+        results = pool.run([functools.partial(_read_payload, "cfg")] * 3)
+        assert results == [{"radius": 2.5}] * 3
+
+
+class TestProcessBackendConfig:
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "2"])
+    def test_bad_worker_counts(self, bad):
+        with pytest.raises(PoolError, match="workers must be"):
+            ProcessBackend(bad)
+
+    def test_unknown_start_method(self):
+        with pytest.raises(PoolError, match="not available"):
+            ProcessBackend(2, start_method="teleport")
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            TaskPool().run([lambda: 1])

@@ -113,3 +113,36 @@ class TestEstimateBytes:
             pass
 
         assert estimate_bytes(Thing()) == 64
+
+    def test_non_ascii_strings_weigh_utf8_bytes(self):
+        # len("héllo") is 5 but its UTF-8 encoding is 6 bytes.
+        assert estimate_bytes("héllo") == 6
+        assert estimate_bytes("日本") == 6  # 3 bytes per CJK character
+        assert estimate_bytes("🙂") == 4  # astral-plane emoji
+        assert estimate_bytes("") == 0
+
+    def test_mixed_record_totals(self):
+        record = ("trip-1", {"fare": 12.5}, [None, b"xy"])
+        expected = (
+            8  # outer tuple header
+            + 6  # "trip-1"
+            + 16 + 4 + 8  # dict header + "fare" + float
+            + 8 + 1 + 2  # list header + None + b"xy"
+        )
+        assert estimate_bytes(record) == expected
+
+    def test_deep_nesting_does_not_recurse(self):
+        record = 1
+        depth = 100_000  # far beyond sys.getrecursionlimit()
+        for _ in range(depth):
+            record = [record]
+        assert estimate_bytes(record) == depth * 8 + 8
+
+    def test_bucket_bytes_matches_write(self):
+        bucketed = {
+            0: [("a", 1), ("b", 2)],
+            1: [("héllo", [1, 2, None])],
+        }
+        store = ShuffleStore()
+        written = store.write(store.new_shuffle_id(), 0, bucketed)
+        assert ShuffleStore.bucket_bytes(bucketed) == written
