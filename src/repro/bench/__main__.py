@@ -37,13 +37,14 @@ ENGINES = ("spatialspark", "isp-mc", "isp-standalone")
 
 def _scale_or_mode(value: str):
     """Positional argument: a float scale factor, or a named bench mode."""
-    if value in ("kernels", "parallel"):
+    if value in ("kernels", "parallel", "monitor"):
         return value
     try:
         return float(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"expected a scale factor, 'kernels' or 'parallel', got {value!r}"
+            f"expected a scale factor, 'kernels', 'parallel' or 'monitor', "
+            f"got {value!r}"
         ) from None
 
 
@@ -60,8 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=_scale_or_mode,
         default=DEFAULT_SCALE,
         help=f"dataset scale factor (default {DEFAULT_SCALE}), 'kernels' "
-        "for the columnar-kernels microbenchmark, or 'parallel' for the "
-        "process-pool runtime benchmark",
+        "for the columnar-kernels microbenchmark, 'parallel' for the "
+        "process-pool runtime benchmark, or 'monitor' to replay an "
+        "events.jsonl file as per-worker timelines",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="for monitor mode: path of the events.jsonl file to replay",
     )
     parser.add_argument(
         "--points",
@@ -134,6 +142,36 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies --profile)",
     )
     parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help="for --profile runs: write the structured JSONL event log "
+        "to PATH (replay it with 'python -m repro.bench monitor PATH')",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="for --profile runs: also write the profile tree as JSON "
+        "to PATH (QueryProfile.to_dict form)",
+    )
+    parser.add_argument(
+        "--straggler-k",
+        type=float,
+        metavar="K",
+        default=2.0,
+        help="for monitor mode: flag tasks slower than K x their stage "
+        "median as stragglers (default 2.0)",
+    )
+    parser.add_argument(
+        "--assert-events-overhead",
+        type=float,
+        metavar="RATIO",
+        default=None,
+        help="for parallel mode: exit nonzero if enabling the event log "
+        "slows the engine run by more than RATIO (e.g. 0.10 for 10%%)",
+    )
+    parser.add_argument(
         "--method",
         choices=("auto",),
         default=None,
@@ -156,6 +194,7 @@ def _profile_run(args: argparse.Namespace) -> int:
             scale=args.scale,
             profile=True,
             executors=executors,
+            events_out=args.events_out,
         )
     profile = result.profile
     if args.json:
@@ -166,6 +205,13 @@ def _profile_run(args: argparse.Namespace) -> int:
             f"\nrows={result.result_rows}  "
             f"simulated={result.simulated_seconds:.3f}s"
         )
+    if args.profile_out:
+        with open(args.profile_out, "w", encoding="utf-8") as handle:
+            json.dump(profile.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote profile JSON to {args.profile_out}", file=sys.stderr)
+    if args.events_out:
+        print(f"wrote event log to {args.events_out}", file=sys.stderr)
     if args.trace_out:
         write_chrome_trace(
             args.trace_out,
@@ -251,6 +297,36 @@ def _parallel_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+    if args.assert_events_overhead is not None:
+        delta = doc["events_overhead"]["delta_fraction"]
+        if delta > args.assert_events_overhead:
+            print(
+                f"FAIL: event-log overhead {delta * 100.0:.1f}% > "
+                f"{args.assert_events_overhead * 100.0:.1f}%",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _monitor_run(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs.events import read_events
+    from repro.obs.monitor import monitor_report
+
+    if not args.target:
+        print(
+            "monitor mode needs an events.jsonl path: "
+            "python -m repro.bench monitor <events.jsonl>",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        events = read_events(args.target)
+    except (OSError, ReproError) as error:
+        print(f"cannot replay {args.target}: {error}", file=sys.stderr)
+        return 1
+    print(monitor_report(events, k=args.straggler_k))
     return 0
 
 
@@ -260,6 +336,8 @@ def main(argv: list[str] | None = None) -> int:
         return _kernels_run(args)
     if args.scale == "parallel":
         return _parallel_run(args)
+    if args.scale == "monitor":
+        return _monitor_run(args)
     if args.method == "auto":
         study = optimizer_study(scale=args.scale, nodes=args.nodes)
         if args.json:

@@ -43,6 +43,7 @@ __all__ = [
     "render_parallel",
     "write_parallel_json",
     "substrate_equivalence",
+    "events_overhead",
 ]
 
 
@@ -173,6 +174,74 @@ def substrate_equivalence(
     }
 
 
+def events_overhead(
+    scale: float = 0.05,
+    nodes: int = 2,
+    repeat: int = 5,
+    workload_name: str = "taxi-nycb",
+) -> dict[str, Any]:
+    """Wall-clock cost of the structured event log on a full engine run.
+
+    ``repeat`` interleaved pairs of the same SpatialSpark run with the
+    event sink disabled and with ``events_out`` writing JSONL to a
+    scratch file.  ``delta_fraction`` is the minimum paired relative
+    slowdown; the CI smoke job asserts it stays under 10% via
+    ``--assert-events-overhead 0.10``.
+
+    The default scale is deliberately larger than the equivalence
+    suite's: the event count is fixed by the partition count while the
+    real work grows with the data, so a microscopic run (~80 ms) would
+    measure the sink's constant cost against almost no work.
+    """
+    import tempfile
+
+    # Warm the materialization memo so neither arm pays the one-time
+    # dataset write.
+    materialize(workload_name, scale=scale)
+
+    def one(events: bool) -> float:
+        with tempfile.TemporaryDirectory() as scratch:
+            path = os.path.join(scratch, "events.jsonl") if events else None
+            start = time.perf_counter()
+            run_engine(
+                workload_name,
+                "spatialspark",
+                nodes,
+                scale=scale,
+                events_out=path,
+            )
+            return time.perf_counter() - start
+
+    one(False)  # warm both code paths before timing
+    one(True)
+    # Interleave the arms so machine drift (CI neighbours, thermal
+    # throttling) lands on both equally instead of biasing whichever arm
+    # ran last.  The guard statistic is the *minimum* paired delta: a
+    # noisy sample inflates individual pairs, but a real regression slows
+    # every pair, so min-of-pairs is a stable upper-bound check.
+    off_seconds = math.inf
+    on_seconds = math.inf
+    delta = math.inf
+    for _ in range(repeat):
+        off_one = one(False)
+        on_one = one(True)
+        off_seconds = min(off_seconds, off_one)
+        on_seconds = min(on_seconds, on_one)
+        if off_one > 0:
+            delta = min(delta, (on_one - off_one) / off_one)
+    if delta == math.inf:  # pragma: no cover - repeat >= 1 always measures
+        delta = 0.0
+    return {
+        "workload": workload_name,
+        "scale": scale,
+        "nodes": nodes,
+        "repeat": repeat,
+        "events_off_seconds": off_seconds,
+        "events_on_seconds": on_seconds,
+        "delta_fraction": delta,
+    }
+
+
 def run_parallel_benchmark(
     points: int = 100_000,
     executor_counts: tuple[int, ...] = (2, 4),
@@ -222,6 +291,7 @@ def run_parallel_benchmark(
         "equivalence": substrate_equivalence(
             equivalence_scale, executor_counts
         ),
+        "events_overhead": events_overhead(),
     }
 
 
@@ -255,6 +325,16 @@ def render_parallel(doc: dict[str, Any]) -> str:
             f"  {case['workload']:>14} {case['engine']:>13} "
             f"executors={case['executors']} rows={case['rows']:<7} "
             f"identical={case['identical']}"
+        )
+    overhead = doc.get("events_overhead")
+    if overhead:
+        lines.append("")
+        lines.append(
+            f"Event-log overhead ({overhead['workload']}, scale "
+            f"{overhead['scale']}, best of {overhead['repeat']}): "
+            f"off={overhead['events_off_seconds']:.4f}s "
+            f"on={overhead['events_on_seconds']:.4f}s "
+            f"delta={overhead['delta_fraction'] * 100.0:+.1f}%"
         )
     if doc["available_cores"] < max(doc["executor_counts"], default=1):
         lines.append("")

@@ -72,6 +72,7 @@ def run_spatialspark(
     profile: bool = False,
     batch_refine: bool = True,
     executors: int | str | None = None,
+    events_out: str | None = None,
 ) -> RunResult:
     """SpatialSpark: broadcast join on the mini-Spark substrate."""
     sc = SparkContext(
@@ -79,6 +80,7 @@ def run_spatialspark(
         hdfs=mat.hdfs,
         cost_model=cost_model,
         executors=executors,
+        events_out=events_out,
     )
     left = read_geometry_pairs(sc, mat.left_path, 1, num_partitions=num_partitions)
     right = read_geometry_pairs(
@@ -95,6 +97,7 @@ def run_spatialspark(
         batch_refine=batch_refine,
     )
     count = pairs.count()
+    sc.close_events()
     return RunResult(
         engine="SpatialSpark",
         workload=mat.workload.name,
@@ -130,6 +133,7 @@ def run_ispmc(
     batch_refine: bool = True,
     batch_size: int | None = None,
     executors: int | str | None = None,
+    events_out: str | None = None,
 ) -> RunResult:
     """ISP-MC: SQL spatial join on the mini-Impala substrate."""
     backend = ImpalaBackend(
@@ -142,6 +146,7 @@ def run_ispmc(
         batch_refine=batch_refine,
         batch_size=batch_size,
         executors=executors,
+        events_out=events_out,
     )
     schema = [("id", ColumnType.BIGINT), ("geom", ColumnType.STRING)]
     left_name = f"left_{mat.left.name}"
@@ -151,6 +156,7 @@ def run_ispmc(
     template = _SQL[mat.workload.operator.value]
     sql = template.format(left=left_name, right=right_name, radius=mat.radius)
     result = backend.execute(sql)
+    backend.close_events()
     return RunResult(
         engine="ISP-MC",
         workload=mat.workload.name,
@@ -207,6 +213,7 @@ def run_engine(
     profile: bool = False,
     batch_refine: bool = True,
     executors: int | str | None = None,
+    events_out: str | None = None,
 ) -> RunResult:
     """Dispatch by engine label (the harness entry used by benches)."""
     mat = materialize(workload_name, scale=scale)
@@ -218,6 +225,7 @@ def run_engine(
             profile=profile,
             batch_refine=batch_refine,
             executors=executors,
+            events_out=events_out,
         )
     if engine == "isp-mc":
         return run_ispmc(
@@ -227,10 +235,16 @@ def run_engine(
             profile=profile,
             batch_refine=batch_refine,
             executors=executors,
+            events_out=events_out,
         )
     if engine == "isp-standalone":
         if num_nodes != 1:
             raise BenchError("standalone ISP-MC runs on a single node")
+        if events_out is not None:
+            raise BenchError(
+                "events_out is not supported by the standalone engine; "
+                "use spatialspark or isp-mc"
+            )
         return run_isp_standalone(mat, cost_model, profile=profile)
     raise BenchError(
         f"unknown engine {engine!r}; choose spatialspark|isp-mc|isp-standalone"

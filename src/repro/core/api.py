@@ -16,6 +16,8 @@ the optimizer's :class:`~repro.optimizer.PlanChoice` and the sampled
 
 from __future__ import annotations
 
+import os
+import time
 import warnings
 from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass, replace
@@ -29,8 +31,10 @@ from repro.core.probe import BroadcastIndex, naive_spatial_join
 from repro.errors import ReproError
 from repro.geometry.base import Geometry
 from repro.geometry.wkt import loads as wkt_loads
+from repro.obs.events import EventLog, get_event_log, install_event_log
 from repro.obs.tracer import get_tracer
-from repro.runtime.pool import make_pool, validate_executors
+from repro.runtime.pool import current_worker_id, make_pool, validate_executors
+from repro.runtime.shipping import ObsCapture, apply_capture, capture_observability
 
 __all__ = ["spatial_join", "spatial_join_pairs", "JoinConfig", "JoinResult"]
 
@@ -63,6 +67,11 @@ class JoinConfig:
     scales the *simulated* task slots), ``executors`` changes wall-clock
     time — and nothing else: results, counters and profiles are
     byte-identical either way.
+
+    ``events_out`` names a JSONL file to receive the structured event log
+    (QueryStart / StageSubmitted / TaskStart / TaskEnd / QueryEnd — the
+    stream ``python -m repro.bench monitor`` replays).  ``None`` (default)
+    keeps the event sink a strict no-op.
     """
 
     operator: SpatialOperator | str = SpatialOperator.WITHIN
@@ -78,6 +87,7 @@ class JoinConfig:
     batch_size: int = 1024
     batch_refine: bool = True
     executors: int | str = "serial"
+    events_out: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.batch_size, int) or self.batch_size < 1:
@@ -206,6 +216,7 @@ def spatial_join(
     cost_model: CostModel | None = None,
     workers: int = 1,
     executors: int | str = "serial",
+    events_out: str | None = None,
     config: JoinConfig | None = None,
 ) -> JoinResult:
     """Join two (id, geometry) collections; returns matching id pairs.
@@ -254,6 +265,7 @@ def spatial_join(
             cost_model=cost_model,
             workers=workers,
             executors=executors,
+            events_out=events_out,
         )
         legacy_profile_shape = bool(profile)
     result = _execute_join(left, right, cfg)
@@ -270,6 +282,23 @@ def spatial_join(
 
 
 def _execute_join(left, right, cfg: JoinConfig) -> JoinResult:
+    """Event-log envelope around :func:`_run_join`.
+
+    With ``events_out`` set, the join owns a JSONL-backed
+    :class:`EventLog` for its duration; otherwise the ambient sink (an
+    enclosing :func:`~repro.obs.events.logging_events` block, or the
+    disabled no-op default) is left in place.
+    """
+    owned = EventLog(path=cfg.events_out) if cfg.events_out else None
+    try:
+        with install_event_log(owned):
+            return _run_join(left, right, cfg)
+    finally:
+        if owned is not None:
+            owned.close()
+
+
+def _run_join(left, right, cfg: JoinConfig) -> JoinResult:
     op = _coerce_operator(cfg.operator)
     if cfg.method not in _METHODS:
         raise ReproError(
@@ -279,6 +308,16 @@ def _execute_join(left, right, cfg: JoinConfig) -> JoinResult:
     model = cfg.cost_model or CostModel()
     tracer = get_tracer()
     query = QueryMetrics(name="spatial-join") if cfg.profile else None
+    log = get_event_log()
+    events_query = log.next_id("query") if log.enabled else None
+    if events_query is not None:
+        log.emit(
+            "QueryStart",
+            query=events_query,
+            name="spatial-join",
+            engine="core",
+            wall_start=time.perf_counter(),
+        )
 
     if query is not None:
         parse_metrics = TaskMetrics()
@@ -317,15 +356,27 @@ def _execute_join(left, right, cfg: JoinConfig) -> JoinResult:
     if method == "naive":
         pairs = _naive_join(left_entries, right_entries, op, cfg, model, query)
     elif method == "broadcast":
-        pairs = _broadcast_join(left_entries, right_entries, op, cfg, model, query)
+        pairs = _broadcast_join(
+            left_entries, right_entries, op, cfg, model, query, events_query
+        )
     elif method == "dual-tree":
         pairs = _dual_tree_join(left_entries, right_entries, op, cfg, model, query)
     elif method == "partitioned":
         pairs = _partitioned_join_local(
-            left_entries, right_entries, op, cfg, model, query, plan
+            left_entries, right_entries, op, cfg, model, query, plan, events_query
         )
     else:  # pragma: no cover - guarded by the _METHODS check above
         raise ReproError(f"unhandled method {method!r}")
+
+    if events_query is not None:
+        log.emit(
+            "QueryEnd",
+            query=events_query,
+            name="spatial-join",
+            sim_seconds=query.simulated_seconds if query is not None else None,
+            rows=len(pairs),
+            wall_end=time.perf_counter(),
+        )
 
     profile_obj = None
     if query is not None:
@@ -371,6 +422,47 @@ def _naive_join(left_entries, right_entries, op, cfg, model, query):
     return pairs
 
 
+def _emit_task_start(log, events_ctx, index, label, partition) -> None:
+    query_id, stage_id = events_ctx
+    log.emit(
+        "TaskStart",
+        query=query_id,
+        stage=stage_id,
+        task=index,
+        partition=partition,
+        label=label,
+        worker=current_worker_id(),
+        pid=os.getpid(),
+        wall_start=time.perf_counter(),
+    )
+
+
+def _emit_task_end(log, events_ctx, index, label, partition, sim_seconds, counters) -> None:
+    query_id, stage_id = events_ctx
+    log.emit(
+        "TaskEnd",
+        query=query_id,
+        stage=stage_id,
+        task=index,
+        partition=partition,
+        label=label,
+        worker=current_worker_id(),
+        pid=os.getpid(),
+        wall_end=time.perf_counter(),
+        sim_seconds=sim_seconds,
+        counters=counters,
+        failures=0,
+    )
+
+
+def _totals_seconds(totals, model) -> float:
+    """Simulated seconds of one probe chunk's cost-unit totals."""
+    task = TaskMetrics()
+    for resource, amount in totals.items():
+        task.add(resource, amount)
+    return task.seconds(model)
+
+
 def _probe_pool(cfg: JoinConfig):
     """The probe-chunk pool, or None when the serial path should run.
 
@@ -385,20 +477,24 @@ def _probe_pool(cfg: JoinConfig):
     return pool
 
 
-def _probe_chunks_pooled(pool, index, left_entries, cfg):
-    """Probe ``batch_size`` chunks on the pool; (pairs, totals) per chunk.
+def _probe_chunks_pooled(pool, index, left_entries, cfg, model=None, events_ctx=None):
+    """Probe ``batch_size`` chunks on the pool; (pairs, totals, capture)
+    per chunk.
 
     Pure fan-out: each task reads the fork-inherited index and its chunk,
     returning the chunk's matching pairs plus its cost-unit totals.  The
     caller consumes the ordered results exactly as the serial chunk loop
-    would have produced them.
+    would have produced them.  With the event log on (``events_ctx`` is a
+    ``(query, stage)`` pair) the worker frames its chunk in TaskStart /
+    TaskEnd and ships the buffered events back in an :class:`ObsCapture`;
+    otherwise the capture slot is ``None`` and nothing changes.
     """
     chunks = [
         left_entries[start : start + cfg.batch_size]
         for start in range(0, len(left_entries), cfg.batch_size)
     ]
 
-    def make_task(chunk):
+    def make_task(task_index, chunk):
         def probe_chunk():
             matches_per_row, totals = index.probe_batch(g for _, g in chunk)
             chunk_pairs = []
@@ -406,30 +502,79 @@ def _probe_chunks_pooled(pool, index, left_entries, cfg):
                 chunk_pairs.extend((left_id, right_id) for right_id in matches)
             return chunk_pairs, totals
 
-        return probe_chunk
+        if events_ctx is None:
 
-    return pool.run([make_task(chunk) for chunk in chunks])
+            def run_plain():
+                chunk_pairs, totals = probe_chunk()
+                return chunk_pairs, totals, None
+
+            return run_plain
+
+        def run_with_events():
+            capture = ObsCapture()
+            with capture_observability(capture):
+                log = get_event_log()
+                label = f"chunk-{task_index}"
+                _emit_task_start(log, events_ctx, task_index, label, task_index)
+                chunk_pairs, totals = probe_chunk()
+                _emit_task_end(
+                    log, events_ctx, task_index, label, task_index,
+                    _totals_seconds(totals, model), dict(totals),
+                )
+            return chunk_pairs, totals, capture
+
+        return run_with_events
+
+    return pool.run(
+        [make_task(task_index, chunk) for task_index, chunk in enumerate(chunks)]
+    )
 
 
-def _broadcast_join(left_entries, right_entries, op, cfg, model, query):
+def _broadcast_join(left_entries, right_entries, op, cfg, model, query, events_query=None):
     """The paper's broadcast join: index the right side, probe with the
     left.  With profiling on, build/probe become exactly-billed stages."""
     tracer = get_tracer()
     pairs: list[tuple[Any, Any]] = []
     pool = _probe_pool(cfg)
+    log = get_event_log()
+    events_ctx = None
+    if events_query is not None and log.enabled and cfg.batch_refine:
+        num_chunks = (len(left_entries) + cfg.batch_size - 1) // cfg.batch_size
+        events_stage = log.next_id("stage")
+        log.emit(
+            "StageSubmitted",
+            query=events_query,
+            stage=events_stage,
+            name="probe",
+            num_tasks=num_chunks,
+        )
+        events_ctx = (events_query, events_stage)
     if query is None:
         index = BroadcastIndex(
             right_entries, op, radius=cfg.radius, engine=cfg.engine
         )
         if pool is not None:
-            for chunk_pairs, _ in _probe_chunks_pooled(
-                pool, index, left_entries, cfg
+            for chunk_pairs, _, capture in _probe_chunks_pooled(
+                pool, index, left_entries, cfg, model, events_ctx
             ):
+                if capture is not None:
+                    apply_capture(capture)
                 pairs.extend(chunk_pairs)
         elif cfg.batch_refine:
-            for start in range(0, len(left_entries), cfg.batch_size):
+            for task_index, start in enumerate(
+                range(0, len(left_entries), cfg.batch_size)
+            ):
                 chunk = left_entries[start : start + cfg.batch_size]
-                matches_per_row, _ = index.probe_batch(g for _, g in chunk)
+                if events_ctx is not None:
+                    _emit_task_start(
+                        log, events_ctx, task_index, f"chunk-{task_index}", task_index
+                    )
+                matches_per_row, totals = index.probe_batch(g for _, g in chunk)
+                if events_ctx is not None:
+                    _emit_task_end(
+                        log, events_ctx, task_index, f"chunk-{task_index}", task_index,
+                        _totals_seconds(totals, model), dict(totals),
+                    )
                 for (left_id, _), matches in zip(chunk, matches_per_row):
                     pairs.extend((left_id, right_id) for right_id in matches)
         else:
@@ -453,16 +598,29 @@ def _broadcast_join(left_entries, right_entries, op, cfg, model, query):
     probe_metrics = TaskMetrics()
     with tracer.span("probe", category="phase") as span:
         if pool is not None:
-            for chunk_pairs, totals in _probe_chunks_pooled(
-                pool, index, left_entries, cfg
+            for chunk_pairs, totals, capture in _probe_chunks_pooled(
+                pool, index, left_entries, cfg, model, events_ctx
             ):
+                if capture is not None:
+                    apply_capture(capture)
                 for resource, amount in totals.items():
                     probe_metrics.add(resource, amount)
                 pairs.extend(chunk_pairs)
         elif cfg.batch_refine:
-            for start in range(0, len(left_entries), cfg.batch_size):
+            for task_index, start in enumerate(
+                range(0, len(left_entries), cfg.batch_size)
+            ):
                 chunk = left_entries[start : start + cfg.batch_size]
+                if events_ctx is not None:
+                    _emit_task_start(
+                        log, events_ctx, task_index, f"chunk-{task_index}", task_index
+                    )
                 matches_per_row, totals = index.probe_batch(g for _, g in chunk)
+                if events_ctx is not None:
+                    _emit_task_end(
+                        log, events_ctx, task_index, f"chunk-{task_index}", task_index,
+                        _totals_seconds(totals, model), dict(totals),
+                    )
                 for resource, amount in totals.items():
                     probe_metrics.add(resource, amount)
                 for (left_id, _), matches in zip(chunk, matches_per_row):
@@ -584,7 +742,7 @@ def _join_one_tile(tile_id, tile_left, tile_right, tiles, op, cfg, task, expand)
 
 
 def _partitioned_join_local(
-    left_entries, right_entries, op, cfg, model, query, plan
+    left_entries, right_entries, op, cfg, model, query, plan, events_query=None
 ):
     """Skew-aware tiled join over in-memory collections.
 
@@ -652,10 +810,22 @@ def _partitioned_join_local(
         tile_id for tile_id in sorted(left_by_tile) if right_by_tile.get(tile_id)
     ]
     pool = make_pool(cfg.executors)
+    log = get_event_log()
+    events_ctx = None
+    if events_query is not None and log.enabled:
+        events_stage = log.next_id("stage")
+        log.emit(
+            "StageSubmitted",
+            query=events_query,
+            stage=events_stage,
+            name="join",
+            num_tasks=len(joinable),
+        )
+        events_ctx = (events_query, events_stage)
     with tracer.span("join", category="phase") as span:
         if not pool.is_serial and pool.supports_closures and len(joinable) > 1:
 
-            def make_tile_task(tile_id):
+            def make_tile_task(task_index, tile_id):
                 def join_tile():
                     task = TaskMetrics()
                     tile_pairs = _join_one_tile(
@@ -664,22 +834,57 @@ def _partitioned_join_local(
                     )
                     return tile_pairs, task
 
-                return join_tile
+                if events_ctx is None:
 
-            for tile_pairs, task in pool.run(
-                [make_tile_task(tile_id) for tile_id in joinable]
+                    def run_plain():
+                        tile_pairs, task = join_tile()
+                        return tile_pairs, task, None
+
+                    return run_plain
+
+                def run_with_events():
+                    capture = ObsCapture()
+                    with capture_observability(capture):
+                        wlog = get_event_log()
+                        label = f"tile-{tile_id}"
+                        _emit_task_start(wlog, events_ctx, task_index, label, tile_id)
+                        tile_pairs, task = join_tile()
+                        _emit_task_end(
+                            wlog, events_ctx, task_index, label, tile_id,
+                            task.seconds(model), dict(task.counts),
+                        )
+                    return tile_pairs, task, capture
+
+                return run_with_events
+
+            for tile_pairs, task, capture in pool.run(
+                [
+                    make_tile_task(task_index, tile_id)
+                    for task_index, tile_id in enumerate(joinable)
+                ]
             ):
+                if capture is not None:
+                    apply_capture(capture)
                 pairs.extend(tile_pairs)
                 tile_tasks.append(task)
         else:
-            for tile_id in joinable:
+            for task_index, tile_id in enumerate(joinable):
                 task = TaskMetrics()
+                if events_ctx is not None:
+                    _emit_task_start(
+                        log, events_ctx, task_index, f"tile-{tile_id}", tile_id
+                    )
                 pairs.extend(
                     _join_one_tile(
                         tile_id, left_by_tile[tile_id], right_by_tile[tile_id],
                         tiles, op, cfg, task, expand,
                     )
                 )
+                if events_ctx is not None:
+                    _emit_task_end(
+                        log, events_ctx, task_index, f"tile-{tile_id}", tile_id,
+                        task.seconds(model), dict(task.counts),
+                    )
                 tile_tasks.append(task)
         span.set_attr("rows_out", len(pairs))
         span.set_attr("tiles_joined", len(tile_tasks))

@@ -19,6 +19,8 @@ scheduling: everyone waits for the straggler) + coordinator merge time.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -38,9 +40,10 @@ from repro.impala.exprs import TupleDescriptor, compile_expr, vectorize_conjunct
 from repro.impala.rowbatch import BATCH_SIZE
 from repro.impala.parser import parse
 from repro.impala.planner import PhysicalPlan, Planner
+from repro.obs.events import EventLog, get_event_log, install_event_log
 from repro.obs.profile import ProfileNode, QueryProfile
 from repro.obs.tracer import get_tracer
-from repro.runtime.pool import make_pool, picklable_error
+from repro.runtime.pool import current_worker_id, make_pool, picklable_error
 from repro.runtime.shipping import ObsCapture, apply_capture, capture_observability
 from repro.spark.shuffle import estimate_bytes
 from repro.spark.taskcontext import task_scope
@@ -139,6 +142,7 @@ class ImpalaBackend:
         batch_size: int | None = None,
         batch_refine: bool = True,
         executors: int | str | None = None,
+        events_out: str | None = None,
     ):
         if assignment not in ("contiguous", "round_robin"):
             raise ImpalaError(
@@ -171,8 +175,23 @@ class ImpalaBackend:
         # fragment runs, never what it runs).  Results are byte-identical
         # with the pool on or off.
         self.task_pool = make_pool(executors)
+        # Structured event log: given a JSONL path, every executed query
+        # emits QueryStart/FragmentStart/FragmentEnd/QueryEnd events the
+        # monitor replays.  None keeps the disabled global sink (no-op).
+        self._event_log = EventLog(path=events_out) if events_out else None
+        self._events_query: int | None = None
 
     # -- public API -----------------------------------------------------------
+
+    @property
+    def event_log(self) -> EventLog | None:
+        """The backend-owned event log (None when ``events_out`` unset)."""
+        return self._event_log
+
+    def close_events(self) -> None:
+        """Flush and close the events file (the in-memory stream stays)."""
+        if self._event_log is not None:
+            self._event_log.close()
 
     def execute(self, sql: str) -> QueryResult:
         """Parse, plan and run one SELECT (or describe it, for EXPLAIN)."""
@@ -188,7 +207,30 @@ class ImpalaBackend:
                     plan=plan,
                     breakdown={"planning": self.cost_model.impala_plan_base},
                 )
-            result = self._execute_plan(plan)
+            with install_event_log(self._event_log):
+                log = get_event_log()
+                self._events_query = log.next_id("query") if log.enabled else None
+                if self._events_query is not None:
+                    log.emit(
+                        "QueryStart",
+                        query=self._events_query,
+                        name="impala-query",
+                        engine="impala",
+                        wall_start=time.perf_counter(),
+                    )
+                try:
+                    result = self._execute_plan(plan)
+                    if self._events_query is not None:
+                        log.emit(
+                            "QueryEnd",
+                            query=self._events_query,
+                            name="impala-query",
+                            sim_seconds=result.simulated_seconds,
+                            rows=len(result),
+                            wall_end=time.perf_counter(),
+                        )
+                finally:
+                    self._events_query = None
             span.add_sim(result.simulated_seconds)
             span.set_attr("rows", len(result))
             return result
@@ -374,6 +416,17 @@ class ImpalaBackend:
         tracer) — the span, charging and byte-accounting arithmetic is
         shared, which is what keeps the two modes byte-identical.
         """
+        log = get_event_log()
+        emit_events = log.enabled and self._events_query is not None
+        if emit_events:
+            log.emit(
+                "FragmentStart",
+                query=self._events_query,
+                fragment=instance.node_id,
+                worker=current_worker_id(),
+                pid=os.getpid(),
+                wall_start=time.perf_counter(),
+            )
         fragment_span = get_tracer().span(
             f"fragment-instance-{instance.node_id}", category="fragment"
         )
@@ -403,6 +456,18 @@ class ImpalaBackend:
                 instance.charge_serial(Resource.SHUFFLE_BYTES, exchange)
         span.add_sim(instance.total_seconds - seconds_before)
         span.set_attr("row_batches", instance.row_batches)
+        if emit_events:
+            log.emit(
+                "FragmentEnd",
+                query=self._events_query,
+                fragment=instance.node_id,
+                worker=current_worker_id(),
+                pid=os.getpid(),
+                wall_end=time.perf_counter(),
+                sim_seconds=instance.total_seconds - seconds_before,
+                counters=dict(instance.metrics.counts),
+                row_batches=instance.row_batches,
+            )
         return payload
 
     def _run_fragments_pooled(

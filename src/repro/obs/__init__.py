@@ -15,7 +15,11 @@ reproduction's equivalent:
   (``EXPLAIN ANALYZE``-like text per exec node / RDD stage, with rows
   produced, bytes read, vertices refined and task-skew statistics);
 * :mod:`repro.obs.export` — JSON and Chrome ``trace_event`` exporters so
-  a capture opens in ``chrome://tracing`` / Perfetto.
+  a capture opens in ``chrome://tracing`` / Perfetto;
+* :mod:`repro.obs.events` — a Spark-style structured event log (JSONL,
+  versioned schema) that survives the process and replays later;
+* :mod:`repro.obs.monitor` — the replay-driven cluster monitor: per-worker
+  Gantt timelines, stage summary tables, straggler detection.
 
 Profiles are derived from the metrics the engines already accrue
 (:mod:`repro.cluster.metrics`), so they are exact: a profile's per-phase
@@ -24,14 +28,25 @@ Spans additionally capture real wall-clock nesting when a
 :class:`~repro.obs.tracer.Tracer` is enabled via :func:`tracing`.
 """
 
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    EventLog,
+    get_event_log,
+    install_event_log,
+    logging_events,
+    normalize_events,
+    read_events,
+    set_event_log,
+)
 from repro.obs.export import (
     profile_to_chrome_trace,
     spans_to_chrome_trace,
     spans_to_json,
     write_chrome_trace,
 )
+from repro.obs.monitor import monitor_report
 from repro.obs.profile import ProfileNode, QueryProfile
-from repro.obs.registry import REGISTRY, MetricsRegistry, collecting
+from repro.obs.registry import REGISTRY, Histogram, MetricsRegistry, collecting
 from repro.obs.tracer import NULL_SPAN, Span, Tracer, get_tracer, set_tracer, tracing
 
 __all__ = [
@@ -41,6 +56,7 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "tracing",
+    "Histogram",
     "MetricsRegistry",
     "REGISTRY",
     "collecting",
@@ -50,4 +66,13 @@ __all__ = [
     "spans_to_chrome_trace",
     "spans_to_json",
     "write_chrome_trace",
+    "SCHEMA_VERSION",
+    "EventLog",
+    "get_event_log",
+    "set_event_log",
+    "install_event_log",
+    "logging_events",
+    "read_events",
+    "normalize_events",
+    "monitor_report",
 ]

@@ -18,6 +18,7 @@ in microseconds), which loads directly in ``chrome://tracing`` and
 from __future__ import annotations
 
 import json
+import zlib
 from typing import Iterable
 
 from repro.obs.profile import ProfileNode, QueryProfile
@@ -58,7 +59,12 @@ def profile_to_chrome_trace(profile: QueryProfile | ProfileNode,
     """
     root = profile.root if isinstance(profile, QueryProfile) else profile
     events: list[dict] = []
-    next_tid = [0]
+    # Distinct engines land on distinct tid ranges, so traces from several
+    # engines merged into one file do not stack on the same rows.  The
+    # base is a stable hash of the root's engine tag (0 when untagged).
+    engine = root.info.get("engine") if root.info else None
+    base_tid = (zlib.crc32(str(engine).encode()) % 97) * 100 if engine else 0
+    next_tid = [base_tid]
 
     def walk(node: ProfileNode, start_s: float, tid: int) -> None:
         args: dict = {"sim_seconds": node.sim_seconds}
@@ -80,7 +86,7 @@ def profile_to_chrome_trace(profile: QueryProfile | ProfileNode,
                 walk(child, cursor, tid)
                 cursor += child.sim_seconds
 
-    walk(root, 0.0, 0)
+    walk(root, 0.0, base_tid)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -89,24 +95,34 @@ def profile_to_chrome_trace(profile: QueryProfile | ProfileNode,
 
 
 def spans_to_chrome_trace(spans: Iterable[Span], pid: int = 2) -> dict:
-    """Export tracer spans (real wall clock) as trace events."""
+    """Export tracer spans (real wall clock) as trace events.
+
+    Spans grafted back from pool workers carry ``worker``/``worker_pid``
+    attrs (stamped by the runtime's observability shipping); those spans
+    — and their children — are laid out on the worker's real ``pid`` with
+    the worker index as ``tid``, one Perfetto lane per worker.  Spans
+    without placement attrs keep the caller's ``pid`` (driver lane).
+    """
     roots = list(spans)
     events: list[dict] = []
     base = min((s.start_wall for s in roots), default=0.0)
 
-    def walk(span: Span, tid: int) -> None:
+    def walk(span: Span, span_pid: int, tid: int) -> None:
+        if span.attrs:
+            span_pid = span.attrs.get("worker_pid", span_pid)
+            tid = span.attrs.get("worker", tid)
         args: dict = {"sim_seconds": span.sim_seconds}
         if span.attrs:
             args["attrs"] = dict(span.attrs)
         events.append(
             _event(span.name, span.category, (span.start_wall - base) * _US,
-                   span.wall_seconds * _US, pid, tid, args)
+                   span.wall_seconds * _US, span_pid, tid, args)
         )
         for child in span.children:
-            walk(child, tid)
+            walk(child, span_pid, tid)
 
     for i, root in enumerate(roots):
-        walk(root, i)
+        walk(root, pid, i)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",

@@ -1,0 +1,345 @@
+"""Replay-driven cluster monitor: timelines, stage tables, stragglers.
+
+Everything here consumes a structured event stream
+(:mod:`repro.obs.events`) *after the fact* — the monitor never touches
+live engine state, so the same report can be rendered from the in-memory
+event list of a run that just finished or from a JSONL file written by a
+run last week (``python -m repro.bench monitor events.jsonl``).
+
+Four views, stacked by :func:`monitor_report`:
+
+* **per-worker Gantt timelines** — one ASCII lane per ``(pid, worker)``
+  pair on the real wall clock ('█' busy, '·' idle), which is where PR 4's
+  dynamic task placement becomes visible: a serial run is one solid
+  driver lane, a pooled run is N interleaved worker lanes;
+* **stage summary tables** — per-stage task counts and duration
+  histograms (p50/p95/max via :class:`~repro.obs.registry.Histogram`)
+  on the *simulated* clock, so the numbers are deterministic;
+* **straggler detection** — the paper's skew diagnostic: any task whose
+  simulated duration exceeds ``k×`` its stage's median is reported with
+  its partition/tile id, making hot tiles attributable (Section V's
+  static-vs-dynamic discussion, LocationSpark's sQSMonitor idea);
+* **utilization accounting** — per-lane busy fraction and largest idle
+  gap over the run's wall-clock span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.registry import Histogram
+
+__all__ = [
+    "TaskRecord",
+    "parse_tasks",
+    "stage_names",
+    "render_timelines",
+    "render_stage_summary",
+    "detect_stragglers",
+    "render_stragglers",
+    "render_utilization",
+    "monitor_report",
+]
+
+
+@dataclass
+class TaskRecord:
+    """One completed unit of work: a joined TaskStart/TaskEnd pair.
+
+    Impala fragment instances (FragmentStart/FragmentEnd) are folded into
+    the same shape — their stage is the synthetic ``"fragments"`` group —
+    so every monitor view works for both engines.
+    """
+
+    query: int
+    stage: object  # stage id (int) or "fragments"
+    task: object  # task index or fragment node id
+    partition: object
+    label: str
+    worker: object
+    pid: object
+    wall_start: float
+    wall_end: float
+    sim_seconds: float
+    counters: dict = field(default_factory=dict)
+    failures: int = 0
+
+    @property
+    def lane(self) -> str:
+        """The timeline row this task renders on."""
+        if self.worker is None:
+            return "driver"
+        return f"worker-{self.worker} (pid {self.pid})"
+
+
+def parse_tasks(events: list[dict]) -> list[TaskRecord]:
+    """Join start/end events into :class:`TaskRecord` rows.
+
+    Unpaired starts (a crashed query's tail) are dropped — the monitor
+    reports completed work.
+    """
+    starts: dict[tuple, dict] = {}
+    records: list[TaskRecord] = []
+    for record in events:
+        kind = record.get("event")
+        if kind == "TaskStart":
+            starts[("t", record.get("query"), record.get("stage"), record.get("task"))] = record
+        elif kind == "FragmentStart":
+            starts[("f", record.get("query"), record.get("fragment"))] = record
+        elif kind == "TaskEnd":
+            start = starts.pop(
+                ("t", record.get("query"), record.get("stage"), record.get("task")),
+                {},
+            )
+            records.append(
+                TaskRecord(
+                    query=record.get("query"),
+                    stage=record.get("stage"),
+                    task=record.get("task"),
+                    partition=record.get("partition"),
+                    label=record.get("label", f"task-{record.get('task')}"),
+                    worker=record.get("worker"),
+                    pid=record.get("pid"),
+                    wall_start=start.get("wall_start", record.get("wall_end", 0.0)),
+                    wall_end=record.get("wall_end", 0.0),
+                    sim_seconds=record.get("sim_seconds", 0.0),
+                    counters=record.get("counters", {}),
+                    failures=record.get("failures", 0),
+                )
+            )
+        elif kind == "FragmentEnd":
+            start = starts.pop(("f", record.get("query"), record.get("fragment")), {})
+            records.append(
+                TaskRecord(
+                    query=record.get("query"),
+                    stage="fragments",
+                    task=record.get("fragment"),
+                    partition=record.get("fragment"),
+                    label=f"fragment-{record.get('fragment')}",
+                    worker=record.get("worker"),
+                    pid=record.get("pid"),
+                    wall_start=start.get("wall_start", record.get("wall_end", 0.0)),
+                    wall_end=record.get("wall_end", 0.0),
+                    sim_seconds=record.get("sim_seconds", 0.0),
+                    counters=record.get("counters", {}),
+                )
+            )
+    return records
+
+
+def stage_names(events: list[dict]) -> dict[tuple, str]:
+    """(query, stage) -> submitted stage name (for table headers)."""
+    names: dict[tuple, str] = {}
+    for record in events:
+        if record.get("event") == "StageSubmitted":
+            names[(record.get("query"), record.get("stage"))] = record.get("name", "?")
+    return names
+
+
+def _query_headers(events: list[dict]) -> list[str]:
+    lines = []
+    for record in events:
+        if record.get("event") == "QueryStart":
+            lines.append(
+                f"query {record.get('query')}: {record.get('name', '?')} "
+                f"[{record.get('engine', '?')}]"
+            )
+        elif record.get("event") == "QueryEnd":
+            sim = record.get("sim_seconds")
+            rows = record.get("rows")
+            extra = f", {rows} row(s)" if rows is not None else ""
+            lines.append(
+                f"query {record.get('query')} done: "
+                f"{sim:.3f}s simulated{extra}"
+                if isinstance(sim, (int, float))
+                else f"query {record.get('query')} done"
+            )
+    return lines
+
+
+# -- timelines -------------------------------------------------------------------
+
+
+def render_timelines(tasks: list[TaskRecord], width: int = 64) -> str:
+    """ASCII Gantt: one lane per worker/driver on the real wall clock."""
+    timed = [t for t in tasks if t.wall_end > t.wall_start]
+    if not timed:
+        return "(no wall-clock task intervals recorded)"
+    t0 = min(t.wall_start for t in timed)
+    t1 = max(t.wall_end for t in timed)
+    span = max(t1 - t0, 1e-9)
+    lanes: dict[str, list[TaskRecord]] = {}
+    for t in timed:
+        lanes.setdefault(t.lane, []).append(t)
+    label_width = max(len(name) for name in lanes)
+    lines = [f"wall-clock timeline ({span * 1000:.1f} ms total, {width} cols)"]
+    for name in sorted(lanes):
+        cells = [False] * width
+        busy = 0.0
+        for t in lanes[name]:
+            busy += t.wall_end - t.wall_start
+            lo = int((t.wall_start - t0) / span * width)
+            hi = int((t.wall_end - t0) / span * width)
+            for i in range(max(0, lo), min(width, max(hi, lo + 1))):
+                cells[i] = True
+        bar = "".join("█" if cell else "·" for cell in cells)
+        pct = min(100.0, busy / span * 100.0)
+        lines.append(
+            f"  {name:<{label_width}} |{bar}| "
+            f"{len(lanes[name])} task(s), busy {pct:.0f}%"
+        )
+    return "\n".join(lines)
+
+
+# -- stage summaries -------------------------------------------------------------
+
+
+def render_stage_summary(
+    tasks: list[TaskRecord], names: dict[tuple, str] | None = None
+) -> str:
+    """Per-stage table of task-duration statistics on the simulated clock."""
+    if not tasks:
+        return "(no completed tasks in the log)"
+    names = names or {}
+    groups: dict[tuple, list[TaskRecord]] = {}
+    for t in tasks:
+        groups.setdefault((t.query, t.stage), []).append(t)
+    header = (
+        f"{'stage':<22} {'tasks':>5} {'sim total':>10} "
+        f"{'p50':>8} {'p95':>8} {'max':>8} {'skew':>6}"
+    )
+    lines = ["stage summary (simulated seconds)", header, "-" * len(header)]
+    for (query, stage), group in sorted(
+        groups.items(), key=lambda item: (item[0][0], str(item[0][1]))
+    ):
+        hist = Histogram([t.sim_seconds for t in group])
+        summary = hist.summary()
+        median = hist.percentile(50)
+        skew = summary["max"] / median if median > 0 else 0.0
+        name = names.get((query, stage), str(stage))
+        lines.append(
+            f"{f'q{query}/{name}':<22} {summary['count']:>5} "
+            f"{summary['sum']:>10.3f} {summary['p50']:>8.3f} "
+            f"{summary['p95']:>8.3f} {summary['max']:>8.3f} {skew:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+# -- stragglers ------------------------------------------------------------------
+
+
+def detect_stragglers(tasks: list[TaskRecord], k: float = 2.0) -> list[dict]:
+    """Tasks whose simulated duration exceeds ``k×`` their stage median.
+
+    Detection runs on the simulated clock so the verdict is a property of
+    the *workload* (hot tiles), not of scheduling luck — the same log
+    normalized across executor counts yields the same stragglers.
+    """
+    groups: dict[tuple, list[TaskRecord]] = {}
+    for t in tasks:
+        groups.setdefault((t.query, t.stage), []).append(t)
+    found: list[dict] = []
+    for (query, stage), group in sorted(
+        groups.items(), key=lambda item: (item[0][0], str(item[0][1]))
+    ):
+        if len(group) < 2:
+            continue
+        median = Histogram([t.sim_seconds for t in group]).percentile(50)
+        if median <= 0:
+            continue
+        for t in sorted(group, key=lambda t: (-t.sim_seconds, str(t.task))):
+            if t.sim_seconds > k * median:
+                found.append(
+                    {
+                        "query": query,
+                        "stage": stage,
+                        "task": t.task,
+                        "partition": t.partition,
+                        "label": t.label,
+                        "sim_seconds": t.sim_seconds,
+                        "median_seconds": median,
+                        "ratio": t.sim_seconds / median,
+                    }
+                )
+    return found
+
+
+def render_stragglers(
+    stragglers: list[dict], k: float, names: dict[tuple, str] | None = None
+) -> str:
+    names = names or {}
+    if not stragglers:
+        return f"stragglers (> {k:g}x stage median): none"
+    lines = [f"stragglers (> {k:g}x stage median):"]
+    for s in stragglers:
+        stage = names.get((s["query"], s["stage"]), str(s["stage"]))
+        lines.append(
+            f"  q{s['query']}/{stage} {s['label']} partition={s['partition']}: "
+            f"{s['sim_seconds']:.3f}s = {s['ratio']:.1f}x median "
+            f"({s['median_seconds']:.3f}s)"
+        )
+    return "\n".join(lines)
+
+
+# -- utilization -----------------------------------------------------------------
+
+
+def render_utilization(tasks: list[TaskRecord]) -> str:
+    """Per-lane busy fraction and largest idle gap on the wall clock."""
+    timed = [t for t in tasks if t.wall_end > t.wall_start]
+    if not timed:
+        return "(no wall-clock intervals for utilization)"
+    t0 = min(t.wall_start for t in timed)
+    t1 = max(t.wall_end for t in timed)
+    span = max(t1 - t0, 1e-9)
+    lanes: dict[str, list[TaskRecord]] = {}
+    for t in timed:
+        lanes.setdefault(t.lane, []).append(t)
+    lines = ["utilization (wall clock)"]
+    for name in sorted(lanes):
+        intervals = sorted(
+            (t.wall_start, t.wall_end) for t in lanes[name]
+        )
+        busy = 0.0
+        gap = intervals[0][0] - t0
+        cursor = t0
+        for lo, hi in intervals:
+            if lo > cursor:
+                gap = max(gap, lo - cursor)
+            busy += hi - max(lo, cursor)
+            cursor = max(cursor, hi)
+        gap = max(gap, t1 - cursor)
+        pct = min(100.0, busy / span * 100.0)
+        lines.append(
+            f"  {name}: busy {pct:.0f}% of {span * 1000:.1f} ms, "
+            f"largest idle gap {gap * 1000:.1f} ms"
+        )
+    return "\n".join(lines)
+
+
+# -- the full report -------------------------------------------------------------
+
+
+def monitor_report(events: list[dict], k: float = 2.0, width: int = 64) -> str:
+    """The complete monitor view of one event stream."""
+    tasks = parse_tasks(events)
+    names = stage_names(events)
+    sections = []
+    headers = _query_headers(events)
+    if headers:
+        sections.append("\n".join(headers))
+    sections.append(render_stage_summary(tasks, names))
+    sections.append(render_timelines(tasks, width=width))
+    sections.append(render_stragglers(detect_stragglers(tasks, k=k), k, names))
+    sections.append(render_utilization(tasks))
+    heartbeats = [e for e in events if e.get("event") == "WorkerHeartbeat"]
+    if heartbeats:
+        workers = sorted(
+            {(e.get("worker"), e.get("pid")) for e in heartbeats},
+            key=lambda pair: (str(pair[0]), str(pair[1])),
+        )
+        sections.append(
+            f"{len(heartbeats)} worker heartbeat(s) from "
+            + ", ".join(f"worker-{w} (pid {p})" for w, p in workers)
+        )
+    return "\n\n".join(sections)

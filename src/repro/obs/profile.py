@@ -82,6 +82,19 @@ class ProfileNode:
             "children": [child.to_dict() for child in self.children],
         }
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ProfileNode":
+        """Rebuild a node (and its subtree) from :meth:`to_dict` output."""
+        return cls(
+            name=doc["name"],
+            sim_seconds=doc.get("sim_seconds", 0.0),
+            wall_seconds=doc.get("wall_seconds", 0.0),
+            counters=dict(doc.get("counters", {})),
+            info=dict(doc.get("info", {})),
+            concurrent=doc.get("concurrent", False),
+            children=[cls.from_dict(child) for child in doc.get("children", [])],
+        )
+
 
 class QueryProfile:
     """A rendered-able profile tree, optionally carrying its QueryMetrics."""
@@ -169,6 +182,21 @@ class QueryProfile:
             "phases": self.phase_seconds(),
             "tree": self.root.to_dict(),
         }
+
+    def to_dict(self) -> dict:
+        """Alias of :meth:`to_json` — the archive form ``from_dict`` reads.
+
+        Profiles archived next to an event log (``--profile-out``)
+        round-trip exactly: ``QueryProfile.from_dict(p.to_dict())``
+        renders the same text as ``p`` (the derived ``QueryMetrics``
+        reference is not serialised).
+        """
+        return self.to_json()
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "QueryProfile":
+        """Rebuild a profile from :meth:`to_dict` / :meth:`to_json` output."""
+        return cls(ProfileNode.from_dict(doc["tree"]))
 
     def to_chrome_trace(self) -> dict:
         """Chrome ``trace_event`` form of the simulated timeline."""

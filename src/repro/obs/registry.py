@@ -16,16 +16,61 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator
 
-__all__ = ["MetricsRegistry", "REGISTRY", "collecting"]
+__all__ = ["Histogram", "MetricsRegistry", "REGISTRY", "collecting"]
+
+
+class Histogram:
+    """A distribution of observed values with nearest-rank percentiles.
+
+    Raw values are kept (these are telemetry-scale populations — tasks
+    per stage, not requests per second), so any percentile is exact and
+    two registries that observed the same values report the same
+    summary regardless of arrival order.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: list[float] | None = None):
+        self.values: list[float] = list(values) if values else []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the observed values, ``q`` in [0, 100]."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/min/max/p50/p95 — the stage-table columns."""
+        if not self.values:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0}
+        return {
+            "count": len(self.values),
+            "sum": sum(self.values),
+            "min": min(self.values),
+            "max": max(self.values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
 
 
 class MetricsRegistry:
-    """Named monotonically-increasing counters plus last-value gauges."""
+    """Named monotonically-increasing counters plus last-value gauges.
+
+    A third kind, histograms (:meth:`observe` / :meth:`histogram`),
+    records full value distributions — the monitor uses them for
+    per-stage task-duration p50/p95/max tables.
+    """
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     # -- write side (no-ops while disabled) ------------------------------------
 
@@ -41,6 +86,15 @@ class MetricsRegistry:
             return
         self._gauges[name] = value
 
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to histogram ``name`` (creating it empty)."""
+        if not self.enabled:
+            return
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.observe(value)
+
     # -- read side --------------------------------------------------------------
 
     def counter(self, name: str) -> float:
@@ -51,19 +105,34 @@ class MetricsRegistry:
         """Latest gauge value (None when never set)."""
         return self._gauges.get(name)
 
-    def snapshot(self) -> dict[str, dict[str, float]]:
-        """Copy of everything, for reports and JSON export."""
-        return {"counters": dict(self._counters), "gauges": dict(self._gauges)}
+    def histogram(self, name: str) -> Histogram:
+        """Histogram ``name`` (an empty one when never observed)."""
+        return self._histograms.get(name, Histogram())
+
+    def snapshot(self) -> dict[str, dict]:
+        """Copy of everything, for reports and JSON export.
+
+        Histograms appear as their :meth:`Histogram.summary` dicts so the
+        snapshot stays plain-JSON.
+        """
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {
+                name: hist.summary() for name, hist in self._histograms.items()
+            },
+        }
 
     def reset(self) -> None:
-        """Zero every counter and drop every gauge."""
+        """Zero every counter, drop every gauge and histogram."""
         self._counters.clear()
         self._gauges.clear()
+        self._histograms.clear()
 
     # -- pool-safe capture -------------------------------------------------------
 
-    def begin_capture(self) -> tuple[dict[str, float], dict[str, float]]:
-        """Swap in fresh counter/gauge dicts; returns the old pair as a token.
+    def begin_capture(self) -> tuple[dict, dict, dict]:
+        """Swap in fresh counter/gauge/histogram dicts; old triple is the token.
 
         Pool workers bracket task execution with ``begin_capture`` /
         ``end_capture`` so counter increments accumulate task-locally and
@@ -72,26 +141,39 @@ class MetricsRegistry:
         subtraction) keeps captured values exactly what ``inc`` wrote —
         no float arithmetic on the way in or out.
         """
-        token = (self._counters, self._gauges)
+        token = (self._counters, self._gauges, self._histograms)
         self._counters = {}
         self._gauges = {}
+        self._histograms = {}
         return token
 
-    def end_capture(
-        self, token: tuple[dict[str, float], dict[str, float]]
-    ) -> tuple[dict[str, float], dict[str, float]]:
+    def end_capture(self, token: tuple[dict, dict, dict]) -> tuple[dict, dict, dict]:
         """Finish a capture: restore the token's dicts, return the captured."""
-        captured = (self._counters, self._gauges)
-        self._counters, self._gauges = token
+        captured = (self._counters, self._gauges, self._histograms)
+        self._counters, self._gauges, self._histograms = token
         return captured
 
-    def merge(self, counters: dict[str, float], gauges: dict[str, float]) -> None:
-        """Fold a captured delta into this registry (driver-side merge)."""
+    def merge(
+        self,
+        counters: dict[str, float],
+        gauges: dict[str, float],
+        histograms: dict[str, list[float]] | None = None,
+    ) -> None:
+        """Fold a captured delta into this registry (driver-side merge).
+
+        ``histograms`` maps name → raw observed values (the wire form a
+        capture ships them in).
+        """
         if not self.enabled:
             return
         for name, amount in counters.items():
             self._counters[name] = self._counters.get(name, 0.0) + amount
         self._gauges.update(gauges)
+        for name, values in (histograms or {}).items():
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.values.extend(values)
 
 
 # The process-wide registry instrumented substrate code reports to.

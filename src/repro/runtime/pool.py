@@ -44,6 +44,7 @@ __all__ = [
     "validate_executors",
     "make_pool",
     "picklable_error",
+    "current_worker_id",
 ]
 
 
@@ -60,6 +61,16 @@ _PAYLOADS: dict[str, Any] = {}
 # fork time, so closures (and everything they capture) cross the process
 # boundary without ever touching pickle.
 _FORK_TASKS: Sequence[Callable[[], Any]] | None = None
+
+# This process's worker index within its pool (None on the driver).  Set
+# by the worker mains before the task loop; observability shipping reads
+# it to label captured spans and events with their physical executor.
+_WORKER_ID: int | None = None
+
+
+def current_worker_id() -> int | None:
+    """This process's pool worker index, or ``None`` on the driver."""
+    return _WORKER_ID
 
 
 def get_payload(key: str) -> Any:
@@ -215,7 +226,9 @@ def _worker_loop(tasks, task_queue, result_queue) -> None:
         result_queue.put(blob)
 
 
-def _fork_worker_main(task_queue, result_queue) -> None:
+def _fork_worker_main(worker_id, task_queue, result_queue) -> None:
+    global _WORKER_ID
+    _WORKER_ID = worker_id
     _worker_loop(_FORK_TASKS, task_queue, result_queue)
 
 
@@ -237,7 +250,9 @@ class _SpawnTask:
         return pickle.loads(self.blob)()
 
 
-def _spawn_worker_main(payload_blobs, task_queue, result_queue) -> None:
+def _spawn_worker_main(worker_id, payload_blobs, task_queue, result_queue) -> None:
+    global _WORKER_ID
+    _WORKER_ID = worker_id
     # Each value was pickled exactly once on the driver; the bytes cross
     # the process boundary verbatim and are unpickled here exactly once.
     for key, blob in payload_blobs.items():
@@ -316,10 +331,10 @@ class ProcessBackend(TaskPool):
         procs = [
             self._ctx.Process(
                 target=_fork_worker_main,
-                args=(task_queue, result_queue),
+                args=(worker_id, task_queue, result_queue),
                 daemon=True,
             )
-            for _ in range(workers)
+            for worker_id in range(workers)
         ]
         try:
             for proc in procs:
@@ -344,10 +359,10 @@ class ProcessBackend(TaskPool):
         procs = [
             self._ctx.Process(
                 target=_spawn_worker_main,
-                args=(dict(self._payload_blobs), task_queue, result_queue),
+                args=(worker_id, dict(self._payload_blobs), task_queue, result_queue),
                 daemon=True,
             )
-            for _ in range(workers)
+            for worker_id in range(workers)
         ]
         for proc in procs:
             proc.start()

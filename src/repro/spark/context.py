@@ -12,6 +12,7 @@ from typing import TypeVar
 from repro.cluster.metrics import QueryMetrics
 from repro.cluster.model import ClusterSpec, CostModel
 from repro.hdfs import SimulatedHDFS
+from repro.obs.events import EventLog
 from repro.obs.profile import ProfileNode, QueryProfile
 from repro.runtime.pool import make_pool
 from repro.spark.broadcast import Broadcast
@@ -41,8 +42,13 @@ class SparkContext:
         cost_model: CostModel | None = None,
         default_parallelism: int | None = None,
         executors: int | str | None = None,
+        events_out: str | None = None,
     ):
         self.cluster = cluster
+        # Structured event log: given a JSONL path, every job emits the
+        # QueryStart/StageSubmitted/TaskStart/... stream the monitor
+        # replays.  None keeps the disabled global sink — a strict no-op.
+        self._event_log = EventLog(path=events_out) if events_out else None
         # Real-parallelism knob: "serial"/None/1 runs tasks inline (the
         # default, and what tests use); an int > 1 dispatches each stage's
         # tasks to that many worker processes.  Results are byte-identical
@@ -207,3 +213,15 @@ class SparkContext:
         """Drop shuffle blocks and cached partitions (between benchmarks)."""
         self._shuffle_store.clear()
         self._cache.clear()
+
+    # -- event log ---------------------------------------------------------------
+
+    @property
+    def event_log(self) -> EventLog | None:
+        """The context-owned event log (None when ``events_out`` unset)."""
+        return self._event_log
+
+    def close_events(self) -> None:
+        """Flush and close the events file (the in-memory stream stays)."""
+        if self._event_log is not None:
+            self._event_log.close()

@@ -12,14 +12,17 @@ charged here per shuffle stage, which is what the partition-count ablation
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.cluster.metrics import QueryMetrics, StageMetrics, TaskMetrics
 from repro.cluster.model import Resource
 from repro.errors import SparkError
+from repro.obs.events import get_event_log, install_event_log
 from repro.obs.tracer import get_tracer
-from repro.runtime.pool import picklable_error
+from repro.runtime.pool import current_worker_id, picklable_error
 from repro.runtime.shipping import ObsCapture, apply_capture, capture_observability
 from repro.spark.rdd import RDD, NarrowDependency, ShuffleDependency
 from repro.spark.shuffle import ShuffleStore
@@ -66,16 +69,63 @@ class DAGScheduler:
         self.sc = sc
         self._job_counter = 0
         self.task_failures = 0
+        self._events_query: int | None = None  # current job's event-log query id
 
-    def _attempt_task(self, task: TaskMetrics, body, label: str = "task") -> float:
+    # -- event emission ---------------------------------------------------------
+    #
+    # Ids (query, stage, task index) are always allocated on the driver so
+    # they are identical whether tasks run serially or on a pool; pooled
+    # tasks receive them via closure and emit into the worker's buffering
+    # sink, which ships back and replays in task order.
+
+    def _emit_stage(self, name: str, num_tasks: int) -> int | None:
+        """Allocate a stage id and emit StageSubmitted (None while disabled)."""
+        log = get_event_log()
+        if not log.enabled or self._events_query is None:
+            return None
+        stage_id = log.next_id("stage")
+        log.emit(
+            "StageSubmitted",
+            query=self._events_query,
+            stage=stage_id,
+            name=name,
+            num_tasks=num_tasks,
+        )
+        return stage_id
+
+    def _attempt_task(
+        self,
+        task: TaskMetrics,
+        body,
+        label: str = "task",
+        events_ctx: tuple[int, int, int] | None = None,
+        partition: int | None = None,
+    ) -> float:
         """Run ``body`` with retries; returns the task's total seconds.
 
         Each attempt accrues into ``task`` (lineage recomputation repeats
         the work); the exception from the final failed attempt propagates
-        wrapped in :class:`SparkError`.
+        wrapped in :class:`SparkError`.  ``events_ctx`` is the
+        ``(query, stage, task)`` id triple for event emission (None while
+        the event sink is disabled).
         """
         model = self.sc.cost_model
+        log = get_event_log()
+        if events_ctx is not None and log.enabled:
+            query_id, stage_id, task_index = events_ctx
+            log.emit(
+                "TaskStart",
+                query=query_id,
+                stage=stage_id,
+                task=task_index,
+                partition=partition,
+                label=label,
+                worker=current_worker_id(),
+                pid=os.getpid(),
+                wall_start=time.perf_counter(),
+            )
         last_error: Exception | None = None
+        failures_before = self.task_failures
         with get_tracer().span(label, category="task") as span:
             for attempt in range(self.MAX_TASK_ATTEMPTS):
                 try:
@@ -86,6 +136,21 @@ class DAGScheduler:
                     span.add_counts(task.counts)
                     if attempt:
                         span.set_attr("attempts", attempt + 1)
+                    if events_ctx is not None and log.enabled:
+                        log.emit(
+                            "TaskEnd",
+                            query=query_id,
+                            stage=stage_id,
+                            task=task_index,
+                            partition=partition,
+                            label=label,
+                            worker=current_worker_id(),
+                            pid=os.getpid(),
+                            wall_end=time.perf_counter(),
+                            sim_seconds=seconds,
+                            counters=dict(task.counts),
+                            failures=self.task_failures - failures_before,
+                        )
                     return seconds
                 except SparkError:
                     raise
@@ -106,27 +171,44 @@ class DAGScheduler:
             return None
         return pool
 
-    def _pool_run_tasks(self, pool, specs) -> list[_TaskShipment]:
-        """Run ``(label, body)`` specs on the pool; shipments in task order.
+    def _pool_run_tasks(self, pool, specs, stage_id=None) -> list[_TaskShipment]:
+        """Run ``(label, body, partition)`` specs on the pool, in task order.
 
         Each worker wrapper mirrors :meth:`_attempt_task` exactly — same
-        retry loop, same span shape, same simulated-seconds arithmetic —
-        but accumulates every side effect into a :class:`_TaskShipment`
-        instead of touching (its forked copy of) driver state.  Failures
-        never raise in the worker; the driver re-raises at merge time so
-        error semantics match the serial path.
+        retry loop, same span shape, same simulated-seconds arithmetic,
+        same TaskStart/TaskEnd events — but accumulates every side effect
+        into a :class:`_TaskShipment` instead of touching (its forked copy
+        of) driver state.  Failures never raise in the worker; the driver
+        re-raises at merge time so error semantics match the serial path.
         """
         model = self.sc.cost_model
         max_attempts = self.MAX_TASK_ATTEMPTS
         cache = self.sc._cache
+        query_id = self._events_query if get_event_log().enabled else None
 
-        def make_task(label: str, body: Callable):
+        def make_task(index: int, label: str, body: Callable, partition):
             def run_one() -> _TaskShipment:
                 task = TaskMetrics()
                 capture = ObsCapture()
                 shipment = _TaskShipment(task=task, capture=capture)
                 cache_before = set(cache)
                 with capture_observability(capture):
+                    log = get_event_log()
+                    emit_events = (
+                        log.enabled and query_id is not None and stage_id is not None
+                    )
+                    if emit_events:
+                        log.emit(
+                            "TaskStart",
+                            query=query_id,
+                            stage=stage_id,
+                            task=index,
+                            partition=partition,
+                            label=label,
+                            worker=current_worker_id(),
+                            pid=os.getpid(),
+                            wall_start=time.perf_counter(),
+                        )
                     with get_tracer().span(label, category="task") as span:
                         last_error: Exception | None = None
                         for attempt in range(max_attempts):
@@ -159,6 +241,21 @@ class DAGScheduler:
                                     f"last error: {last_error!r}"
                                 )
                             )
+                    if emit_events and shipment.error is None:
+                        log.emit(
+                            "TaskEnd",
+                            query=query_id,
+                            stage=stage_id,
+                            task=index,
+                            partition=partition,
+                            label=label,
+                            worker=current_worker_id(),
+                            pid=os.getpid(),
+                            wall_end=time.perf_counter(),
+                            sim_seconds=shipment.seconds,
+                            counters=dict(task.counts),
+                            failures=shipment.failures,
+                        )
                 shipment.cache_entries = {
                     key: cache[key] for key in cache.keys() - cache_before
                 }
@@ -166,7 +263,12 @@ class DAGScheduler:
 
             return run_one
 
-        return pool.run([make_task(label, body) for label, body in specs])
+        return pool.run(
+            [
+                make_task(index, label, body, partition)
+                for index, (label, body, partition) in enumerate(specs)
+            ]
+        )
 
     def _absorb_shipment(self, shipment: _TaskShipment, stage: StageMetrics):
         """Replay one task's side effects on the driver (deterministic order)."""
@@ -197,14 +299,37 @@ class DAGScheduler:
             partitions = range(rdd.num_partitions)
         self._job_counter += 1
         metrics = QueryMetrics(name=f"job-{self._job_counter}")
-        with get_tracer().span(metrics.name, category="job") as span:
-            if self.sc._charge_jar_ship():
-                metrics.overhead_seconds += self.sc.cost_model.spark_jar_ship
-            for dep in self._unmaterialised_shuffles(rdd):
-                self._run_shuffle_stage(dep, metrics)
-            results = self._run_result_stage(rdd, func, partitions, metrics)
-            span.add_sim(metrics.simulated_seconds)
-            span.set_attr("stages", len(metrics.stages))
+        with install_event_log(self.sc._event_log):
+            log = get_event_log()
+            self._events_query = log.next_id("query") if log.enabled else None
+            if self._events_query is not None:
+                log.emit(
+                    "QueryStart",
+                    query=self._events_query,
+                    name=metrics.name,
+                    engine="spark",
+                    wall_start=time.perf_counter(),
+                )
+            try:
+                with get_tracer().span(metrics.name, category="job") as span:
+                    if self.sc._charge_jar_ship():
+                        metrics.overhead_seconds += self.sc.cost_model.spark_jar_ship
+                    for dep in self._unmaterialised_shuffles(rdd):
+                        self._run_shuffle_stage(dep, metrics)
+                    results = self._run_result_stage(rdd, func, partitions, metrics)
+                    span.add_sim(metrics.simulated_seconds)
+                    span.set_attr("stages", len(metrics.stages))
+                if self._events_query is not None:
+                    log.emit(
+                        "QueryEnd",
+                        query=self._events_query,
+                        name=metrics.name,
+                        sim_seconds=metrics.simulated_seconds,
+                        rows=len(results),
+                        wall_end=time.perf_counter(),
+                    )
+            finally:
+                self._events_query = None
         self.sc._record_job(metrics)
         return results
 
@@ -260,13 +385,30 @@ class DAGScheduler:
                 bucketed.setdefault(partitioner.partition(key), []).append(record)
         return bucketed
 
+    def _emit_shuffle_write(
+        self, stage_id, task_index: int, dep, task: TaskMetrics
+    ) -> None:
+        """ShuffleWrite is always driver-side so serial/pooled order matches."""
+        log = get_event_log()
+        if stage_id is None or not log.enabled:
+            return
+        log.emit(
+            "ShuffleWrite",
+            query=self._events_query,
+            stage=stage_id,
+            task=task_index,
+            shuffle_id=dep.shuffle_id,
+            bytes=task.get(Resource.SHUFFLE_BYTES),
+        )
+
     def _run_shuffle_tasks(
         self, dep, store, parent, partitioner, stage, metrics
     ) -> None:
+        stage_id = self._emit_stage(stage.name, parent.num_partitions)
         pool = self._pool()
         if pool is not None:
             self._run_shuffle_tasks_pooled(
-                pool, dep, store, parent, partitioner, stage, metrics
+                pool, dep, store, parent, partitioner, stage, metrics, stage_id
             )
             return
         task_seconds: list[float] = []
@@ -278,14 +420,24 @@ class DAGScheduler:
                 written = store.write(dep.shuffle_id, split, bucketed)
                 task.add(Resource.SHUFFLE_BYTES, written)
 
+            events_ctx = (
+                (self._events_query, stage_id, split) if stage_id is not None else None
+            )
             task_seconds.append(
-                self._attempt_task(task, map_task, label=f"map-{split}")
+                self._attempt_task(
+                    task,
+                    map_task,
+                    label=f"map-{split}",
+                    events_ctx=events_ctx,
+                    partition=split,
+                )
             )
             stage.tasks.append(task)
+            self._emit_shuffle_write(stage_id, split, dep, task)
         self._finish_stage(stage, task_seconds, shuffling=True, metrics=metrics)
 
     def _run_shuffle_tasks_pooled(
-        self, pool, dep, store, parent, partitioner, stage, metrics
+        self, pool, dep, store, parent, partitioner, stage, metrics, stage_id=None
     ) -> None:
         """Map tasks on the pool; the driver replays the store writes.
 
@@ -304,15 +456,16 @@ class DAGScheduler:
             return body
 
         specs = [
-            (f"map-{split}", make_body(split))
+            (f"map-{split}", make_body(split), split)
             for split in range(parent.num_partitions)
         ]
-        shipments = self._pool_run_tasks(pool, specs)
+        shipments = self._pool_run_tasks(pool, specs, stage_id=stage_id)
         task_seconds: list[float] = []
         for split, shipment in enumerate(shipments):
             self._absorb_shipment(shipment, stage)
             store.write(dep.shuffle_id, split, shipment.value)
             task_seconds.append(shipment.seconds)
+            self._emit_shuffle_write(stage_id, split, dep, shipment.task)
         self._finish_stage(stage, task_seconds, shuffling=True, metrics=metrics)
 
     def _run_result_stage(
@@ -327,28 +480,41 @@ class DAGScheduler:
         task_seconds: list[float] = []
         reads_shuffle = self._pipeline_reads_shuffle(rdd)
         pool = self._pool()
+        stage_id = self._emit_stage(stage.name, len(partitions))
         with get_tracer().span(stage.name, category="stage"):
             if pool is not None:
                 specs = [
                     (
                         f"task-{split}",
                         lambda task, split=split: func(rdd.iterator(split)),
+                        split,
                     )
                     for split in partitions
                 ]
-                for shipment in self._pool_run_tasks(pool, specs):
+                for shipment in self._pool_run_tasks(pool, specs, stage_id=stage_id):
                     self._absorb_shipment(shipment, stage)
                     results.append(shipment.value)
                     task_seconds.append(shipment.seconds)
             else:
-                for split in partitions:
+                for index, split in enumerate(partitions):
                     task = TaskMetrics()
 
                     def result_task(split=split):
                         results.append(func(rdd.iterator(split)))
 
+                    events_ctx = (
+                        (self._events_query, stage_id, index)
+                        if stage_id is not None
+                        else None
+                    )
                     task_seconds.append(
-                        self._attempt_task(task, result_task, label=f"task-{split}")
+                        self._attempt_task(
+                            task,
+                            result_task,
+                            label=f"task-{split}",
+                            events_ctx=events_ctx,
+                            partition=split,
+                        )
                     )
                     stage.tasks.append(task)
             self._finish_stage(

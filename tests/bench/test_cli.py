@@ -99,3 +99,48 @@ class TestJsonReport:
         assert set(doc) >= {"scale", "table1", "table2", "fig4", "fig5", "paper"}
         assert len(doc["table1"]) == 4
         assert all(len(series) == 4 for series in doc["fig4"].values())
+
+
+class TestEventsAndMonitorMode:
+    def test_profile_writes_events_and_profile_json(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        profile_path = tmp_path / "profile.json"
+        assert main([SCALE, "--profile", "--nodes", "2",
+                     "--events-out", str(events_path),
+                     "--profile-out", str(profile_path)]) == 0
+        from repro.obs.events import read_events
+        from repro.obs.profile import QueryProfile
+
+        events = read_events(str(events_path))
+        assert any(e["event"] == "QueryEnd" for e in events)
+        doc = json.loads(profile_path.read_text())
+        rebuilt = QueryProfile.from_dict(doc)
+        assert rebuilt.to_dict() == doc
+
+    def test_monitor_replays_written_log(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        assert main([SCALE, "--profile", "--nodes", "2",
+                     "--events-out", str(events_path)]) == 0
+        capsys.readouterr()
+        assert main(["monitor", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stage summary (simulated seconds)" in out
+        assert "wall-clock timeline" in out
+        assert "stragglers (>" in out
+
+    def test_monitor_straggler_k_knob(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        assert main([SCALE, "--profile", "--nodes", "2",
+                     "--events-out", str(events_path)]) == 0
+        capsys.readouterr()
+        assert main(["monitor", str(events_path),
+                     "--straggler-k", "50"]) == 0
+        assert "stragglers (> 50x stage median)" in capsys.readouterr().out
+
+    def test_monitor_without_target_errors(self, capsys):
+        assert main(["monitor"]) == 2
+        assert "events.jsonl" in capsys.readouterr().err
+
+    def test_monitor_missing_file_errors(self, tmp_path, capsys):
+        assert main(["monitor", str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot replay" in capsys.readouterr().err

@@ -117,3 +117,58 @@ class TestChromeTrace:
         assert "query" in names and "wall" in names
         # Distinct pids keep the two clocks on separate tracks.
         assert len({e["pid"] for e in merged["traceEvents"]}) == 2
+
+
+class TestProfileRoundTrip:
+    def test_to_dict_from_dict_preserves_tree(self):
+        profile = make_profile()
+        doc = profile.to_dict()
+        json.dumps(doc)  # archive form must be plain JSON
+        rebuilt = QueryProfile.from_dict(doc)
+        assert rebuilt.to_dict() == doc
+        assert rebuilt.render() == profile.render()
+
+    def test_from_dict_defaults_missing_fields(self):
+        node = ProfileNode.from_dict({"name": "bare"})
+        assert node.name == "bare"
+        assert node.sim_seconds == 0.0
+        assert node.children == []
+
+
+class TestWorkerLanes:
+    """Pooled spans carry their physical placement into the trace."""
+
+    def test_worker_attrs_pick_the_lane(self):
+        tracer = Tracer()
+        with tracer.span("task-a") as span:
+            span.set_attr("worker", 3)
+            span.set_attr("worker_pid", 4242)
+        with tracer.span("task-b"):
+            pass
+        events = spans_to_chrome_trace(tracer.roots)["traceEvents"]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["task-a"]["pid"] == 4242
+        assert by_name["task-a"]["tid"] == 3
+        # Untagged spans keep the legacy wall-clock lane.
+        assert by_name["task-b"]["pid"] == 2
+
+    def test_children_inherit_worker_lane(self):
+        tracer = Tracer()
+        with tracer.span("task") as span:
+            span.set_attr("worker", 1)
+            span.set_attr("worker_pid", 777)
+            with tracer.span("inner"):
+                pass
+        events = spans_to_chrome_trace(tracer.roots)["traceEvents"]
+        assert all(e["pid"] == 777 and e["tid"] == 1 for e in events)
+
+    def test_engines_get_distinct_tids(self):
+        spark = QueryProfile(
+            ProfileNode("q", sim_seconds=1.0, info={"engine": "SpatialSpark"})
+        )
+        impala = QueryProfile(
+            ProfileNode("q", sim_seconds=1.0, info={"engine": "ISP-MC"})
+        )
+        spark_tid = profile_to_chrome_trace(spark)["traceEvents"][0]["tid"]
+        impala_tid = profile_to_chrome_trace(impala)["traceEvents"][0]["tid"]
+        assert spark_tid != impala_tid

@@ -133,7 +133,7 @@ class TestMetricsRegistry:
         reg.inc("hdfs.reads")
         reg.set_gauge("depth", 3.0)
         assert reg.counter("hdfs.reads") == 0.0
-        assert reg.snapshot() == {"counters": {}, "gauges": {}}
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
 
     def test_enabled_counters_and_gauges(self):
         reg = MetricsRegistry(enabled=True)
