@@ -56,6 +56,7 @@ from repro.geometry import (
 )
 from repro.errors import ReproError
 from repro.obs import QueryProfile, tracing
+from repro.runtime import FaultPlan, RuntimeConfig
 
 __version__ = "1.0.0"
 
@@ -84,5 +85,7 @@ __all__ = [
     "ReproError",
     "QueryProfile",
     "tracing",
+    "RuntimeConfig",
+    "FaultPlan",
     "__version__",
 ]

@@ -37,14 +37,14 @@ ENGINES = ("spatialspark", "isp-mc", "isp-standalone")
 
 def _scale_or_mode(value: str):
     """Positional argument: a float scale factor, or a named bench mode."""
-    if value in ("kernels", "parallel", "monitor"):
+    if value in ("kernels", "parallel", "monitor", "chaos"):
         return value
     try:
         return float(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"expected a scale factor, 'kernels', 'parallel' or 'monitor', "
-            f"got {value!r}"
+            f"expected a scale factor, 'kernels', 'parallel', 'monitor' or "
+            f"'chaos', got {value!r}"
         ) from None
 
 
@@ -62,8 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_SCALE,
         help=f"dataset scale factor (default {DEFAULT_SCALE}), 'kernels' "
         "for the columnar-kernels microbenchmark, 'parallel' for the "
-        "process-pool runtime benchmark, or 'monitor' to replay an "
-        "events.jsonl file as per-worker timelines",
+        "process-pool runtime benchmark, 'monitor' to replay an "
+        "events.jsonl file as per-worker timelines, or 'chaos' for the "
+        "fault-injection equivalence sweep",
     )
     parser.add_argument(
         "target",
@@ -146,7 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="for --profile runs: write the structured JSONL event log "
-        "to PATH (replay it with 'python -m repro.bench monitor PATH')",
+        "to PATH (replay it with 'python -m repro.bench monitor PATH'); "
+        "in chaos mode PATH is a directory receiving one recovery-"
+        "annotated log per (case, fault-rate) cell",
     )
     parser.add_argument(
         "--profile-out",
@@ -170,6 +173,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="for parallel mode: exit nonzero if enabling the event log "
         "slows the engine run by more than RATIO (e.g. 0.10 for 10%%)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="for chaos mode: the fault plan's seed (default 7)",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        metavar="RATES",
+        default="0.1,0.3",
+        help="for chaos mode: comma-separated per-attempt injection "
+        "probabilities to sweep (default 0.1,0.3)",
+    )
+    parser.add_argument(
+        "--assert-identical",
+        action="store_true",
+        help="for chaos mode: exit nonzero unless every seeded-fault run "
+        "is byte-identical to its fault-free baseline",
     )
     parser.add_argument(
         "--method",
@@ -309,6 +331,40 @@ def _parallel_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_run(args: argparse.Namespace) -> int:
+    from repro.bench.chaos import render_chaos, run_chaos_benchmark, write_chaos_json
+
+    try:
+        rates = tuple(
+            float(part) for part in str(args.fault_rate).split(",") if part
+        )
+    except ValueError:
+        print(f"bad --fault-rate list {args.fault_rate!r}", file=sys.stderr)
+        return 2
+    doc = run_chaos_benchmark(
+        seed=args.seed, fault_rates=rates, events_dir=args.events_out
+    )
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True, default=str))
+    else:
+        print(render_chaos(doc))
+    if args.out:
+        write_chaos_json(doc, args.out)
+        print(f"wrote chaos benchmark to {args.out}", file=sys.stderr)
+    if args.events_out:
+        print(
+            f"wrote recovery-annotated event logs to {args.events_out}/",
+            file=sys.stderr,
+        )
+    if args.assert_identical and not doc["all_identical"]:
+        print(
+            "FAIL: seeded-fault runs diverged from the fault-free baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _monitor_run(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.obs.events import read_events
@@ -338,6 +394,8 @@ def main(argv: list[str] | None = None) -> int:
         return _parallel_run(args)
     if args.scale == "monitor":
         return _monitor_run(args)
+    if args.scale == "chaos":
+        return _chaos_run(args)
     if args.method == "auto":
         study = optimizer_study(scale=args.scale, nodes=args.nodes)
         if args.json:

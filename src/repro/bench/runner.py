@@ -19,6 +19,7 @@ from repro.bench.workloads import MaterializedWorkload, materialize
 from repro.impala.catalog import ColumnType
 from repro.impala.coordinator import ImpalaBackend
 from repro.obs.profile import QueryProfile
+from repro.runtime.config import RuntimeConfig
 from repro.spark.context import SparkContext
 
 __all__ = [
@@ -73,6 +74,7 @@ def run_spatialspark(
     batch_refine: bool = True,
     executors: int | str | None = None,
     events_out: str | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> RunResult:
     """SpatialSpark: broadcast join on the mini-Spark substrate."""
     sc = SparkContext(
@@ -81,6 +83,7 @@ def run_spatialspark(
         cost_model=cost_model,
         executors=executors,
         events_out=events_out,
+        runtime=runtime,
     )
     left = read_geometry_pairs(sc, mat.left_path, 1, num_partitions=num_partitions)
     right = read_geometry_pairs(
@@ -134,6 +137,7 @@ def run_ispmc(
     batch_size: int | None = None,
     executors: int | str | None = None,
     events_out: str | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> RunResult:
     """ISP-MC: SQL spatial join on the mini-Impala substrate."""
     backend = ImpalaBackend(
@@ -147,6 +151,7 @@ def run_ispmc(
         batch_size=batch_size,
         executors=executors,
         events_out=events_out,
+        runtime=runtime,
     )
     schema = [("id", ColumnType.BIGINT), ("geom", ColumnType.STRING)]
     left_name = f"left_{mat.left.name}"
@@ -214,6 +219,7 @@ def run_engine(
     batch_refine: bool = True,
     executors: int | str | None = None,
     events_out: str | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> RunResult:
     """Dispatch by engine label (the harness entry used by benches)."""
     mat = materialize(workload_name, scale=scale)
@@ -226,6 +232,7 @@ def run_engine(
             batch_refine=batch_refine,
             executors=executors,
             events_out=events_out,
+            runtime=runtime,
         )
     if engine == "isp-mc":
         return run_ispmc(
@@ -236,6 +243,7 @@ def run_engine(
             batch_refine=batch_refine,
             executors=executors,
             events_out=events_out,
+            runtime=runtime,
         )
     if engine == "isp-standalone":
         if num_nodes != 1:
@@ -243,6 +251,11 @@ def run_engine(
         if events_out is not None:
             raise BenchError(
                 "events_out is not supported by the standalone engine; "
+                "use spatialspark or isp-mc"
+            )
+        if runtime is not None and runtime.fault_plan is not None:
+            raise BenchError(
+                "fault injection is not supported by the standalone engine; "
                 "use spatialspark or isp-mc"
             )
         return run_isp_standalone(mat, cost_model, profile=profile)

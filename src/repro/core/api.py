@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import os
 import time
-import warnings
 from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
@@ -33,7 +32,14 @@ from repro.geometry.base import Geometry
 from repro.geometry.wkt import loads as wkt_loads
 from repro.obs.events import EventLog, get_event_log, install_event_log
 from repro.obs.tracer import get_tracer
-from repro.runtime.pool import current_worker_id, make_pool, validate_executors
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.pool import (
+    SerialBackend,
+    current_worker_id,
+    make_pool,
+    validate_executors,
+)
+from repro.runtime.recovery import RecoveryContext, run_recovered
 from repro.runtime.shipping import ObsCapture, apply_capture, capture_observability
 
 __all__ = ["spatial_join", "spatial_join_pairs", "JoinConfig", "JoinResult"]
@@ -47,8 +53,9 @@ class JoinConfig:
 
     Prefer ``spatial_join(left, right, config=JoinConfig(...))`` over the
     loose keyword arguments — the config form always returns a
-    :class:`JoinResult` (the legacy ``profile=True`` keyword returns a
-    ``(pairs, profile)`` tuple for backward compatibility).
+    :class:`JoinResult`.  (The legacy loose ``profile=True`` call shape,
+    which used to return a ``(pairs, profile)`` tuple, completed its
+    deprecation cycle and now raises.)
 
     ``workers`` is the parallelism the optimizer prices parallel plans
     against (and the partitioned method's simulated task slots);
@@ -72,6 +79,14 @@ class JoinConfig:
     (QueryStart / StageSubmitted / TaskStart / TaskEnd / QueryEnd — the
     stream ``python -m repro.bench monitor`` replays).  ``None`` (default)
     keeps the event sink a strict no-op.
+
+    ``runtime`` is the unified execution policy
+    (:class:`~repro.runtime.config.RuntimeConfig`: executors, retry /
+    backoff / timeout budgets, speculation knobs, an optional
+    :class:`~repro.runtime.faults.FaultPlan`, ``events_out``).  Precedence
+    rule: an explicit ``runtime`` wins over the loose ``executors`` /
+    ``events_out`` fields; when ``runtime`` is ``None`` those fields are
+    packed into an implicit one and behave exactly as before.
     """
 
     operator: SpatialOperator | str = SpatialOperator.WITHIN
@@ -88,6 +103,7 @@ class JoinConfig:
     batch_refine: bool = True
     executors: int | str = "serial"
     events_out: str | None = None
+    runtime: RuntimeConfig | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.batch_size, int) or self.batch_size < 1:
@@ -95,6 +111,16 @@ class JoinConfig:
                 f"batch_size must be a positive integer, got {self.batch_size!r}"
             )
         validate_executors(self.executors, what="executors")
+        if self.runtime is not None and not isinstance(self.runtime, RuntimeConfig):
+            raise ReproError(
+                f"runtime must be a RuntimeConfig, got {type(self.runtime).__name__}"
+            )
+
+    def resolved_runtime(self) -> RuntimeConfig:
+        """The effective runtime policy (explicit ``runtime`` wins)."""
+        if self.runtime is not None:
+            return self.runtime
+        return RuntimeConfig(executors=self.executors, events_out=self.events_out)
 
     def with_(self, **changes) -> "JoinConfig":
         """A copy with the given fields replaced."""
@@ -163,21 +189,6 @@ class JoinResult(_SequenceABC):
         return "\n".join(self.plan.explain())
 
 
-class _LegacyProfiledResult(tuple):
-    """``(pairs, profile)`` tuple with ``.pairs``/``.profile`` attributes,
-    returned by the deprecated loose ``profile=True`` call shape."""
-
-    __slots__ = ()
-
-    @property
-    def pairs(self):
-        return self[0]
-
-    @property
-    def profile(self):
-        return self[1]
-
-
 def _normalise(
     entries: Iterable[tuple[Any, Geometry | str]],
     metrics: TaskMetrics | None = None,
@@ -217,6 +228,7 @@ def spatial_join(
     workers: int = 1,
     executors: int | str = "serial",
     events_out: str | None = None,
+    runtime: RuntimeConfig | None = None,
     config: JoinConfig | None = None,
 ) -> JoinResult:
     """Join two (id, geometry) collections; returns matching id pairs.
@@ -235,12 +247,16 @@ def spatial_join(
     * ``"naive"`` — the O(n*m) nested loop, ground truth in tests.
 
     The returned :class:`JoinResult` compares equal to the plain list of
-    pairs older code expects.  With ``profile=True`` it carries a
-    :class:`~repro.obs.profile.QueryProfile` whose phases hold the run's
-    resource counters — but note the *loose-keyword* ``profile=True``
-    call returns the legacy ``(pairs, profile)`` tuple with a
-    ``DeprecationWarning``; pass ``config=JoinConfig(profile=True)`` to
-    get the uniform :class:`JoinResult` shape.
+    pairs older code expects.  With ``config=JoinConfig(profile=True)``
+    it carries a :class:`~repro.obs.profile.QueryProfile` whose phases
+    hold the run's resource counters.  The historical *loose-keyword*
+    ``profile=True`` call (which returned a ``(pairs, profile)`` tuple)
+    completed its deprecation cycle and now raises.
+
+    ``runtime`` installs a :class:`~repro.runtime.config.RuntimeConfig`
+    (retry / speculation policy, fault plan); it takes precedence over
+    the loose ``executors`` / ``events_out`` keywords, and over the same
+    fields of ``config`` when both are given.
 
     Example::
 
@@ -254,8 +270,15 @@ def spatial_join(
     """
     if config is not None:
         cfg = config
-        legacy_profile_shape = False
     else:
+        if profile:
+            raise ReproError(
+                "spatial_join(..., profile=True) as a loose keyword used to"
+                " return the legacy (pairs, profile) tuple; that shape"
+                " completed its deprecation cycle and was removed — pass"
+                " config=JoinConfig(profile=True) and read .pairs / .profile"
+                " off the returned JoinResult"
+            )
         cfg = JoinConfig(
             operator=operator,
             radius=radius,
@@ -267,18 +290,9 @@ def spatial_join(
             executors=executors,
             events_out=events_out,
         )
-        legacy_profile_shape = bool(profile)
-    result = _execute_join(left, right, cfg)
-    if legacy_profile_shape:
-        warnings.warn(
-            "spatial_join(..., profile=True) as a loose keyword returns the"
-            " legacy (pairs, profile) tuple; pass"
-            " config=JoinConfig(profile=True) to get a JoinResult",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return _LegacyProfiledResult((result, result.profile))
-    return result
+    if runtime is not None:
+        cfg = cfg.with_(runtime=runtime)
+    return _execute_join(left, right, cfg)
 
 
 def _execute_join(left, right, cfg: JoinConfig) -> JoinResult:
@@ -289,7 +303,8 @@ def _execute_join(left, right, cfg: JoinConfig) -> JoinResult:
     enclosing :func:`~repro.obs.events.logging_events` block, or the
     disabled no-op default) is left in place.
     """
-    owned = EventLog(path=cfg.events_out) if cfg.events_out else None
+    events_out = cfg.resolved_runtime().events_out
+    owned = EventLog(path=events_out) if events_out else None
     try:
         with install_event_log(owned):
             return _run_join(left, right, cfg)
@@ -306,6 +321,9 @@ def _run_join(left, right, cfg: JoinConfig) -> JoinResult:
             f" got {cfg.method!r}"
         )
     model = cfg.cost_model or CostModel()
+    # One recovery context per join call: blacklist state and fault
+    # consumption are scoped to the query, like the engines' drivers.
+    recovery = RecoveryContext(cfg.resolved_runtime())
     tracer = get_tracer()
     query = QueryMetrics(name="spatial-join") if cfg.profile else None
     log = get_event_log()
@@ -357,13 +375,15 @@ def _run_join(left, right, cfg: JoinConfig) -> JoinResult:
         pairs = _naive_join(left_entries, right_entries, op, cfg, model, query)
     elif method == "broadcast":
         pairs = _broadcast_join(
-            left_entries, right_entries, op, cfg, model, query, events_query
+            left_entries, right_entries, op, cfg, model, query, events_query,
+            recovery,
         )
     elif method == "dual-tree":
         pairs = _dual_tree_join(left_entries, right_entries, op, cfg, model, query)
     elif method == "partitioned":
         pairs = _partitioned_join_local(
-            left_entries, right_entries, op, cfg, model, query, plan, events_query
+            left_entries, right_entries, op, cfg, model, query, plan, events_query,
+            recovery,
         )
     else:  # pragma: no cover - guarded by the _METHODS check above
         raise ReproError(f"unhandled method {method!r}")
@@ -463,21 +483,31 @@ def _totals_seconds(totals, model) -> float:
     return task.seconds(model)
 
 
-def _probe_pool(cfg: JoinConfig):
+def _probe_pool(cfg: JoinConfig, recovery: RecoveryContext | None = None):
     """The probe-chunk pool, or None when the serial path should run.
 
     Pooled probing needs the batch path (chunks are the task granularity)
     and fork-style closure dispatch (the index rides into workers free).
+    With a fault plan active, chunked dispatch *always* runs — a
+    :class:`SerialBackend` stands in when no real pool is available — so
+    the injection/recovery logic exercises the same code path at every
+    executor count.  (Chaos only applies to the chunked paths; the
+    row-at-a-time ``batch_refine=False`` loop has no task granularity to
+    fault and runs normally.)
     """
     if not cfg.batch_refine:
         return None
-    pool = make_pool(cfg.executors)
+    pool = make_pool(cfg.resolved_runtime().executors)
     if pool.is_serial or not pool.supports_closures:
+        if recovery is not None and recovery.active:
+            return SerialBackend()
         return None
     return pool
 
 
-def _probe_chunks_pooled(pool, index, left_entries, cfg, model=None, events_ctx=None):
+def _probe_chunks_pooled(
+    pool, index, left_entries, cfg, model=None, events_ctx=None, recovery=None
+):
     """Probe ``batch_size`` chunks on the pool; (pairs, totals, capture)
     per chunk.
 
@@ -525,17 +555,29 @@ def _probe_chunks_pooled(pool, index, left_entries, cfg, model=None, events_ctx=
 
         return run_with_events
 
-    return pool.run(
-        [make_task(task_index, chunk) for task_index, chunk in enumerate(chunks)]
-    )
+    thunks = [make_task(task_index, chunk) for task_index, chunk in enumerate(chunks)]
+    if recovery is not None and recovery.active:
+        outcomes = run_recovered(
+            pool,
+            thunks,
+            recovery,
+            scope="spatial-join:probe",
+            events=events_ctx,
+            sim_seconds=lambda index_, value: _totals_seconds(value[1], model),
+        )
+        return [outcome.value for outcome in outcomes]
+    return pool.run(thunks)
 
 
-def _broadcast_join(left_entries, right_entries, op, cfg, model, query, events_query=None):
+def _broadcast_join(
+    left_entries, right_entries, op, cfg, model, query, events_query=None,
+    recovery=None,
+):
     """The paper's broadcast join: index the right side, probe with the
     left.  With profiling on, build/probe become exactly-billed stages."""
     tracer = get_tracer()
     pairs: list[tuple[Any, Any]] = []
-    pool = _probe_pool(cfg)
+    pool = _probe_pool(cfg, recovery)
     log = get_event_log()
     events_ctx = None
     if events_query is not None and log.enabled and cfg.batch_refine:
@@ -555,7 +597,7 @@ def _broadcast_join(left_entries, right_entries, op, cfg, model, query, events_q
         )
         if pool is not None:
             for chunk_pairs, _, capture in _probe_chunks_pooled(
-                pool, index, left_entries, cfg, model, events_ctx
+                pool, index, left_entries, cfg, model, events_ctx, recovery
             ):
                 if capture is not None:
                     apply_capture(capture)
@@ -599,7 +641,7 @@ def _broadcast_join(left_entries, right_entries, op, cfg, model, query, events_q
     with tracer.span("probe", category="phase") as span:
         if pool is not None:
             for chunk_pairs, totals, capture in _probe_chunks_pooled(
-                pool, index, left_entries, cfg, model, events_ctx
+                pool, index, left_entries, cfg, model, events_ctx, recovery
             ):
                 if capture is not None:
                     apply_capture(capture)
@@ -742,7 +784,8 @@ def _join_one_tile(tile_id, tile_left, tile_right, tiles, op, cfg, task, expand)
 
 
 def _partitioned_join_local(
-    left_entries, right_entries, op, cfg, model, query, plan, events_query=None
+    left_entries, right_entries, op, cfg, model, query, plan, events_query=None,
+    recovery=None,
 ):
     """Skew-aware tiled join over in-memory collections.
 
@@ -809,7 +852,7 @@ def _partitioned_join_local(
     joinable = [
         tile_id for tile_id in sorted(left_by_tile) if right_by_tile.get(tile_id)
     ]
-    pool = make_pool(cfg.executors)
+    pool = make_pool(cfg.resolved_runtime().executors)
     log = get_event_log()
     events_ctx = None
     if events_query is not None and log.enabled:
@@ -822,8 +865,15 @@ def _partitioned_join_local(
             num_tasks=len(joinable),
         )
         events_ctx = (events_query, events_stage)
+    chaos = recovery is not None and recovery.active
+    use_pool = not pool.is_serial and pool.supports_closures and len(joinable) > 1
+    if chaos and not use_pool:
+        # Chaos always routes tile joins through the task-dispatch path,
+        # with an inline SerialBackend standing in for a real pool.
+        pool = SerialBackend()
+        use_pool = True
     with tracer.span("join", category="phase") as span:
-        if not pool.is_serial and pool.supports_closures and len(joinable) > 1:
+        if use_pool:
 
             def make_tile_task(task_index, tile_id):
                 def join_tile():
@@ -857,12 +907,23 @@ def _partitioned_join_local(
 
                 return run_with_events
 
-            for tile_pairs, task, capture in pool.run(
-                [
-                    make_tile_task(task_index, tile_id)
-                    for task_index, tile_id in enumerate(joinable)
-                ]
-            ):
+            tile_thunks = [
+                make_tile_task(task_index, tile_id)
+                for task_index, tile_id in enumerate(joinable)
+            ]
+            if chaos:
+                outcomes = run_recovered(
+                    pool,
+                    tile_thunks,
+                    recovery,
+                    scope="spatial-join:join",
+                    events=events_ctx,
+                    sim_seconds=lambda index_, value: value[1].seconds(model),
+                )
+                shipments = [outcome.value for outcome in outcomes]
+            else:
+                shipments = pool.run(tile_thunks)
+            for tile_pairs, task, capture in shipments:
                 if capture is not None:
                     apply_capture(capture)
                 pairs.extend(tile_pairs)
@@ -907,13 +968,14 @@ def spatial_join_pairs(
     cost_model: CostModel | None = None,
     workers: int = 1,
     executors: int | str = "serial",
+    runtime: RuntimeConfig | None = None,
     config: JoinConfig | None = None,
 ) -> JoinResult:
     """Positional variant: ids are the sequences' indexes.
 
     Forwards every option (``method``, ``profile``, ``cost_model``,
-    ``config``...) to :func:`spatial_join` — historically it silently
-    dropped everything past ``engine``.
+    ``runtime``, ``config``...) to :func:`spatial_join` — historically it
+    silently dropped everything past ``engine``.
     """
     left = list(enumerate(left_geometries))
     right = list(enumerate(right_geometries))
@@ -928,5 +990,6 @@ def spatial_join_pairs(
         cost_model=cost_model,
         workers=workers,
         executors=executors,
+        runtime=runtime,
         config=config,
     )

@@ -40,8 +40,9 @@ class SpatialIndexError(ReproError):
     """Spatial index construction or query failure.
 
     Formerly exported as ``IndexError_`` (an underscore hack to avoid
-    shadowing the ``IndexError`` builtin); the old name remains importable
-    as a deprecated alias via module ``__getattr__``.
+    shadowing the ``IndexError`` builtin).  The alias went through a
+    deprecation cycle and has been removed; importing it now raises
+    with a pointer at this class.
     """
 
 
@@ -81,12 +82,8 @@ class BenchError(ReproError):
 
 def __getattr__(name: str):
     if name == "IndexError_":
-        import warnings
-
-        warnings.warn(
-            "repro.errors.IndexError_ is deprecated; use SpatialIndexError",
-            DeprecationWarning,
-            stacklevel=2,
+        raise AttributeError(
+            "repro.errors.IndexError_ was removed after its deprecation "
+            "cycle; catch repro.errors.SpatialIndexError instead"
         )
-        return SpatialIndexError
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

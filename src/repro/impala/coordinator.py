@@ -43,7 +43,10 @@ from repro.impala.planner import PhysicalPlan, Planner
 from repro.obs.events import EventLog, get_event_log, install_event_log
 from repro.obs.profile import ProfileNode, QueryProfile
 from repro.obs.tracer import get_tracer
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.faults import InjectedFaultError
 from repro.runtime.pool import current_worker_id, make_pool, picklable_error
+from repro.runtime.recovery import RecoveryContext, resolve_faults
 from repro.runtime.shipping import ObsCapture, apply_capture, capture_observability
 from repro.spark.shuffle import estimate_bytes
 from repro.spark.taskcontext import task_scope
@@ -143,6 +146,7 @@ class ImpalaBackend:
         batch_refine: bool = True,
         executors: int | str | None = None,
         events_out: str | None = None,
+        runtime: RuntimeConfig | None = None,
     ):
         if assignment not in ("contiguous", "round_robin"):
             raise ImpalaError(
@@ -168,17 +172,32 @@ class ImpalaBackend:
         self.build_cost_weight = build_cost_weight
         self.metastore = Metastore(self.hdfs)
         self._planner = Planner(self.metastore, num_nodes=self.cluster.num_nodes)
+        # Unified runtime policy.  Precedence rule: an explicit
+        # RuntimeConfig wins over the loose executors/events_out
+        # keywords; without one, the loose keywords are packed into an
+        # implicit RuntimeConfig and behave exactly as before.
+        if runtime is None:
+            runtime = RuntimeConfig(executors=executors, events_out=events_out)
+        self.runtime = runtime
+        # Coordinator-side recovery state.  Impala's scheduling is static
+        # (Section IV): there is no per-fragment retry or speculation —
+        # an injected fragment fault cancels the whole query, which the
+        # coordinator restarts from scratch within runtime.restart_budget.
+        self.recovery = RecoveryContext(runtime)
+        self._query_counter = 0
         # Real-parallelism knob: fragment instances for different workers
         # run concurrently on a process pool while keeping the *static*
         # fragment→worker binding (instance i still owns exactly the scan
         # ranges bound to it at plan time — the pool changes when a
         # fragment runs, never what it runs).  Results are byte-identical
         # with the pool on or off.
-        self.task_pool = make_pool(executors)
+        self.task_pool = make_pool(runtime.executors)
         # Structured event log: given a JSONL path, every executed query
         # emits QueryStart/FragmentStart/FragmentEnd/QueryEnd events the
         # monitor replays.  None keeps the disabled global sink (no-op).
-        self._event_log = EventLog(path=events_out) if events_out else None
+        self._event_log = (
+            EventLog(path=runtime.events_out) if runtime.events_out else None
+        )
         self._events_query: int | None = None
 
     # -- public API -----------------------------------------------------------
@@ -219,7 +238,7 @@ class ImpalaBackend:
                         wall_start=time.perf_counter(),
                     )
                 try:
-                    result = self._execute_plan(plan)
+                    result = self._execute_with_restarts(plan, log)
                     if self._events_query is not None:
                         log.emit(
                             "QueryEnd",
@@ -286,8 +305,57 @@ class ImpalaBackend:
 
     # -- execution ---------------------------------------------------------------
 
-    def _execute_plan(self, plan: PhysicalPlan) -> QueryResult:
+    def _execute_with_restarts(self, plan: PhysicalPlan, log) -> QueryResult:
+        """Run the plan; on an injected fault, restart the whole query.
+
+        This is the paper's static model made concrete: Impala has no
+        lineage, so a lost fragment cannot be recomputed in isolation —
+        the coordinator cancels the query and resubmits it from scratch,
+        up to ``runtime.restart_budget`` times.  Faults are resolved
+        before any fragment work starts (see :meth:`_execute_plan`), so a
+        cancelled attempt charges nothing and the successful attempt is
+        byte-identical to a fault-free run.
+        """
+        self._query_counter += 1
+        restarts = 0
+        while True:
+            try:
+                return self._execute_plan(plan, restart=restarts)
+            except InjectedFaultError as error:
+                budget = self.runtime.restart_budget
+                if restarts >= budget:
+                    raise ImpalaError(
+                        f"query failed after {restarts} restart(s) "
+                        f"(restart budget {budget}): {error}"
+                    ) from error
+                restarts += 1
+                if self._events_query is not None and log.enabled:
+                    log.emit(
+                        "QueryRestarted",
+                        query=self._events_query,
+                        restart=restarts,
+                        reason=error.fault.kind,
+                        fragment=error.task,
+                    )
+
+    def _execute_plan(self, plan: PhysicalPlan, restart: int = 0) -> QueryResult:
         model = self.cost_model
+        if self.recovery.active:
+            # Resolve injected fragment faults up front — before the
+            # build side scans anything.  Impala binds fragments
+            # statically and retries nothing, so every fragment gets
+            # exactly one attempt (limit=1) and any non-slow fault
+            # surfaces as its own error class for the restart loop.
+            # ``slow`` faults are deliberately ignored: a static engine
+            # has no speculation, the straggler just finishes.
+            resolve_faults(
+                self.recovery,
+                self.cluster.num_nodes,
+                scope=f"query-{self._query_counter}",
+                events=(self._events_query, None),
+                limit=1,
+                base_round=restart,
+            )
         instances = [
             InstanceContext(node_id=i, cores=self.cluster.cores_per_node, cost_model=model)
             for i in range(self.cluster.num_nodes)

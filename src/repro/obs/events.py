@@ -35,7 +35,8 @@ fields (:data:`VOLATILE_FIELDS`) and ``WorkerHeartbeat`` events, which is
 exactly what :func:`normalize_events` strips.
 
 The schema (``schema_version`` in the ``LogStart`` header; bump on any
-incompatible field change):
+incompatible field change — readers accept every version back to
+:data:`MIN_SCHEMA_VERSION`):
 
 =================  ========================================================
 event              fields beyond ``event``
@@ -53,6 +54,14 @@ FragmentEnd        FragmentStart's fields + wall_end, sim_seconds,
                    counters, row_batches
 WorkerHeartbeat    worker, pid, wall_time, tasks_done
 QueryEnd           query, name, sim_seconds, rows, wall_end
+TaskRetried        query, stage, task, attempt, reason, backoff_seconds,
+                   vworker                                  *(since v2)*
+TaskSpeculated     query, stage, task, factor, sim_seconds,
+                   effective_seconds, median_seconds, winner *(since v2)*
+WorkerBlacklisted  query, vworker, failures, reason          *(since v2)*
+StageRecomputed    query, stage, shuffle_id, map_partition, reason
+                                                             *(since v2)*
+QueryRestarted     query, restart, reason, fragment          *(since v2)*
 =================  ========================================================
 
 ``query``/``stage`` ids are small integers allocated driver-side
@@ -60,6 +69,13 @@ QueryEnd           query, name, sim_seconds, rows, wall_end
 stage; ``partition`` is the split / tile id the task processed (the field
 that makes stragglers attributable to hot tiles); ``wall_*`` values are
 ``perf_counter`` readings (CLOCK_MONOTONIC, shared with forked workers).
+
+The ``since v2`` recovery events (emitted by
+:mod:`repro.runtime.recovery`, the Spark scheduler's lineage recompute
+and the Impala coordinator's restart loop) carry ``vworker`` — the fault
+plan's deterministic *virtual* worker id — rather than the volatile
+physical ``worker`` field, so they survive :func:`normalize_events`
+intact and pin byte-identically across executor counts.
 """
 
 from __future__ import annotations
@@ -73,7 +89,9 @@ from repro.errors import ReproError
 
 __all__ = [
     "SCHEMA_VERSION",
+    "MIN_SCHEMA_VERSION",
     "EVENT_TYPES",
+    "RECOVERY_EVENT_TYPES",
     "VOLATILE_FIELDS",
     "EventLog",
     "get_event_log",
@@ -85,24 +103,43 @@ __all__ = [
     "check_task_pairing",
 ]
 
-SCHEMA_VERSION = 1
+# v2 added the recovery events (TaskRetried, TaskSpeculated,
+# WorkerBlacklisted, StageRecomputed, QueryRestarted); v1 logs are a
+# strict subset and remain readable.
+SCHEMA_VERSION = 2
+MIN_SCHEMA_VERSION = 1
 
 # How many events may ride in the userspace file buffer before a flush.
 FLUSH_EVERY = 32
 
-EVENT_TYPES = frozenset(
+# The recovery decisions of repro.runtime.recovery, the Spark lineage
+# recompute, and the Impala restart loop (schema v2).
+RECOVERY_EVENT_TYPES = frozenset(
     {
-        "LogStart",
-        "QueryStart",
-        "StageSubmitted",
-        "TaskStart",
-        "TaskEnd",
-        "ShuffleWrite",
-        "FragmentStart",
-        "FragmentEnd",
-        "WorkerHeartbeat",
-        "QueryEnd",
+        "TaskRetried",
+        "TaskSpeculated",
+        "WorkerBlacklisted",
+        "StageRecomputed",
+        "QueryRestarted",
     }
+)
+
+EVENT_TYPES = (
+    frozenset(
+        {
+            "LogStart",
+            "QueryStart",
+            "StageSubmitted",
+            "TaskStart",
+            "TaskEnd",
+            "ShuffleWrite",
+            "FragmentStart",
+            "FragmentEnd",
+            "WorkerHeartbeat",
+            "QueryEnd",
+        }
+    )
+    | RECOVERY_EVENT_TYPES
 )
 
 # Fields whose values legitimately differ between a serial run and a
@@ -247,8 +284,12 @@ def install_event_log(log: EventLog | None) -> Iterator[EventLog]:
 def read_events(path: str) -> list[dict]:
     """Load a JSONL event log, validating the ``LogStart`` header.
 
-    Raises :class:`ReproError` on a missing/foreign header or a schema
-    version this build does not understand.
+    Accepts every schema version from :data:`MIN_SCHEMA_VERSION` up to
+    :data:`SCHEMA_VERSION` (older logs carry a subset of today's event
+    types, so the read path is forward-compatible by construction) and
+    rejects both out-of-range versions and records whose event type this
+    build does not know, with messages naming the offending line.
+    Raises :class:`ReproError` on a missing/foreign header too.
     """
     events: list[dict] = []
     with open(path, "r", encoding="utf-8") as handle:
@@ -262,14 +303,26 @@ def read_events(path: str) -> list[dict]:
                 raise ReproError(f"{path}:{line_no}: not JSON: {exc}") from exc
             if not isinstance(record, dict) or "event" not in record:
                 raise ReproError(f"{path}:{line_no}: not an event record")
+            kind = record["event"]
+            if kind not in EVENT_TYPES:
+                known = ", ".join(sorted(EVENT_TYPES))
+                raise ReproError(
+                    f"{path}:{line_no}: unknown event type {kind!r} "
+                    f"(this build understands: {known}); was the log "
+                    "written by a newer schema version?"
+                )
             events.append(record)
     if not events or events[0].get("event") != "LogStart":
         raise ReproError(f"{path}: missing LogStart header line")
     version = events[0].get("schema_version")
-    if version != SCHEMA_VERSION:
+    if (
+        not isinstance(version, int)
+        or not MIN_SCHEMA_VERSION <= version <= SCHEMA_VERSION
+    ):
         raise ReproError(
             f"{path}: event schema version {version!r} unsupported "
-            f"(this build reads version {SCHEMA_VERSION})"
+            f"(this build reads versions {MIN_SCHEMA_VERSION}"
+            f"..{SCHEMA_VERSION})"
         )
     return events
 

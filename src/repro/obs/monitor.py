@@ -20,26 +20,44 @@ Four views, stacked by :func:`monitor_report`:
   its partition/tile id, making hot tiles attributable (Section V's
   static-vs-dynamic discussion, LocationSpark's sQSMonitor idea);
 * **utilization accounting** — per-lane busy fraction and largest idle
-  gap over the run's wall-clock span.
+  gap over the run's wall-clock span;
+* **recovery timelines** — the schema-v2 recovery events (retries with
+  backoff, speculative duplicates, blacklisted virtual workers, lineage
+  recomputes, whole-query restarts) rendered chronologically, so a chaos
+  run's healing is as inspectable as its stragglers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.events import RECOVERY_EVENT_TYPES
 from repro.obs.registry import Histogram
 
 __all__ = [
     "TaskRecord",
     "parse_tasks",
     "stage_names",
+    "median_sim_seconds",
     "render_timelines",
     "render_stage_summary",
     "detect_stragglers",
     "render_stragglers",
     "render_utilization",
+    "render_recovery",
     "monitor_report",
 ]
+
+
+def median_sim_seconds(durations: list[float]) -> float:
+    """Median of simulated durations, via the stage-table histogram.
+
+    This is the statistic both :func:`detect_stragglers` (after the
+    fact) and the speculation logic in :mod:`repro.runtime.recovery`
+    (at run time) measure against — one definition, nearest-rank exact,
+    order-independent.
+    """
+    return Histogram(list(durations)).percentile(50)
 
 
 @dataclass
@@ -244,7 +262,7 @@ def detect_stragglers(tasks: list[TaskRecord], k: float = 2.0) -> list[dict]:
     ):
         if len(group) < 2:
             continue
-        median = Histogram([t.sim_seconds for t in group]).percentile(50)
+        median = median_sim_seconds([t.sim_seconds for t in group])
         if median <= 0:
             continue
         for t in sorted(group, key=lambda t: (-t.sim_seconds, str(t.task))):
@@ -317,6 +335,60 @@ def render_utilization(tasks: list[TaskRecord]) -> str:
     return "\n".join(lines)
 
 
+# -- recovery timelines ----------------------------------------------------------
+
+
+def render_recovery(
+    events: list[dict], names: dict[tuple, str] | None = None
+) -> str | None:
+    """Chronological view of recovery decisions, or ``None`` if there were none.
+
+    Events are rendered in emission order — which is deterministic task
+    order, not wall-clock order, so the same chaos run reads identically
+    at every executor count.
+    """
+    names = names or {}
+    recs = [e for e in events if e.get("event") in RECOVERY_EVENT_TYPES]
+    if not recs:
+        return None
+    lines = [f"recovery timeline ({len(recs)} event(s))"]
+    for e in recs:
+        kind = e.get("event")
+        query = e.get("query")
+        stage = names.get((query, e.get("stage")), e.get("stage"))
+        where = f"q{query}" + (f"/{stage}" if stage is not None else "")
+        if kind == "TaskRetried":
+            lines.append(
+                f"  {where} task {e.get('task')}: retry #{e.get('attempt')} "
+                f"after {e.get('reason')} on vworker {e.get('vworker')} "
+                f"(backoff {e.get('backoff_seconds', 0.0):.3f}s)"
+            )
+        elif kind == "TaskSpeculated":
+            lines.append(
+                f"  {where} task {e.get('task')}: speculative duplicate "
+                f"launched at {e.get('effective_seconds', 0.0):.3f}s effective "
+                f"vs median {e.get('median_seconds', 0.0):.3f}s "
+                f"(x{e.get('factor', 1.0):g} slowdown) — {e.get('winner')} won"
+            )
+        elif kind == "WorkerBlacklisted":
+            lines.append(
+                f"  {where}: vworker {e.get('vworker')} blacklisted after "
+                f"{e.get('failures')} failure(s) (last: {e.get('reason')})"
+            )
+        elif kind == "StageRecomputed":
+            lines.append(
+                f"  {where}: shuffle {e.get('shuffle_id')} map partition "
+                f"{e.get('map_partition')} recomputed from lineage "
+                f"({e.get('reason')})"
+            )
+        elif kind == "QueryRestarted":
+            lines.append(
+                f"  {where}: restart #{e.get('restart')} after {e.get('reason')} "
+                f"in fragment {e.get('fragment')}"
+            )
+    return "\n".join(lines)
+
+
 # -- the full report -------------------------------------------------------------
 
 
@@ -332,6 +404,9 @@ def monitor_report(events: list[dict], k: float = 2.0, width: int = 64) -> str:
     sections.append(render_timelines(tasks, width=width))
     sections.append(render_stragglers(detect_stragglers(tasks, k=k), k, names))
     sections.append(render_utilization(tasks))
+    recovery = render_recovery(events, names)
+    if recovery:
+        sections.append(recovery)
     heartbeats = [e for e in events if e.get("event") == "WorkerHeartbeat"]
     if heartbeats:
         workers = sorted(

@@ -337,11 +337,10 @@ class ProcessBackend(TaskPool):
             for worker_id in range(workers)
         ]
         try:
-            for proc in procs:
-                proc.start()
+            self._start_all(procs)
         finally:
             _FORK_TASKS = None
-        return self._collect(n, result_queue, procs, on_result)
+        return self._collect(n, task_queue, result_queue, procs, on_result)
 
     # -- spawn dispatch --------------------------------------------------------
 
@@ -364,13 +363,63 @@ class ProcessBackend(TaskPool):
             )
             for worker_id in range(workers)
         ]
+        self._start_all(procs)
+        return self._collect(n, task_queue, result_queue, procs, on_result)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @staticmethod
+    def _start_all(procs) -> None:
+        """Start every worker; on a mid-startup failure, reap the started ones."""
+        started = []
+        try:
+            for proc in procs:
+                proc.start()
+                started.append(proc)
+        except BaseException:
+            for proc in started:
+                proc.terminate()
+            for proc in started:
+                proc.join(timeout=5.0)
+            raise
+
+    @staticmethod
+    def _shutdown(procs, task_queue, result_queue, graceful: bool) -> None:
+        """Reap every worker, leaving no zombie behind.
+
+        ``graceful`` (the batch drained) waits briefly for workers to see
+        their poison pills; the error path (a driver-side ``on_result``
+        callback raised mid-dispatch, an unpicklable result, a lost
+        worker) terminates immediately — the remaining queued tasks are
+        abandoned, not worth up to 5 s of join timeout per worker.
+        Either way stragglers are terminated *and then joined*, which is
+        the fix for the old leak: ``terminate()`` without a follow-up
+        ``join()`` left zombies (and, with queued work still pending,
+        live workers) behind a raising callback.
+        """
+        if graceful:
+            for proc in procs:
+                proc.join(timeout=5.0)
         for proc in procs:
-            proc.start()
-        return self._collect(n, result_queue, procs, on_result)
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            if proc.is_alive():
+                proc.join(timeout=5.0)
+        # Abandoned queues must not block interpreter exit on their
+        # feeder threads (the driver wrote task indices it may never
+        # consume back); dropping the unsent tail is fine — the batch is
+        # over either way.
+        for q in (task_queue, result_queue):
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
 
     # -- completion consumption ------------------------------------------------
 
-    def _collect(self, n, result_queue, procs, on_result) -> list:
+    def _collect(self, n, task_queue, result_queue, procs, on_result) -> list:
         """Consume completions as they land; return results in task order."""
         results: list = [None] * n
         errors: list[tuple[int, BaseException, str]] = []
@@ -394,11 +443,10 @@ class ProcessBackend(TaskPool):
                 else:
                     errors.append((index, *value))
                 remaining -= 1
-        finally:
-            for proc in procs:
-                proc.join(timeout=5.0)
-                if proc.is_alive():  # pragma: no cover - defensive
-                    proc.terminate()
+        except BaseException:
+            self._shutdown(procs, task_queue, result_queue, graceful=False)
+            raise
+        self._shutdown(procs, task_queue, result_queue, graceful=True)
         if errors:
             errors.sort(key=lambda e: e[0])
             _, exc, tb = errors[0]

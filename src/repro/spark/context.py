@@ -14,7 +14,9 @@ from repro.cluster.model import ClusterSpec, CostModel
 from repro.hdfs import SimulatedHDFS
 from repro.obs.events import EventLog
 from repro.obs.profile import ProfileNode, QueryProfile
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.pool import make_pool
+from repro.runtime.recovery import RecoveryContext
 from repro.spark.broadcast import Broadcast
 from repro.spark.rdd import BinaryRecordsRDD, ParallelCollectionRDD, RDD, TextFileRDD
 from repro.spark.scheduler import DAGScheduler
@@ -43,17 +45,30 @@ class SparkContext:
         default_parallelism: int | None = None,
         executors: int | str | None = None,
         events_out: str | None = None,
+        runtime: RuntimeConfig | None = None,
     ):
         self.cluster = cluster
+        # Unified runtime policy.  Precedence rule: an explicit
+        # RuntimeConfig wins over the loose executors/events_out
+        # keywords; without one, the loose keywords are packed into an
+        # implicit RuntimeConfig and behave exactly as before.
+        if runtime is None:
+            runtime = RuntimeConfig(executors=executors, events_out=events_out)
+        self.runtime = runtime
+        # Driver-side recovery state (fault plan, virtual-worker
+        # blacklist); inert unless the runtime carries a FaultPlan.
+        self.recovery = RecoveryContext(runtime)
         # Structured event log: given a JSONL path, every job emits the
         # QueryStart/StageSubmitted/TaskStart/... stream the monitor
         # replays.  None keeps the disabled global sink — a strict no-op.
-        self._event_log = EventLog(path=events_out) if events_out else None
+        self._event_log = (
+            EventLog(path=runtime.events_out) if runtime.events_out else None
+        )
         # Real-parallelism knob: "serial"/None/1 runs tasks inline (the
         # default, and what tests use); an int > 1 dispatches each stage's
         # tasks to that many worker processes.  Results are byte-identical
         # either way; a TaskPool instance passes through for tests.
-        self.task_pool = make_pool(executors)
+        self.task_pool = make_pool(runtime.executors)
         self.hdfs = hdfs or SimulatedHDFS(
             datanodes=tuple(f"node{i}" for i in range(cluster.num_nodes))
         )

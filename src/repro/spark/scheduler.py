@@ -22,7 +22,9 @@ from repro.cluster.model import Resource
 from repro.errors import SparkError
 from repro.obs.events import get_event_log, install_event_log
 from repro.obs.tracer import get_tracer
-from repro.runtime.pool import current_worker_id, picklable_error
+from repro.runtime.faults import InjectedFaultError
+from repro.runtime.pool import SerialBackend, current_worker_id, picklable_error
+from repro.runtime.recovery import run_recovered
 from repro.runtime.shipping import ObsCapture, apply_capture, capture_observability
 from repro.spark.rdd import RDD, NarrowDependency, ShuffleDependency
 from repro.spark.shuffle import ShuffleStore
@@ -70,6 +72,11 @@ class DAGScheduler:
         self._job_counter = 0
         self.task_failures = 0
         self._events_query: int | None = None  # current job's event-log query id
+        # The attempt budget is a RuntimeConfig knob now; the class
+        # attribute stays as the documented Spark default.
+        self.max_task_attempts = getattr(
+            sc.runtime, "max_task_attempts", self.MAX_TASK_ATTEMPTS
+        )
 
     # -- event emission ---------------------------------------------------------
     #
@@ -127,7 +134,7 @@ class DAGScheduler:
         last_error: Exception | None = None
         failures_before = self.task_failures
         with get_tracer().span(label, category="task") as span:
-            for attempt in range(self.MAX_TASK_ATTEMPTS):
+            for attempt in range(self.max_task_attempts):
                 try:
                     with task_scope(task):
                         body()
@@ -158,7 +165,7 @@ class DAGScheduler:
                     self.task_failures += 1
                     last_error = error
         raise SparkError(
-            f"task failed {self.MAX_TASK_ATTEMPTS} times; last error: "
+            f"task failed {self.max_task_attempts} times; last error: "
             f"{last_error!r}"
         ) from last_error
 
@@ -171,7 +178,24 @@ class DAGScheduler:
             return None
         return pool
 
-    def _pool_run_tasks(self, pool, specs, stage_id=None) -> list[_TaskShipment]:
+    def _dispatch_pool(self):
+        """The pool the shipment path should use, or None for inline serial.
+
+        With a fault plan active every stage routes through the shipment
+        path — even serially, on a :class:`SerialBackend` — because the
+        recovery loop needs capture-based tasks it can re-run (and whose
+        losing duplicates it can discard).  Without a plan this returns
+        exactly what :meth:`_pool` does, leaving the fault-free paths
+        untouched.
+        """
+        pool = self._pool()
+        if pool is None and self.sc.recovery.active:
+            return SerialBackend()
+        return pool
+
+    def _pool_run_tasks(
+        self, pool, specs, stage_id=None, scope="stage", repair=None
+    ) -> list[_TaskShipment]:
         """Run ``(label, body, partition)`` specs on the pool, in task order.
 
         Each worker wrapper mirrors :meth:`_attempt_task` exactly — same
@@ -180,9 +204,16 @@ class DAGScheduler:
         into a :class:`_TaskShipment` instead of touching (its forked copy
         of) driver state.  Failures never raise in the worker; the driver
         re-raises at merge time so error semantics match the serial path.
+
+        With a fault plan active, dispatch goes through
+        :func:`run_recovered` under the stage's logical ``scope``:
+        injected faults are retried/speculated/blacklisted driver-side,
+        ``repair`` restores lost shuffle output from lineage, and an
+        exhausted budget surfaces as :class:`SparkError` like any other
+        terminal task failure.
         """
         model = self.sc.cost_model
-        max_attempts = self.MAX_TASK_ATTEMPTS
+        max_attempts = self.max_task_attempts
         cache = self.sc._cache
         query_id = self._events_query if get_event_log().enabled else None
 
@@ -263,12 +294,26 @@ class DAGScheduler:
 
             return run_one
 
-        return pool.run(
-            [
-                make_task(index, label, body, partition)
-                for index, (label, body, partition) in enumerate(specs)
-            ]
-        )
+        thunks = [
+            make_task(index, label, body, partition)
+            for index, (label, body, partition) in enumerate(specs)
+        ]
+        recovery = self.sc.recovery
+        if recovery.active:
+            try:
+                outcomes = run_recovered(
+                    pool,
+                    thunks,
+                    recovery,
+                    scope=scope,
+                    events=(query_id, stage_id),
+                    sim_seconds=lambda index, shipment: shipment.seconds,
+                    repair=repair,
+                )
+            except InjectedFaultError as error:
+                raise SparkError(f"{scope}: {error}") from error
+            return [outcome.value for outcome in outcomes]
+        return pool.run(thunks)
 
     def _absorb_shipment(self, shipment: _TaskShipment, stage: StageMetrics):
         """Replay one task's side effects on the driver (deterministic order)."""
@@ -405,7 +450,7 @@ class DAGScheduler:
         self, dep, store, parent, partitioner, stage, metrics
     ) -> None:
         stage_id = self._emit_stage(stage.name, parent.num_partitions)
-        pool = self._pool()
+        pool = self._dispatch_pool()
         if pool is not None:
             self._run_shuffle_tasks_pooled(
                 pool, dep, store, parent, partitioner, stage, metrics, stage_id
@@ -459,7 +504,9 @@ class DAGScheduler:
             (f"map-{split}", make_body(split), split)
             for split in range(parent.num_partitions)
         ]
-        shipments = self._pool_run_tasks(pool, specs, stage_id=stage_id)
+        shipments = self._pool_run_tasks(
+            pool, specs, stage_id=stage_id, scope=f"{metrics.name}:{stage.name}"
+        )
         task_seconds: list[float] = []
         for split, shipment in enumerate(shipments):
             self._absorb_shipment(shipment, stage)
@@ -479,7 +526,7 @@ class DAGScheduler:
         results = []
         task_seconds: list[float] = []
         reads_shuffle = self._pipeline_reads_shuffle(rdd)
-        pool = self._pool()
+        pool = self._dispatch_pool()
         stage_id = self._emit_stage(stage.name, len(partitions))
         with get_tracer().span(stage.name, category="stage"):
             if pool is not None:
@@ -491,7 +538,14 @@ class DAGScheduler:
                     )
                     for split in partitions
                 ]
-                for shipment in self._pool_run_tasks(pool, specs, stage_id=stage_id):
+                shipments = self._pool_run_tasks(
+                    pool,
+                    specs,
+                    stage_id=stage_id,
+                    scope=f"{metrics.name}:{stage.name}",
+                    repair=self._make_repair(rdd, stage_id),
+                )
+                for shipment in shipments:
                     self._absorb_shipment(shipment, stage)
                     results.append(shipment.value)
                     task_seconds.append(shipment.seconds)
@@ -536,6 +590,69 @@ class DAGScheduler:
             if not narrow_parents:
                 return False
             node = narrow_parents[0].parent
+
+    # -- lineage recovery --------------------------------------------------------
+
+    def _pipeline_shuffle_deps(self, rdd: RDD) -> list[ShuffleDependency]:
+        """The materialised shuffle dependencies the result pipeline reads."""
+        node = rdd
+        while True:
+            shuffles = [
+                dep
+                for dep in node.dependencies
+                if isinstance(dep, ShuffleDependency) and dep.shuffle_id is not None
+            ]
+            if shuffles:
+                return shuffles
+            narrow_parents = [
+                dep for dep in node.dependencies if isinstance(dep, NarrowDependency)
+            ]
+            if not narrow_parents:
+                return []
+            node = narrow_parents[0].parent
+
+    def _make_repair(self, rdd: RDD, stage_id):
+        """Lineage-based recovery hook for ``shuffle_loss`` faults.
+
+        This is Spark's answer to the static model's whole-query restart
+        (Section III: RDDs "keep track of data processing workflows"): a
+        reduce task that finds its shuffle input gone re-derives *only*
+        the lost map output by re-running the parent stage's bucketing
+        for that map partition, then retries.  The recompute happens
+        under a discarded observability capture and writes back via
+        :meth:`ShuffleStore.restore` — recovery restores state, it never
+        re-bills counters or simulated time, which keeps chaos runs
+        byte-identical to fault-free ones.  Returns ``None`` when the
+        pipeline reads no shuffle (the fault then degrades to a
+        transient).
+        """
+        deps = self._pipeline_shuffle_deps(rdd)
+        if not deps:
+            return None
+        store = self.sc._shuffle_store
+
+        def repair(task_index: int, fault) -> None:
+            for dep in deps:
+                parent = dep.parent
+                map_split = task_index % parent.num_partitions
+                store.drop_map_output(dep.shuffle_id, map_split)
+                with capture_observability(ObsCapture()):
+                    bucketed = self._shuffle_buckets(
+                        dep, parent, dep.partitioner, map_split
+                    )
+                store.restore(dep.shuffle_id, map_split, bucketed)
+                log = get_event_log()
+                if log.enabled and self._events_query is not None:
+                    log.emit(
+                        "StageRecomputed",
+                        query=self._events_query,
+                        stage=stage_id,
+                        shuffle_id=dep.shuffle_id,
+                        map_partition=map_split,
+                        reason=fault.kind,
+                    )
+
+        return repair
 
     def _finish_stage(
         self,

@@ -171,6 +171,40 @@ class ShuffleStore:
         """Total bytes written for a shuffle."""
         return self._bytes_by_shuffle.get(shuffle_id, 0)
 
+    # -- lineage recovery --------------------------------------------------------
+
+    def drop_map_output(self, shuffle_id: int, map_partition: int) -> int:
+        """Simulate storage loss of one map task's output; returns blocks dropped.
+
+        Byte accounting is left untouched: the original write happened and
+        was legitimately charged; losing the blocks costs nothing on the
+        simulated clock until someone recomputes them.
+        """
+        keys = [
+            key
+            for key in self._blocks
+            if key[0] == shuffle_id and key[1] == map_partition
+        ]
+        for key in keys:
+            del self._blocks[key]
+        return len(keys)
+
+    def restore(
+        self,
+        shuffle_id: int,
+        map_partition: int,
+        bucketed: dict[int, list],
+    ) -> None:
+        """Re-insert recomputed buckets *without* charging any counters.
+
+        Lineage recovery restores state, it does not re-bill: the
+        fault-free run already paid for this map output once, and the
+        byte-identity invariant (counters and profiles equal to the
+        fault-free run) requires the recompute to stay off the books.
+        """
+        for reduce_partition, records in bucketed.items():
+            self._blocks[(shuffle_id, map_partition, reduce_partition)] = records
+
     def clear(self) -> None:
         """Drop all blocks (between benchmark runs)."""
         self._blocks.clear()

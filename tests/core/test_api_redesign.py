@@ -138,14 +138,17 @@ class TestJoinConfig:
 
 
 class TestLegacyShapes:
-    def test_loose_profile_keyword_warns_and_returns_tuple(self):
+    def test_loose_profile_keyword_raises_pointing_at_join_result(self):
+        from repro.errors import ReproError
+
         left, right = skewed_workload(7, n_points=50)
-        with pytest.deprecated_call():
-            out = spatial_join(left, right, method="broadcast", profile=True)
-        pairs, profile = out
-        assert sorted(pairs) == sorted(spatial_join(left, right, method="naive"))
-        assert profile is out.profile
-        assert pairs is out.pairs
+        with pytest.raises(ReproError, match=r"JoinConfig\(profile=True\)"):
+            spatial_join(left, right, method="broadcast", profile=True)
+        # The config form is the supported way to profile.
+        result = spatial_join(
+            left, right, config=JoinConfig(method="broadcast", profile=True)
+        )
+        assert result.profile is not None
 
     def test_spatial_join_pairs_forwards_options(self):
         lefts = [Point(1, 1), Point(9, 9)]
@@ -165,11 +168,8 @@ class TestErrorRename:
 
         assert issubclass(SpatialIndexError, ReproError)
 
-    def test_deprecated_alias_still_importable(self):
+    def test_removed_alias_raises_pointing_at_spatial_index_error(self):
         import repro.errors as errors_module
 
-        with pytest.deprecated_call():
-            alias = errors_module.IndexError_
-        from repro.errors import SpatialIndexError
-
-        assert alias is SpatialIndexError
+        with pytest.raises(AttributeError, match="SpatialIndexError"):
+            errors_module.IndexError_

@@ -139,11 +139,11 @@ class TestSpatialJoinProfile:
     LEFT = [(0, "POINT (1 1)"), (1, "POINT (9 9)"), (2, "POINT (3 2)")]
     RIGHT = [("cell", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")]
 
-    def test_legacy_profile_keyword_returns_tuple(self):
-        with pytest.deprecated_call():
-            pairs, profile = spatial_join(self.LEFT, self.RIGHT, profile=True)
-        assert sorted(pairs) == [(0, "cell"), (2, "cell")]
-        assert isinstance(profile, QueryProfile)
+    def test_legacy_profile_keyword_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match=r"JoinConfig\(profile=True\)"):
+            spatial_join(self.LEFT, self.RIGHT, profile=True)
 
     def test_config_profile_returns_join_result(self):
         from repro import JoinConfig

@@ -129,6 +129,63 @@ class TestJsonlFile:
             read_events(str(path))
 
 
+class TestSchemaEvolution:
+    """Version-2 schema (recovery events) reads version-1 logs and fails
+    usefully on anything it cannot understand."""
+
+    def test_recovery_event_types_are_in_the_schema(self):
+        from repro.obs.events import RECOVERY_EVENT_TYPES
+
+        assert RECOVERY_EVENT_TYPES == {
+            "TaskRetried",
+            "TaskSpeculated",
+            "WorkerBlacklisted",
+            "StageRecomputed",
+            "QueryRestarted",
+        }
+        assert RECOVERY_EVENT_TYPES <= EVENT_TYPES
+
+    def test_previous_schema_version_still_readable(self, tmp_path):
+        """A v1 log (written before recovery events existed) carries a
+        subset of today's event types, so v2 readers accept it as-is."""
+        from repro.obs.events import MIN_SCHEMA_VERSION
+
+        assert MIN_SCHEMA_VERSION == SCHEMA_VERSION - 1
+        path = tmp_path / "v1.jsonl"
+        _run_spark_job("serial", events_out=str(path))
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema_version"] = MIN_SCHEMA_VERSION
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        events = read_events(str(path))
+        assert events[0]["schema_version"] == MIN_SCHEMA_VERSION
+        assert any(e["event"] == "QueryEnd" for e in events)
+
+    def test_too_old_schema_version_rejected(self, tmp_path):
+        from repro.obs.events import MIN_SCHEMA_VERSION
+
+        path = tmp_path / "v0.jsonl"
+        _run_spark_job("serial", events_out=str(path))
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema_version"] = MIN_SCHEMA_VERSION - 1
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(ReproError, match="schema version"):
+            read_events(str(path))
+
+    def test_unknown_event_type_rejected_with_name_and_line(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        _run_spark_job("serial", events_out=str(path))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "QuantumRebalance", "query": 1}\n')
+        with pytest.raises(ReproError) as excinfo:
+            read_events(str(path))
+        message = str(excinfo.value)
+        assert "QuantumRebalance" in message
+        assert "newer schema version" in message
+        assert "TaskRetried" in message  # the known-types list helps debugging
+
+
 class TestPairing:
     def test_spark_job_pairs_every_task(self):
         with logging_events() as log:

@@ -1,0 +1,335 @@
+"""FaultPlan / RecoveryContext / run_recovered unit tests.
+
+Everything here runs on the SerialBackend: fault injection is a
+driver-side decision keyed on logical task identity, so the recovery
+machinery is fully testable without spawning a single process.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.events import logging_events
+from repro.runtime import (
+    DEFAULT_KINDS,
+    FatalFault,
+    Fault,
+    FaultEscalation,
+    FaultPlan,
+    RuntimeConfig,
+    SerialBackend,
+    TaskHang,
+    WorkerCrash,
+)
+from repro.runtime.recovery import Outcome, RecoveryContext, resolve_faults, run_recovered
+
+
+class TestFaultPlan:
+    def test_draws_are_deterministic_across_calls_and_instances(self):
+        a = FaultPlan(seed=11, fault_rate=0.5)
+        b = FaultPlan(seed=11, fault_rate=0.5)
+        draws_a = [a.fault_for("stage-0", t) for t in range(64)]
+        draws_b = [b.fault_for("stage-0", t) for t in range(64)]
+        assert draws_a == draws_b
+        assert draws_a == [a.fault_for("stage-0", t) for t in range(64)]
+
+    def test_seed_and_scope_both_matter(self):
+        plan = FaultPlan(seed=1, fault_rate=0.5)
+        other_seed = FaultPlan(seed=2, fault_rate=0.5)
+        assert [plan.fault_for("s", t) for t in range(64)] != [
+            other_seed.fault_for("s", t) for t in range(64)
+        ]
+        assert [plan.fault_for("s", t) for t in range(64)] != [
+            plan.fault_for("other", t) for t in range(64)
+        ]
+
+    def test_rate_zero_never_faults(self):
+        plan = FaultPlan(seed=3, fault_rate=0.0)
+        assert all(
+            plan.fault_for(scope, t) is None
+            for scope in ("a", "b")
+            for t in range(100)
+        )
+
+    def test_rate_one_always_faults_with_known_kinds(self):
+        plan = FaultPlan(seed=3, fault_rate=1.0)
+        faults = [plan.fault_for("s", t) for t in range(50)]
+        assert all(f is not None for f in faults)
+        assert {f.kind for f in faults} <= set(DEFAULT_KINDS)
+        assert all(0 <= f.worker < plan.virtual_workers for f in faults)
+
+    def test_max_rounds_gates_the_random_draw(self):
+        plan = FaultPlan(seed=3, fault_rate=1.0, max_rounds=1)
+        assert plan.fault_for("s", 0, round=0) is not None
+        assert plan.fault_for("s", 0, round=1) is None
+        deeper = FaultPlan(seed=3, fault_rate=1.0, max_rounds=3)
+        assert deeper.fault_for("s", 0, round=2) is not None
+        assert deeper.fault_for("s", 0, round=3) is None
+
+    def test_explicit_rule_fires_despite_rate_and_rounds(self):
+        plan = FaultPlan(seed=0, fault_rate=0.0).at(
+            "stage-1", task=2, kind="crash", round=5
+        )
+        fault = plan.fault_for("stage-1", 2, round=5)
+        assert fault == Fault(kind="crash", factor=1.0, worker=fault.worker)
+        assert plan.fault_for("stage-1", 2, round=0) is None
+        assert plan.fault_for("stage-1", 3, round=5) is None
+
+    def test_wildcard_scope_matches_everything(self):
+        plan = FaultPlan().at("*", task=0, kind="slow", factor=8.0)
+        for scope in ("stage-a", "stage-b"):
+            fault = plan.fault_for(scope, 0)
+            assert fault is not None and fault.kind == "slow"
+            assert fault.factor == 8.0
+        assert plan.fault_for("stage-a", 1) is None
+
+    def test_exact_scope_beats_wildcard(self):
+        plan = (
+            FaultPlan()
+            .at("*", task=0, kind="transient")
+            .at("stage-x", task=0, kind="fatal")
+        )
+        assert plan.fault_for("stage-x", 0).kind == "fatal"
+        assert plan.fault_for("stage-y", 0).kind == "transient"
+
+    def test_uniform_is_deterministic_and_in_range(self):
+        plan = FaultPlan(seed=9)
+        values = [plan.uniform("s", t, 0) for t in range(32)]
+        assert values == [plan.uniform("s", t, 0) for t in range(32)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert plan.uniform("s", 0, 0) != plan.uniform("s", 0, 1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fault_rate": -0.1},
+            {"fault_rate": 1.5},
+            {"kinds": ("transient", "nope")},
+            {"slow_factor": 0.5},
+            {"virtual_workers": 0},
+            {"max_rounds": -1},
+        ],
+    )
+    def test_validation_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ReproError):
+            FaultPlan(**kwargs)
+
+    def test_at_rejects_unknown_kind(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultPlan().at("s", task=0, kind="gremlin")
+
+
+def _recovery(**runtime_kwargs) -> RecoveryContext:
+    return RecoveryContext(RuntimeConfig(**runtime_kwargs))
+
+
+class TestRecoveryContext:
+    def test_inactive_without_a_plan(self):
+        recovery = _recovery()
+        assert not recovery.active
+        assert recovery.consult("s", 0, 0) is None
+
+    def test_blacklist_after_threshold_then_suppresses(self):
+        plan = FaultPlan(seed=0)
+        for r in range(3):
+            plan.at("s", task=r, kind="crash", round=0, worker=1)
+        recovery = _recovery(fault_plan=plan, blacklist_after=2)
+        assert recovery.consult("s", 0, 0).worker == 1
+        assert recovery.record_failure(1) is False
+        assert recovery.record_failure(1) is True  # hits blacklist_after=2
+        assert recovery.record_failure(1) is False  # only reported once
+        assert 1 in recovery.blacklisted
+        assert recovery.failures(1) == 3
+        # Faults attributed to a blacklisted virtual worker never happen.
+        assert recovery.consult("s", 2, 0) is None
+
+    def test_backoff_grows_exponentially_with_bounded_jitter(self):
+        recovery = _recovery(
+            fault_plan=FaultPlan(seed=4),
+            backoff_base=1.0,
+            backoff_factor=2.0,
+            backoff_jitter=0.1,
+        )
+        delays = [recovery.backoff_seconds("s", 0, a) for a in range(4)]
+        for attempt, delay in enumerate(delays):
+            nominal = 2.0**attempt
+            assert nominal * 0.9 <= delay <= nominal * 1.1
+        assert delays == [recovery.backoff_seconds("s", 0, a) for a in range(4)]
+
+    def test_backoff_without_jitter_is_exact(self):
+        recovery = _recovery(backoff_base=0.5, backoff_factor=3.0, backoff_jitter=0.0)
+        assert recovery.backoff_seconds("s", 0, 0) == 0.5
+        assert recovery.backoff_seconds("s", 0, 2) == 4.5
+
+
+class TestRunRecovered:
+    EVENTS = ("q-1", "stage-0")
+
+    def _run(self, recovery, thunks, **kwargs):
+        with logging_events() as log:
+            outcomes = run_recovered(
+                SerialBackend(),
+                thunks,
+                recovery,
+                scope="s",
+                events=self.EVENTS,
+                **kwargs,
+            )
+        return outcomes, log.events
+
+    def test_no_plan_is_a_plain_pool_run(self):
+        outcomes, events = self._run(_recovery(), [lambda: 7, lambda: 8])
+        assert [o.value for o in outcomes] == [7, 8]
+        assert all(o.attempts == 1 and not o.speculated for o in outcomes)
+        assert events == []
+
+    def test_transient_fault_retries_and_emits_task_retried(self):
+        plan = FaultPlan().at("s", task=0, kind="transient")
+        outcomes, events = self._run(
+            _recovery(fault_plan=plan), [lambda: "a", lambda: "b"]
+        )
+        assert [o.value for o in outcomes] == ["a", "b"]
+        assert outcomes[0].attempts == 2
+        assert outcomes[1].attempts == 1
+        retried = [e for e in events if e["event"] == "TaskRetried"]
+        assert len(retried) == 1
+        record = retried[0]
+        assert record["query"] == "q-1" and record["stage"] == "stage-0"
+        assert record["task"] == 0 and record["attempt"] == 1
+        assert record["reason"] == "transient"
+        assert record["backoff_seconds"] > 0
+        assert "vworker" in record
+
+    def test_hang_retries_with_timeout_reason(self):
+        plan = FaultPlan().at("s", task=1, kind="hang")
+        _, events = self._run(_recovery(fault_plan=plan), [lambda: 1, lambda: 2])
+        (record,) = [e for e in events if e["event"] == "TaskRetried"]
+        assert record["reason"] == "timeout"
+
+    def test_heartbeat_loss_reason(self):
+        plan = FaultPlan().at("s", task=0, kind="heartbeat_loss")
+        _, events = self._run(_recovery(fault_plan=plan), [lambda: 1, lambda: 2])
+        (record,) = [e for e in events if e["event"] == "TaskRetried"]
+        assert record["reason"] == "heartbeat-loss"
+
+    def test_fatal_fault_raises_before_any_work(self):
+        plan = FaultPlan().at("s", task=0, kind="fatal")
+        ran = []
+        with pytest.raises(FatalFault, match="injected fatal fault"):
+            self._run(
+                _recovery(fault_plan=plan), [lambda: ran.append(1), lambda: 2]
+            )
+        assert ran == []  # eager cancel: the batch never dispatched
+
+    def test_exhausted_budget_escalates(self):
+        plan = FaultPlan()
+        for r in range(3):
+            plan.at("s", task=0, kind="crash", round=r)
+        recovery = _recovery(fault_plan=plan, max_task_attempts=3)
+        with pytest.raises(FaultEscalation, match=r"failed 3 attempt\(s\)"):
+            self._run(recovery, [lambda: 1, lambda: 2])
+
+    def test_limit_one_surfaces_the_original_error_class(self):
+        plan = FaultPlan().at("s", task=0, kind="crash")
+        recovery = _recovery(fault_plan=plan)
+        with pytest.raises(WorkerCrash):
+            resolve_faults(recovery, 2, scope="s", limit=1)
+        hang_plan = FaultPlan().at("s", task=1, kind="hang")
+        with pytest.raises(TaskHang):
+            resolve_faults(_recovery(fault_plan=hang_plan), 2, scope="s", limit=1)
+
+    def test_base_round_offsets_the_draw(self):
+        plan = FaultPlan().at("s", task=0, kind="crash", round=2)
+        recovery = _recovery(fault_plan=plan)
+        # Round 0: no fault pinned there, runs clean even with limit=1.
+        attempts, _ = resolve_faults(recovery, 1, scope="s", limit=1)
+        assert attempts == [1]
+        with pytest.raises(WorkerCrash):
+            resolve_faults(recovery, 1, scope="s", limit=1, base_round=2)
+
+    def test_shuffle_loss_invokes_repair_then_retries(self):
+        plan = FaultPlan().at("s", task=1, kind="shuffle_loss")
+        repaired = []
+        outcomes, events = self._run(
+            _recovery(fault_plan=plan),
+            [lambda: "x", lambda: "y"],
+            repair=lambda task, fault: repaired.append((task, fault.kind)),
+        )
+        assert repaired == [(1, "shuffle_loss")]
+        assert [o.value for o in outcomes] == ["x", "y"]
+        (record,) = [e for e in events if e["event"] == "TaskRetried"]
+        assert record["reason"] == "shuffle-loss"
+
+    def test_shuffle_loss_without_repair_degrades_to_transient_retry(self):
+        plan = FaultPlan().at("s", task=0, kind="shuffle_loss")
+        outcomes, events = self._run(
+            _recovery(fault_plan=plan), [lambda: "x", lambda: "y"]
+        )
+        assert [o.value for o in outcomes] == ["x", "y"]
+        assert outcomes[0].attempts == 2
+
+    def test_blacklisting_emits_worker_blacklisted(self):
+        plan = FaultPlan()
+        plan.at("s", task=0, kind="crash", round=0, worker=3)
+        plan.at("s", task=1, kind="crash", round=0, worker=3)
+        recovery = _recovery(fault_plan=plan, blacklist_after=2)
+        outcomes, events = self._run(recovery, [lambda: 1, lambda: 2, lambda: 3])
+        assert [o.value for o in outcomes] == [1, 2, 3]
+        (record,) = [e for e in events if e["event"] == "WorkerBlacklisted"]
+        assert record["vworker"] == 3 and record["failures"] == 2
+        assert 3 in recovery.blacklisted
+
+    def test_slow_fault_speculates_and_duplicate_wins(self):
+        plan = FaultPlan().at("s", task=2, kind="slow", factor=6.0)
+        recovery = _recovery(fault_plan=plan, speculation_k=2.0)
+        thunks = [lambda: "r0", lambda: "r1", lambda: "r2", lambda: "r3"]
+        outcomes, events = self._run(
+            recovery, thunks, sim_seconds=lambda i, value: 1.0
+        )
+        assert [o.value for o in outcomes] == ["r0", "r1", "r2", "r3"]
+        assert outcomes[2].speculated and outcomes[2].attempts == 2
+        assert outcomes[2].slow_factor == 1.0  # duplicate ran at full speed
+        (record,) = [e for e in events if e["event"] == "TaskSpeculated"]
+        assert record["task"] == 2 and record["winner"] == "speculative"
+        assert record["factor"] == 6.0
+        assert record["effective_seconds"] == pytest.approx(6.0)
+
+    def test_mild_slowdown_below_threshold_not_speculated(self):
+        plan = FaultPlan().at("s", task=0, kind="slow", factor=1.5)
+        recovery = _recovery(fault_plan=plan, speculation_k=2.0)
+        outcomes, events = self._run(
+            recovery,
+            [lambda: 1, lambda: 2, lambda: 3],
+            sim_seconds=lambda i, value: 1.0,
+        )
+        assert not any(o.speculated for o in outcomes)
+        assert not any(e["event"] == "TaskSpeculated" for e in events)
+        assert outcomes[0].slow_factor == 1.5
+
+    def test_speculation_disabled_by_runtime_flag(self):
+        plan = FaultPlan().at("s", task=0, kind="slow", factor=10.0)
+        recovery = _recovery(fault_plan=plan, speculation=False)
+        outcomes, events = self._run(
+            recovery,
+            [lambda: 1, lambda: 2, lambda: 3],
+            sim_seconds=lambda i, value: 1.0,
+        )
+        assert not any(o.speculated for o in outcomes)
+        assert not any(e["event"] == "TaskSpeculated" for e in events)
+
+    def test_speculation_needs_minimum_sibling_tasks(self):
+        plan = FaultPlan().at("s", task=0, kind="slow", factor=10.0)
+        recovery = _recovery(fault_plan=plan, speculation_min_tasks=4)
+        outcomes, _ = self._run(
+            recovery,
+            [lambda: 1, lambda: 2, lambda: 3],
+            sim_seconds=lambda i, value: 1.0,
+        )
+        assert not any(o.speculated for o in outcomes)
+
+    def test_outcome_defaults(self):
+        outcome = Outcome(value=42)
+        assert (outcome.attempts, outcome.slow_factor, outcome.speculated) == (
+            1,
+            1.0,
+            False,
+        )

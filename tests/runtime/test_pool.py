@@ -163,6 +163,52 @@ class TestProcessBackendFork:
         assert pool.run([lambda: get_payload("index")["tree"]]) == [[1, 2, 3]]
 
 
+@needs_fork
+class TestTeardownOnDriverError:
+    """Regression: a raising ``on_result`` callback must reap the pool.
+
+    The old code propagated the callback's exception without shutting the
+    workers down: with queued tasks still pending the children stayed
+    alive past ``run()`` (leaked processes, and a hung interpreter exit
+    on the queue feeder threads).  Now any driver-side error mid-collect
+    terminates and joins every worker before re-raising.
+    """
+
+    def test_raising_callback_reaps_workers_and_propagates(self):
+        import time
+
+        def slow(i):
+            return lambda: (time.sleep(0.05), i)[1]
+
+        pool = ProcessBackend(2)
+
+        def explode(index, value):
+            raise RuntimeError("driver-side callback failure")
+
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="driver-side callback failure"):
+            pool.run([slow(i) for i in range(12)], on_result=explode)
+        elapsed = time.monotonic() - start
+        deadline = time.monotonic() + 10.0
+        while mp.active_children() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert mp.active_children() == [], "workers leaked past run()"
+        # The error path terminates instead of draining the 11 queued
+        # tasks (or burning the old 5 s-per-worker graceful join).
+        assert elapsed < 5.0
+
+    def test_pool_is_reusable_after_error_teardown(self):
+        pool = ProcessBackend(2)
+        with pytest.raises(RuntimeError):
+            pool.run(
+                [(lambda i=i: i) for i in range(4)],
+                on_result=lambda i, v: (_ for _ in ()).throw(
+                    RuntimeError("boom")
+                ),
+            )
+        assert pool.run([(lambda i=i: i * 2) for i in range(4)]) == [0, 2, 4, 6]
+
+
 def _square(x):
     return x * x
 
