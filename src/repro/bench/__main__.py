@@ -37,14 +37,14 @@ ENGINES = ("spatialspark", "isp-mc", "isp-standalone")
 
 def _scale_or_mode(value: str):
     """Positional argument: a float scale factor, or a named bench mode."""
-    if value in ("kernels", "parallel", "monitor", "chaos"):
+    if value in ("kernels", "parallel", "monitor", "chaos", "cache"):
         return value
     try:
         return float(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"expected a scale factor, 'kernels', 'parallel', 'monitor' or "
-            f"'chaos', got {value!r}"
+            f"expected a scale factor, 'kernels', 'parallel', 'monitor', "
+            f"'chaos' or 'cache', got {value!r}"
         ) from None
 
 
@@ -63,8 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"dataset scale factor (default {DEFAULT_SCALE}), 'kernels' "
         "for the columnar-kernels microbenchmark, 'parallel' for the "
         "process-pool runtime benchmark, 'monitor' to replay an "
-        "events.jsonl file as per-worker timelines, or 'chaos' for the "
-        "fault-injection equivalence sweep",
+        "events.jsonl file as per-worker timelines, 'chaos' for the "
+        "fault-injection equivalence sweep, or 'cache' for the "
+        "cross-query cache cold-vs-warm benchmark",
     )
     parser.add_argument(
         "target",
@@ -192,6 +193,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="for chaos mode: exit nonzero unless every seeded-fault run "
         "is byte-identical to its fault-free baseline",
+    )
+    parser.add_argument(
+        "--assert-warm-speedup",
+        type=float,
+        metavar="RATIO",
+        default=None,
+        help="for cache mode: exit nonzero unless the best warm-over-cold "
+        "repeated-query speedup reaches RATIOx, or any cold-vs-warm "
+        "equivalence check fails",
+    )
+    parser.add_argument(
+        "--batches",
+        type=int,
+        default=12,
+        help="for cache mode: point batches per repeat-query workload "
+        "(default 12)",
     )
     parser.add_argument(
         "--method",
@@ -365,6 +382,46 @@ def _chaos_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_run(args: argparse.Namespace) -> int:
+    from repro.bench.cache_study import (
+        render_cache,
+        run_cache_benchmark,
+        write_cache_json,
+    )
+
+    doc = run_cache_benchmark(
+        batches=args.batches, events_out=args.events_out
+    )
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(render_cache(doc))
+    if args.out:
+        write_cache_json(doc, args.out)
+        print(f"wrote cache benchmark to {args.out}", file=sys.stderr)
+    if args.events_out:
+        print(
+            f"wrote cache-annotated event log to {args.events_out}",
+            file=sys.stderr,
+        )
+    if not doc["all_identical"]:
+        print(
+            "FAIL: cache-on results diverged from the cache-off baseline",
+            file=sys.stderr,
+        )
+        return 1
+    if args.assert_warm_speedup is not None:
+        best = doc["best_warm_speedup"]
+        if best < args.assert_warm_speedup:
+            print(
+                f"FAIL: best warm speedup {best:.2f}x < "
+                f"{args.assert_warm_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _monitor_run(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.obs.events import read_events
@@ -396,6 +453,8 @@ def main(argv: list[str] | None = None) -> int:
         return _monitor_run(args)
     if args.scale == "chaos":
         return _chaos_run(args)
+    if args.scale == "cache":
+        return _cache_run(args)
     if args.method == "auto":
         study = optimizer_study(scale=args.scale, nodes=args.nodes)
         if args.json:

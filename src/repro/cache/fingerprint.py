@@ -1,0 +1,174 @@
+"""Content fingerprints for the cross-query cache.
+
+Cache keys must identify *datasets*, not Python objects: the same polygon
+table loaded twice (or rebuilt by a pooled worker) must hash to the same
+key, while an in-place mutation of a coordinate array must change it.  We
+therefore stream the raw coordinate bytes of every geometry — plus payloads
+and the operator/engine context — through BLAKE2b and key the cache on the
+digest.  There is deliberately no ``id()``-based shortcut layer: content is
+re-hashed on every lookup so mutated inputs can never serve stale entries.
+
+Hashing coordinate bytes is orders of magnitude cheaper than re-parsing
+WKT or rebuilding an STR-tree, which is what makes a content-keyed cache
+profitable in the first place (see DESIGN.md section 12).
+"""
+
+from __future__ import annotations
+
+import struct
+from hashlib import blake2b
+from typing import Iterable
+
+import numpy as np
+
+from repro.geometry.base import Geometry
+from repro.geometry.linestring import LineString
+from repro.geometry.multi import _MultiGeometry
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+__all__ = [
+    "Fingerprint",
+    "fingerprint_entries",
+    "fingerprint_geometry",
+    "fingerprint_rows",
+    "fingerprint_value",
+]
+
+# A digest is compact enough to use directly as a dict key.
+_DIGEST_SIZE = 16
+
+Fingerprint = bytes
+
+_pack_d = struct.Struct("<d").pack
+_pack_dd = struct.Struct("<dd").pack
+_pack_q = struct.Struct("<q").pack
+
+
+def _update_geometry(h, geometry: Geometry) -> None:
+    """Stream one geometry's type tag + coordinate bytes into ``h``."""
+    h.update(geometry.geometry_type.value.encode("ascii"))
+    if isinstance(geometry, Point):
+        if geometry._empty:
+            h.update(b"E")
+        else:
+            h.update(_pack_dd(geometry.x, geometry.y))
+    elif isinstance(geometry, LineString):
+        h.update(geometry.coords.tobytes())
+    elif isinstance(geometry, Polygon):
+        h.update(geometry.shell.coords.tobytes())
+        for hole in geometry.holes:
+            h.update(b"H")
+            h.update(hole.coords.tobytes())
+    elif isinstance(geometry, _MultiGeometry):
+        for part in geometry.parts:
+            h.update(b"P")
+            _update_geometry(h, part)
+    else:  # GeometryCollection or future types: WKB is canonical if slower.
+        h.update(geometry.wkb())
+
+
+def _update_value(h, value) -> None:
+    """Stream an arbitrary payload/context value into ``h``.
+
+    Covers the value shapes that actually appear in cache keys: scalars,
+    strings, bytes, containers, numpy arrays, and geometries.  Type tags
+    keep ``1`` / ``1.0`` / ``"1"`` distinct.
+    """
+    if value is None:
+        h.update(b"n")
+    elif isinstance(value, bool):
+        h.update(b"b1" if value else b"b0")
+    elif isinstance(value, (int, np.integer)):
+        h.update(b"i")
+        h.update(str(int(value)).encode("ascii"))
+    elif isinstance(value, (float, np.floating)):
+        h.update(b"f")
+        h.update(_pack_d(float(value)))
+    elif isinstance(value, str):
+        h.update(b"s")
+        h.update(_pack_q(len(value)))
+        h.update(value.encode("utf-8"))
+    elif isinstance(value, bytes):
+        h.update(b"y")
+        h.update(_pack_q(len(value)))
+        h.update(value)
+    elif isinstance(value, Geometry):
+        h.update(b"g")
+        _update_geometry(h, value)
+    elif isinstance(value, np.ndarray):
+        h.update(b"a")
+        h.update(str(value.dtype).encode("ascii"))
+        h.update(str(value.shape).encode("ascii"))
+        h.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, (tuple, list)):
+        h.update(b"T" if isinstance(value, tuple) else b"L")
+        h.update(_pack_q(len(value)))
+        for item in value:
+            _update_value(h, item)
+    elif isinstance(value, dict):
+        h.update(b"D")
+        h.update(_pack_q(len(value)))
+        for key in sorted(value, key=repr):
+            _update_value(h, key)
+            _update_value(h, value[key])
+    else:
+        raise TypeError(
+            f"cannot fingerprint {type(value).__name__!r}; "
+            "add a case to repro.cache.fingerprint"
+        )
+
+
+def fingerprint_geometry(geometry: Geometry) -> Fingerprint:
+    """Digest of one geometry's content (type + coordinates)."""
+    h = blake2b(digest_size=_DIGEST_SIZE)
+    _update_geometry(h, geometry)
+    return h.digest()
+
+
+def fingerprint_value(*values) -> Fingerprint:
+    """Digest of an arbitrary tuple of key components."""
+    h = blake2b(digest_size=_DIGEST_SIZE)
+    for value in values:
+        h.update(b"|")
+        _update_value(h, value)
+    return h.digest()
+
+
+def fingerprint_entries(
+    entries: Iterable[tuple[object, Geometry]], *context
+) -> Fingerprint:
+    """Digest of a ``(payload, geometry)`` dataset plus context values.
+
+    This is the key shape used for parsed geometry columns, broadcast
+    indexes, and partitioning layouts: the dataset content first, then
+    whatever distinguishes the derived artifact (operator, radius, engine,
+    tile count, ...).
+    """
+    h = blake2b(digest_size=_DIGEST_SIZE)
+    count = 0
+    for payload, geometry in entries:
+        h.update(b"|")
+        _update_value(h, payload)
+        _update_geometry(h, geometry)
+        count += 1
+    h.update(_pack_q(count))
+    for value in context:
+        h.update(b"#")
+        _update_value(h, value)
+    return h.digest()
+
+
+def fingerprint_rows(rows: Iterable[tuple], *context) -> Fingerprint:
+    """Digest of Impala row tuples (mixed scalars/strings) plus context."""
+    h = blake2b(digest_size=_DIGEST_SIZE)
+    count = 0
+    for row in rows:
+        h.update(b"|")
+        _update_value(h, row)
+        count += 1
+    h.update(_pack_q(count))
+    for value in context:
+        h.update(b"#")
+        _update_value(h, value)
+    return h.digest()

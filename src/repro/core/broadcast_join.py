@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.cache import estimate_index_bytes, fingerprint_entries
 from repro.cluster.model import Resource
 from repro.core.operators import SpatialOperator
 from repro.core.probe import BroadcastIndex
@@ -29,6 +30,7 @@ from repro.errors import ReproError
 from repro.geometry.base import Geometry
 from repro.geometry import wkb as wkb_mod
 from repro.geometry.wkt import WKTReader
+from repro.obs.events import install_event_log
 from repro.obs.tracer import get_tracer
 from repro.spark.context import SparkContext
 from repro.spark.rdd import RDD
@@ -141,10 +143,39 @@ def broadcast_spatial_join(
     sc.record_plan({"join": "broadcast"})
     tracer = get_tracer()
     # Driver side: collect + bulk-load + broadcast (Fig 2's apply()).
+    # The collect always runs (its tasks charge parse/pipeline costs);
+    # only the STR-tree construction is skippable via the cross-query
+    # cache, keyed on the collected content — and the build charge below
+    # is billed either way, so simulated seconds never see the cache.
     with tracer.span("collect-build-side", category="phase"):
         right_local = right.collect()
+    cache = sc.cache
+    cache_key = None
+    if cache is not None:
+        cache_key = fingerprint_entries(
+            right_local, "spark-broadcast-index", operator.value,
+            float(radius), engine,
+        )
     with tracer.span("build-index", category="phase") as build_span:
-        index = BroadcastIndex(right_local, operator, radius=radius, engine=engine)
+        # The scheduler installs the context's event log only inside
+        # run_job; this driver-side section installs it too so cache
+        # hit/miss events reach the same events.jsonl stream.
+        with install_event_log(sc.event_log):
+            index = (
+                cache.get(cache_key, "spark-broadcast-index")
+                if cache is not None
+                else None
+            )
+            if index is None:
+                index = BroadcastIndex(
+                    right_local, operator, radius=radius, engine=engine
+                )
+                if cache is not None:
+                    cache.put(
+                        cache_key, "spark-broadcast-index", index,
+                        size_bytes=estimate_index_bytes(index),
+                        build_cost=sum(index.build_cost_units().values()),
+                    )
         build_units = {
             resource: units * build_cost_weight
             for resource, units in index.build_cost_units().items()
@@ -157,7 +188,9 @@ def broadcast_spatial_join(
         build_span.set_attr("index_entries", len(index))
     with tracer.span("broadcast", category="phase") as bc_span:
         ship_before = sc.broadcast_overhead_seconds
-        index_broadcast = sc.broadcast(index, cost_weight=build_cost_weight)
+        index_broadcast = sc.broadcast(
+            index, cost_weight=build_cost_weight, fingerprint=cache_key
+        )
         bc_span.add_sim(sc.broadcast_overhead_seconds - ship_before)
 
     def query_rtree(pair: tuple[Any, Geometry]):

@@ -561,29 +561,34 @@ def prepare(geometry: Geometry):
     raise GeometryError(f"cannot prepare geometry type {geometry.geometry_type}")
 
 
-# Prepared handles keyed by geometry identity.  Broadcast/partitioned joins
-# repeatedly prepare the same right-side geometry objects (every tile that a
-# polygon's envelope overlaps builds its own index over it); the cache lets
-# those tasks share one strip index.  Entries hold a strong reference to the
-# geometry so an id() can never be recycled while its entry is live.
+# Prepared handles keyed by *content* fingerprint (repro.cache).  Broadcast/
+# partitioned joins repeatedly prepare the same right-side geometry (every
+# tile that a polygon's envelope overlaps builds its own index over it), and
+# repeated queries over the same polygon table re-load equal geometries as
+# fresh objects — a content key lets both cases share one strip index, where
+# the old id()-keyed memo only helped within a single load.  The fingerprint
+# is recomputed from coordinate bytes on every lookup, so a geometry mutated
+# in place simply hashes to a new key and can never see a stale handle.
 _PREPARED_CACHE_CAPACITY = 4096
-_prepared_cache: OrderedDict[int, tuple[Geometry, object]] = OrderedDict()
+_prepared_cache: OrderedDict[bytes, object] = OrderedDict()
 
 
 def prepare_cached(geometry: Geometry):
-    """Like :func:`prepare` but memoised by geometry identity (LRU)."""
-    key = id(geometry)
-    entry = _prepared_cache.get(key)
-    if entry is not None and entry[0] is geometry:
-        _prepared_cache.move_to_end(key)
-        return entry[1]
-    handle = prepare(geometry)
-    if not isinstance(geometry, Point):
+    """Like :func:`prepare` but memoised by content fingerprint (LRU)."""
+    if isinstance(geometry, Point):
         # Points prepare to themselves; caching them would only add churn.
-        _prepared_cache[key] = (geometry, handle)
+        return geometry
+    from repro.cache.fingerprint import fingerprint_geometry
+
+    key = fingerprint_geometry(geometry)
+    handle = _prepared_cache.get(key)
+    if handle is not None:
         _prepared_cache.move_to_end(key)
-        while len(_prepared_cache) > _PREPARED_CACHE_CAPACITY:
-            _prepared_cache.popitem(last=False)
+        return handle
+    handle = prepare(geometry)
+    _prepared_cache[key] = handle
+    while len(_prepared_cache) > _PREPARED_CACHE_CAPACITY:
+        _prepared_cache.popitem(last=False)
     return handle
 
 

@@ -9,6 +9,7 @@ cluster cost model can charge for bytes parsed.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable
 
 from repro.errors import WKTParseError
@@ -23,7 +24,24 @@ from repro.geometry.multi import (
 from repro.geometry.point import Point
 from repro.geometry.polygon import LinearRing, Polygon
 
-__all__ = ["loads", "dumps", "WKTReader", "WKTWriter"]
+__all__ = ["loads", "dumps", "WKTReader", "WKTWriter", "clear_wkt_cache"]
+
+# Process-wide parse memo: WKT text -> parsed geometry (LRU).  The string
+# itself is the content key, so there is no staleness to manage; repeated
+# queries over the same stored table skip re-tokenising its polygons.
+# Short strings (points) parse faster than a cache probe pays for and
+# would churn the LRU, so only texts above the threshold participate.
+# Parsing is pure (the per-byte charge is the caller's ``on_parse``
+# callback, invoked on hits too), which is what keeps results, counters
+# and simulated seconds byte-identical with the memo on or off.
+_parse_cache: OrderedDict[str, Geometry] = OrderedDict()
+_PARSE_CACHE_CAPACITY = 8192
+_PARSE_CACHE_MIN_CHARS = 64
+
+
+def clear_wkt_cache() -> None:
+    """Drop every memoised WKT parse (for tests and cold benchmarks)."""
+    _parse_cache.clear()
 
 _WORD_CHARS = frozenset("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
 _NUMBER_CHARS = frozenset("0123456789+-.eE")
@@ -106,11 +124,23 @@ class WKTReader:
         """Parse a single WKT geometry; raises :class:`WKTParseError`."""
         if not isinstance(text, str):
             raise WKTParseError(f"expected str, got {type(text).__name__}")
+        memoise = len(text) >= _PARSE_CACHE_MIN_CHARS
+        if memoise:
+            cached = _parse_cache.get(text)
+            if cached is not None:
+                _parse_cache.move_to_end(text)
+                if self._on_parse is not None:
+                    self._on_parse(len(text))
+                return cached
         tokenizer = _Tokenizer(text)
         geometry = self._geometry(tokenizer)
         trailing = tokenizer.next()
         if trailing is not None:
             raise WKTParseError(f"trailing content {trailing!r}", tokenizer.pos)
+        if memoise:
+            _parse_cache[text] = geometry
+            while len(_parse_cache) > _PARSE_CACHE_CAPACITY:
+                _parse_cache.popitem(last=False)
         if self._on_parse is not None:
             self._on_parse(len(text))
         return geometry

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.cache import cache_for, estimate_index_bytes, fingerprint_rows
 from repro.cluster.model import ClusterSpec, CostModel, Resource
 from repro.errors import ImpalaError, PlanError
 from repro.hdfs import SimulatedHDFS, split_boundaries
@@ -184,6 +185,10 @@ class ImpalaBackend:
         # an injected fragment fault cancels the whole query, which the
         # coordinator restarts from scratch within runtime.restart_budget.
         self.recovery = RecoveryContext(runtime)
+        # Cross-query cache handle (None unless the runtime sets
+        # cache_budget_bytes); _build_side reuses built R-tree bundles
+        # through it.
+        self.cache = cache_for(runtime)
         self._query_counter = 0
         # Real-parallelism knob: fragment instances for different workers
         # run concurrently on a process pool while keeping the *static*
@@ -660,11 +665,43 @@ class ImpalaBackend:
         from repro.core.operators import SpatialOperator
 
         operator = SpatialOperator.from_sql(join.predicate.function)
-        index, wkt_bytes, _ = build_spatial_index(
-            all_rows, geometry_slot, operator, join.predicate.radius, self.engine_name
+        # Cross-query cache: the scan above always runs (it charges each
+        # instance's HDFS/scan metrics and produced the rows we key on);
+        # only the R-tree construction and the byte-estimation walk are
+        # reused.  The cached bundle carries the *unweighted* totals so
+        # one entry serves backends with different build_cost_weight.
+        radius = join.predicate.radius or 0.0
+        bundle_key = None
+        if self.cache is not None:
+            try:
+                bundle_key = fingerprint_rows(
+                    all_rows, "impala-build-side", geometry_slot,
+                    operator.value, float(radius), self.engine_name,
+                )
+            except TypeError:
+                bundle_key = None
+        bundle = (
+            self.cache.get(bundle_key, "impala-build-side")
+            if bundle_key is not None
+            else None
         )
+        if bundle is None:
+            index, wkt_bytes, _ = build_spatial_index(
+                all_rows, geometry_slot, operator, radius, self.engine_name
+            )
+            raw_build_bytes = sum(estimate_bytes(r) for r in all_rows)
+            if bundle_key is not None:
+                self.cache.put(
+                    bundle_key, "impala-build-side",
+                    (index, wkt_bytes, raw_build_bytes),
+                    size_bytes=estimate_index_bytes(index) + 16,
+                    build_cost=float(wkt_bytes)
+                    + sum(index.build_cost_units().values()),
+                )
+        else:
+            index, wkt_bytes, raw_build_bytes = bundle
         weight = self.build_cost_weight
-        build_bytes = sum(estimate_bytes(r) for r in all_rows) * weight
+        build_bytes = raw_build_bytes * weight
         if join.distribution == "partitioned" and self.cluster.num_nodes > 1:
             share = len(instances)
             try:

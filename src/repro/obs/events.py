@@ -62,6 +62,9 @@ WorkerBlacklisted  query, vworker, failures, reason          *(since v2)*
 StageRecomputed    query, stage, shuffle_id, map_partition, reason
                                                              *(since v2)*
 QueryRestarted     query, restart, reason, fragment          *(since v2)*
+CacheHit           kind, key, size_bytes                     *(since v3)*
+CacheMiss          kind, key                                 *(since v3)*
+CacheEvict         kind, key, size_bytes, reason             *(since v3)*
 =================  ========================================================
 
 ``query``/``stage`` ids are small integers allocated driver-side
@@ -76,6 +79,12 @@ and the Impala coordinator's restart loop) carry ``vworker`` — the fault
 plan's deterministic *virtual* worker id — rather than the volatile
 physical ``worker`` field, so they survive :func:`normalize_events`
 intact and pin byte-identically across executor counts.
+
+The ``since v3`` cache events (emitted by
+:class:`repro.cache.manager.CacheManager`) describe whether a query
+*reused* an artifact — inherently dependent on what ran before in the
+process — so :func:`normalize_events` drops them entirely, preserving
+the cache-on vs cache-off stream-identity invariant (DESIGN.md §12).
 """
 
 from __future__ import annotations
@@ -92,6 +101,7 @@ __all__ = [
     "MIN_SCHEMA_VERSION",
     "EVENT_TYPES",
     "RECOVERY_EVENT_TYPES",
+    "CACHE_EVENT_TYPES",
     "VOLATILE_FIELDS",
     "EventLog",
     "get_event_log",
@@ -104,9 +114,10 @@ __all__ = [
 ]
 
 # v2 added the recovery events (TaskRetried, TaskSpeculated,
-# WorkerBlacklisted, StageRecomputed, QueryRestarted); v1 logs are a
-# strict subset and remain readable.
-SCHEMA_VERSION = 2
+# WorkerBlacklisted, StageRecomputed, QueryRestarted); v3 added the
+# cross-query cache events (CacheHit, CacheMiss, CacheEvict).  Older
+# logs are strict subsets and remain readable.
+SCHEMA_VERSION = 3
 MIN_SCHEMA_VERSION = 1
 
 # How many events may ride in the userspace file buffer before a flush.
@@ -124,6 +135,12 @@ RECOVERY_EVENT_TYPES = frozenset(
     }
 )
 
+# Cross-query cache bookkeeping (schema v3).  Whether a lookup hits
+# depends on process history, not on the query itself, so these are
+# stripped by normalize_events (cache-on and cache-off runs of one query
+# must produce equal normalized streams).
+CACHE_EVENT_TYPES = frozenset({"CacheHit", "CacheMiss", "CacheEvict"})
+
 EVENT_TYPES = (
     frozenset(
         {
@@ -140,6 +157,7 @@ EVENT_TYPES = (
         }
     )
     | RECOVERY_EVENT_TYPES
+    | CACHE_EVENT_TYPES
 )
 
 # Fields whose values legitimately differ between a serial run and a
@@ -330,16 +348,19 @@ def read_events(path: str) -> list[dict]:
 def normalize_events(events: list[dict]) -> list[dict]:
     """The deterministic core of an event stream, for replay comparisons.
 
-    Drops the ``LogStart`` header and ``WorkerHeartbeat`` events (pure
-    placement/liveness, absent from serial runs) and strips
-    :data:`VOLATILE_FIELDS` from the rest.  Two runs of the same query
-    with different ``executors`` produce equal normalized streams — the
-    event-log flavour of the pool's byte-identity invariant.
+    Drops the ``LogStart`` header, ``WorkerHeartbeat`` events (pure
+    placement/liveness, absent from serial runs) and the
+    :data:`CACHE_EVENT_TYPES` (reuse bookkeeping, dependent on process
+    history rather than the query), and strips :data:`VOLATILE_FIELDS`
+    from the rest.  Two runs of the same query with different
+    ``executors`` — or with the cache on vs off — produce equal
+    normalized streams — the event-log flavour of the byte-identity
+    invariant.
     """
     normalized = []
     for record in events:
         kind = record.get("event")
-        if kind in ("LogStart", "WorkerHeartbeat"):
+        if kind in ("LogStart", "WorkerHeartbeat") or kind in CACHE_EVENT_TYPES:
             continue
         normalized.append(
             {k: v for k, v in record.items() if k not in VOLATILE_FIELDS}

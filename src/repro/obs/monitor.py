@@ -24,14 +24,17 @@ Four views, stacked by :func:`monitor_report`:
 * **recovery timelines** — the schema-v2 recovery events (retries with
   backoff, speculative duplicates, blacklisted virtual workers, lineage
   recomputes, whole-query restarts) rendered chronologically, so a chaos
-  run's healing is as inspectable as its stragglers.
+  run's healing is as inspectable as its stragglers;
+* **cache activity** — the schema-v3 cross-query cache events summarised
+  per artifact kind (hits/misses/evictions and bytes served from cache),
+  shown only when the log contains any.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.obs.events import RECOVERY_EVENT_TYPES
+from repro.obs.events import CACHE_EVENT_TYPES, RECOVERY_EVENT_TYPES
 from repro.obs.registry import Histogram
 
 __all__ = [
@@ -45,6 +48,7 @@ __all__ = [
     "render_stragglers",
     "render_utilization",
     "render_recovery",
+    "render_cache_activity",
     "monitor_report",
 ]
 
@@ -389,6 +393,46 @@ def render_recovery(
     return "\n".join(lines)
 
 
+# -- cache activity --------------------------------------------------------------
+
+
+def render_cache_activity(events: list[dict]) -> str | None:
+    """Per-kind table of cross-query cache traffic, or ``None`` if silent.
+
+    The v3 cache events (:data:`~repro.obs.events.CACHE_EVENT_TYPES`) are
+    the *only* place reuse bookkeeping appears in a log — they are dropped
+    by ``normalize_events``, so this section summarises exactly what the
+    byte-identity invariant excludes from query-visible state.
+    """
+    recs = [e for e in events if e.get("event") in CACHE_EVENT_TYPES]
+    if not recs:
+        return None
+    by_kind: dict[str, dict[str, int]] = {}
+    hit_bytes: dict[str, int] = {}
+    for e in recs:
+        kind = e.get("kind", "?")
+        row = by_kind.setdefault(
+            kind, {"CacheHit": 0, "CacheMiss": 0, "CacheEvict": 0}
+        )
+        row[e["event"]] += 1
+        if e["event"] == "CacheHit":
+            hit_bytes[kind] = hit_bytes.get(kind, 0) + int(e.get("size_bytes", 0))
+    header = (
+        f"{'kind':<24} {'hits':>6} {'misses':>6} {'evicts':>6} "
+        f"{'hit rate':>8} {'hit bytes':>10}"
+    )
+    lines = ["cache activity (cross-query reuse)", header, "-" * len(header)]
+    for kind in sorted(by_kind):
+        row = by_kind[kind]
+        lookups = row["CacheHit"] + row["CacheMiss"]
+        rate = row["CacheHit"] / lookups if lookups else 0.0
+        lines.append(
+            f"{kind:<24} {row['CacheHit']:>6} {row['CacheMiss']:>6} "
+            f"{row['CacheEvict']:>6} {rate:>7.0%} {hit_bytes.get(kind, 0):>10}"
+        )
+    return "\n".join(lines)
+
+
 # -- the full report -------------------------------------------------------------
 
 
@@ -407,6 +451,9 @@ def monitor_report(events: list[dict], k: float = 2.0, width: int = 64) -> str:
     recovery = render_recovery(events, names)
     if recovery:
         sections.append(recovery)
+    cache_activity = render_cache_activity(events)
+    if cache_activity:
+        sections.append(cache_activity)
     heartbeats = [e for e in events if e.get("event") == "WorkerHeartbeat"]
     if heartbeats:
         workers = sorted(

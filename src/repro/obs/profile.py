@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["ProfileNode", "QueryProfile"]
+__all__ = ["ProfileNode", "QueryProfile", "annotate_profile_with_cache"]
 
 
 def _fmt_units(value: float) -> str:
@@ -203,3 +203,31 @@ class QueryProfile:
         from repro.obs.export import profile_to_chrome_trace
 
         return profile_to_chrome_trace(self)
+
+
+def annotate_profile_with_cache(profile: QueryProfile, stats) -> QueryProfile:
+    """Attach cross-query cache totals to a profile, *out of band*.
+
+    Engines never call this: the byte-identity invariant (DESIGN.md
+    section 12) requires an engine-built profile to render identically
+    whether the cache was on or off, so reuse bookkeeping can only be
+    grafted on afterwards by tooling that opted in (``bench cache``, ad
+    hoc analysis).  ``stats`` is a :class:`repro.cache.CacheStats` or its
+    ``as_dict()`` form; the totals land in a ``cache`` info block on the
+    root node (0 simulated seconds — reuse never bills the query).
+    Returns ``profile`` for chaining.
+    """
+    doc = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
+    node = profile.find("cache")
+    if node is None:
+        node = profile.root.add_child(ProfileNode(name="cache"))
+    node.info.update(
+        hits=int(doc.get("hits", 0)),
+        misses=int(doc.get("misses", 0)),
+        evictions=int(doc.get("evictions", 0)),
+        puts=int(doc.get("puts", 0)),
+        rejected=int(doc.get("rejected", 0)),
+    )
+    for kind, hits in sorted(dict(doc.get("hits_by_kind", {})).items()):
+        node.info[f"hits[{kind}]"] = int(hits)
+    return profile

@@ -78,6 +78,9 @@ class PlanChoice:
     histogram: TileHistogram | None = field(default=None, repr=False)
     split_tiles: int = 0
     skew_factor: float = DEFAULT_SKEW_FACTOR
+    # True when the broadcast build side was cache-resident at planning
+    # time, so its cost was discounted (a warm cache can flip the plan).
+    cached_build: bool = False
 
     @property
     def estimated_seconds(self) -> float:
@@ -87,7 +90,9 @@ class PlanChoice:
         """Render the choice the way ``EXPLAIN`` renders a plan."""
         lines = [
             f"PLAN CHOICE: {self.method}  "
-            f"(est {self.estimated_seconds:.3f}s, workers={self.workers})"
+            f"(est {self.estimated_seconds:.3f}s, workers={self.workers}"
+            + (", cached build side" if self.cached_build else "")
+            + ")"
         ]
         for method in PLAN_METHODS:
             marker = "->" if method == self.method else "  "
@@ -113,6 +118,8 @@ class PlanChoice:
             "est_seconds": {m: round(s, 6) for m, s in self.costs.items()},
             "stats": self.stats.to_info(),
         }
+        if self.cached_build:
+            info["cached_build"] = True
         if self.partitioning is not None:
             info["tiles"] = len(self.partitioning)
             info["split_tiles"] = self.split_tiles
@@ -236,6 +243,7 @@ def estimate_plan_costs(
     nodes: int = 1,
     engine: str = "fast",
     histogram: TileHistogram | None = None,
+    cached_build: bool = False,
 ) -> dict[str, float]:
     """Price every plan in simulated seconds.
 
@@ -244,6 +252,13 @@ def estimate_plan_costs(
     given the partitioned plan's parallel phase is the *simulated dynamic
     makespan* of its per-tile estimates — the calibration hook that makes
     the chooser agree with :mod:`repro.cluster.simulation`.
+
+    ``cached_build`` zeroes the broadcast plan's index-build term: when
+    the cross-query cache already holds the built index, the broadcast
+    plan's real setup cost is just the lookup, so the chooser should not
+    charge a rebuild it will never perform.  (The *executed* plan still
+    bills the full build units — plan pricing is about wall-clock the
+    driver will actually spend; execution billing simulates the cluster.)
     """
     model = cost_model or CostModel()
     workers = max(1, workers)
@@ -264,7 +279,10 @@ def estimate_plan_costs(
     )
 
     # broadcast: serial build + fan-out shipping + parallel probes.
-    build = model.task_seconds({Resource.INDEX_BUILD: n_right})
+    # A cache-resident index makes the build (but not the shipping) free.
+    build = 0.0 if cached_build else model.task_seconds(
+        {Resource.INDEX_BUILD: n_right}
+    )
     ship = model.task_seconds(
         {Resource.BROADCAST_BYTES: stats.right.estimated_bytes}
     ) * (1.0 + model.broadcast_node_factor * (nodes - 1))
@@ -328,6 +346,7 @@ def choose_plan(
     skew_factor: float = DEFAULT_SKEW_FACTOR,
     engine: str = "fast",
     sample_size: int | None = None,
+    cached_build: bool = False,
 ) -> PlanChoice:
     """Sample, price, and pick the cheapest join plan.
 
@@ -337,6 +356,11 @@ def choose_plan(
     fan-out.  The partitioned candidate always gets a skew-aware tiling,
     so the returned :class:`PlanChoice` carries usable tiles whenever
     partitioned is chosen (or close).
+
+    ``cached_build=True`` discounts the broadcast plan's index-build term
+    (the cross-query cache already holds the built index); the discount
+    and any resulting plan flip are recorded on the returned
+    :class:`PlanChoice` as ``cached_build``.
     """
     model = cost_model or CostModel()
     if isinstance(left, JoinStats):
@@ -372,6 +396,7 @@ def choose_plan(
         nodes=nodes,
         engine=engine,
         histogram=histogram,
+        cached_build=cached_build,
     )
     method = min(PLAN_METHODS, key=lambda m: (costs[m], PLAN_METHODS.index(m)))
     return PlanChoice(
@@ -384,6 +409,7 @@ def choose_plan(
         histogram=histogram,
         split_tiles=split_count,
         skew_factor=skew_factor,
+        cached_build=cached_build,
     )
 
 

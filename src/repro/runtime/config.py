@@ -56,6 +56,7 @@ class RuntimeConfig:
     restart_budget       Impala-side whole-query restarts before giving up
     fault_plan           the injected :class:`FaultPlan` (``None`` = no chaos)
     events_out           JSONL event-log path (same as the loose keyword)
+    cache_budget_bytes   cross-query cache budget; ``None``/``0`` = caching off
     ==================== =======================================================
     """
 
@@ -72,6 +73,7 @@ class RuntimeConfig:
     restart_budget: int = 2
     fault_plan: FaultPlan | None = None
     events_out: str | None = None
+    cache_budget_bytes: int | None = None
 
     def __post_init__(self):
         if not isinstance(self.executors, TaskPool):
@@ -125,6 +127,15 @@ class RuntimeConfig:
             raise ReproError(
                 f"RuntimeConfig.fault_plan must be a FaultPlan or None, "
                 f"got {type(self.fault_plan).__name__}"
+            )
+        if self.cache_budget_bytes is not None and (
+            isinstance(self.cache_budget_bytes, bool)
+            or not isinstance(self.cache_budget_bytes, int)
+            or self.cache_budget_bytes < 0
+        ):
+            raise ReproError(
+                "RuntimeConfig.cache_budget_bytes must be None or an "
+                f"integer >= 0, got {self.cache_budget_bytes!r}"
             )
 
     def with_(self, **changes) -> "RuntimeConfig":

@@ -17,15 +17,28 @@ T = TypeVar("T")
 
 
 class Broadcast(Generic[T]):
-    """A read-only value replicated to every executor node."""
+    """A read-only value replicated to every executor node.
 
-    __slots__ = ("_value", "id", "size_bytes", "_destroyed")
+    ``fingerprint`` is the payload's content key in the cross-query cache
+    when the value came from (or went into) it; :meth:`destroy` then also
+    drops the cache entry, so an explicitly released payload can never be
+    served to a later query.
+    """
 
-    def __init__(self, broadcast_id: int, value: T, size_bytes: int):
+    __slots__ = ("_value", "id", "size_bytes", "_destroyed", "fingerprint")
+
+    def __init__(
+        self,
+        broadcast_id: int,
+        value: T,
+        size_bytes: int,
+        fingerprint: bytes | None = None,
+    ):
         self.id = broadcast_id
         self._value = value
         self.size_bytes = size_bytes
         self._destroyed = False
+        self.fingerprint = fingerprint
 
     @property
     def value(self) -> T:
@@ -35,6 +48,14 @@ class Broadcast(Generic[T]):
         return self._value
 
     def destroy(self) -> None:
-        """Release the payload (subsequent access raises)."""
+        """Release the payload (subsequent access raises).
+
+        A cache-resident payload is invalidated too: destroy means "this
+        data is gone", and the cross-query cache must agree.
+        """
+        if self.fingerprint is not None:
+            from repro.cache import get_cache
+
+            get_cache().invalidate(self.fingerprint)
         self._destroyed = True
         self._value = None

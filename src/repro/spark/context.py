@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import TypeVar
 
+from repro.cache import cache_for
 from repro.cluster.metrics import QueryMetrics
 from repro.cluster.model import ClusterSpec, CostModel
 from repro.hdfs import SimulatedHDFS
@@ -58,6 +59,10 @@ class SparkContext:
         # Driver-side recovery state (fault plan, virtual-worker
         # blacklist); inert unless the runtime carries a FaultPlan.
         self.recovery = RecoveryContext(runtime)
+        # Cross-query cache handle (None unless the runtime sets
+        # cache_budget_bytes); the broadcast/partitioned joins reuse
+        # built indexes through it.
+        self.cache = cache_for(runtime)
         # Structured event log: given a JSONL path, every job emits the
         # QueryStart/StageSubmitted/TaskStart/... stream the monitor
         # replays.  None keeps the disabled global sink — a strict no-op.
@@ -107,13 +112,22 @@ class SparkContext:
 
     # -- broadcast ---------------------------------------------------------------
 
-    def broadcast(self, value: T, cost_weight: float = 1.0) -> Broadcast[T]:
+    def broadcast(
+        self,
+        value: T,
+        cost_weight: float = 1.0,
+        fingerprint: bytes | None = None,
+    ) -> Broadcast[T]:
         """Replicate a read-only value to every executor node.
 
         Charges simulated network time for shipping the payload to each
         node (pipelined torrent-style: one serialisation plus a per-extra-
         node factor), which is how the broadcast join pays for a growing
-        cluster.
+        cluster.  The shipping charge is identical whether the payload was
+        freshly built or reused from the cross-query cache — the simulated
+        cluster still has to ship it; ``fingerprint`` only links the
+        :class:`Broadcast` to its cache entry for destroy-time
+        invalidation.
         """
         self._broadcast_counter += 1
         size = self._broadcast_size(value) * cost_weight
@@ -122,7 +136,7 @@ class SparkContext:
         self.broadcast_overhead_seconds += (
             size * model.broadcast_byte * (1.0 + model.broadcast_node_factor * (nodes - 1))
         )
-        return Broadcast(self._broadcast_counter, value, size)
+        return Broadcast(self._broadcast_counter, value, size, fingerprint)
 
     @staticmethod
     def _broadcast_size(value) -> int:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Iterable
 
+import numpy as np
+
 from repro.errors import SparkError
 from repro.obs.registry import REGISTRY
 
@@ -23,8 +25,9 @@ def estimate_bytes(record: Any) -> int:
     Not exact serialisation — a stable, fast heuristic: containers are the
     sum of their elements plus a small header, strings weigh their UTF-8
     byte length, geometries 16 bytes per vertex (two float64 coordinates),
-    scalars 8.  The container walk is iterative (explicit stack) so deeply
-    nested records can't hit the interpreter recursion limit.
+    numpy arrays their buffer size plus a header, scalars 8.  The
+    container walk is iterative (explicit stack) so deeply nested records
+    can't hit the interpreter recursion limit.
     """
     total = 0
     stack = [record]
@@ -46,6 +49,8 @@ def estimate_bytes(record: Any) -> int:
             for key, value in item.items():
                 stack.append(key)
                 stack.append(value)
+        elif isinstance(item, np.ndarray):
+            total += 16 + item.nbytes
         else:
             num_points = getattr(item, "num_points", None)
             if num_points is not None:

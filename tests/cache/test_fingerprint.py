@@ -1,0 +1,96 @@
+"""Content fingerprints: datasets key the cache, object identity never does."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    fingerprint_entries,
+    fingerprint_geometry,
+    fingerprint_rows,
+    fingerprint_value,
+)
+from repro.geometry.linestring import LineString
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+def square(x: float = 0.0) -> Polygon:
+    return Polygon([(x, 0), (x + 2, 0), (x + 2, 2), (x, 2)])
+
+
+def dataset(offset: float = 0.0):
+    return [(i, square(i * 3 + offset)) for i in range(4)]
+
+
+class TestContentKeys:
+    def test_equal_content_equal_key(self):
+        # Two independently constructed datasets with the same coordinates
+        # must collide — that is the whole point of content keys.
+        a = fingerprint_entries(dataset(), "op", 0.0, "fast")
+        b = fingerprint_entries(dataset(), "op", 0.0, "fast")
+        assert a == b
+
+    def test_different_content_different_key(self):
+        a = fingerprint_entries(dataset(), "op", 0.0, "fast")
+        b = fingerprint_entries(dataset(offset=0.5), "op", 0.0, "fast")
+        assert a != b
+
+    def test_context_distinguishes_keys(self):
+        base = fingerprint_entries(dataset(), "within", 0.0, "fast")
+        assert base != fingerprint_entries(dataset(), "nearestd", 0.0, "fast")
+        assert base != fingerprint_entries(dataset(), "within", 0.1, "fast")
+        assert base != fingerprint_entries(dataset(), "within", 0.0, "slow")
+
+    def test_payload_type_tags_keep_lookalikes_apart(self):
+        assert fingerprint_value(1) != fingerprint_value(1.0)
+        assert fingerprint_value(1) != fingerprint_value("1")
+        assert fingerprint_value(True) != fingerprint_value(1)
+        assert fingerprint_value((1, 2)) != fingerprint_value([1, 2])
+
+    def test_geometry_types_distinguished(self):
+        point = Point(1.0, 2.0)
+        line = LineString([(1.0, 2.0), (1.0, 2.0)])
+        assert fingerprint_geometry(point) != fingerprint_geometry(line)
+
+    def test_entry_count_is_part_of_the_key(self):
+        a = fingerprint_entries(dataset()[:2])
+        b = fingerprint_entries(dataset()[:3])
+        assert a != b
+
+    def test_rows_fingerprint_is_order_sensitive(self):
+        rows = [(1, "a"), (2, "b")]
+        assert fingerprint_rows(rows) != fingerprint_rows(list(reversed(rows)))
+
+    def test_unfingerprintable_value_raises_typeerror(self):
+        # Call sites catch TypeError and bypass the cache; anything else
+        # would silently cache under a wrong key.
+        with pytest.raises(TypeError, match="cannot fingerprint"):
+            fingerprint_value(object())
+
+
+class TestMutationInvalidation:
+    def test_mutating_coordinates_changes_the_key(self):
+        # No id()-based shortcut exists: an in-place edit of the backing
+        # coordinate array must produce a different fingerprint, so a
+        # mutated dataset can never hit a stale cache entry.
+        poly = square()
+        before = fingerprint_geometry(poly)
+        coords = poly.shell.coords
+        coords.setflags(write=True)
+        try:
+            coords[0, 0] += 0.25
+            after = fingerprint_geometry(poly)
+        finally:
+            coords[0, 0] -= 0.25
+            coords.setflags(write=False)
+        assert before != after
+        assert fingerprint_geometry(poly) == before
+
+    def test_mutating_numpy_payload_changes_entry_key(self):
+        payload = np.arange(4, dtype=np.float64)
+        entries = [(payload, square())]
+        before = fingerprint_entries(entries, "ctx")
+        payload[1] = 99.0
+        assert fingerprint_entries(entries, "ctx") != before

@@ -1,0 +1,154 @@
+"""CacheManager semantics: budgets, cost-aware LRU, deterministic eviction."""
+
+from __future__ import annotations
+
+from repro.cache import CacheManager, estimate_index_bytes, fingerprint_value
+from repro.core.operators import SpatialOperator
+from repro.core.probe import BroadcastIndex
+from repro.geometry.polygon import Polygon
+from repro.spark.shuffle import estimate_bytes
+
+
+def key(label: str):
+    return fingerprint_value(label)
+
+
+def fill(manager: CacheManager, spec):
+    """Insert ``(label, size, cost)`` rows in order."""
+    for label, size, cost in spec:
+        manager.put(key(label), "t", label, size_bytes=size, build_cost=cost)
+
+
+class TestBasics:
+    def test_empty_enabled_manager_is_truthy(self):
+        # Call sites write ``if cache is not None`` — but ``if cache:``
+        # must not silently disable an *empty* enabled cache either.
+        assert bool(CacheManager(budget_bytes=1024))
+
+    def test_hit_and_miss_accounting(self):
+        m = CacheManager(budget_bytes=1024)
+        assert m.get(key("a"), "t") is None
+        m.put(key("a"), "t", "value", size_bytes=10, build_cost=1.0)
+        assert m.get(key("a"), "t") == "value"
+        assert m.stats.as_dict()["hits"] == 1
+        assert m.stats.as_dict()["misses"] == 1
+        assert m.stats.hits_by_kind == {"t": 1}
+
+    def test_kind_mismatch_is_a_miss(self):
+        m = CacheManager(budget_bytes=1024)
+        m.put(key("a"), "index", "value", size_bytes=10)
+        assert m.get(key("a"), "layout") is None
+
+    def test_oversized_entry_rejected(self):
+        m = CacheManager(budget_bytes=100)
+        assert not m.put(key("big"), "t", "x", size_bytes=101)
+        assert len(m) == 0
+        assert m.stats.rejected == 1
+
+    def test_unbounded_manager_never_evicts(self):
+        m = CacheManager(budget_bytes=None)
+        fill(m, [(f"e{i}", 10_000, 1.0) for i in range(50)])
+        assert len(m) == 50
+        assert m.stats.evictions == 0
+
+
+class TestEviction:
+    def test_lowest_density_evicted_first(self):
+        m = CacheManager(budget_bytes=250)
+        # cheap-and-bulky loses to expensive-and-compact.
+        fill(m, [("bulky", 200, 1.0), ("compact", 100, 50.0)])
+        assert m.get(key("bulky"), "t") is None
+        assert m.get(key("compact"), "t") == "compact"
+
+    def test_equal_density_evicts_least_recently_used(self):
+        m = CacheManager(budget_bytes=250)
+        fill(m, [("a", 100, 10.0), ("b", 100, 10.0)])
+        assert m.get(key("a"), "t") == "a"  # refresh a; b is now LRU
+        m.put(key("c"), "t", "c", size_bytes=100, build_cost=10.0)
+        assert m.get(key("b"), "t") is None
+        assert m.get(key("a"), "t") == "a"
+
+    def test_fresh_insert_is_protected_from_its_own_eviction(self):
+        m = CacheManager(budget_bytes=100)
+        fill(m, [("old", 80, 100.0)])
+        # The new entry is worse by density but must survive its own put;
+        # the resident entry is the victim.
+        m.put(key("new"), "t", "new", size_bytes=90, build_cost=1.0)
+        assert m.get(key("new"), "t") == "new"
+        assert m.get(key("old"), "t") is None
+
+    def test_eviction_order_is_deterministic(self):
+        def run():
+            m = CacheManager(budget_bytes=300)
+            order = []
+            original = m._evict
+
+            def spy(entry, reason):
+                order.append(entry.value)
+                original(entry, reason)
+
+            m._evict = spy
+            fill(
+                m,
+                [
+                    ("a", 100, 5.0),
+                    ("b", 100, 1.0),
+                    ("c", 100, 9.0),
+                    ("d", 100, 2.0),
+                    ("e", 100, 7.0),
+                ],
+            )
+            return order, sorted(e.value for e in m.entries())
+
+        first = run()
+        assert first == run()
+        assert first[0] == ["b", "d"]  # cheapest-per-byte first
+        assert first[1] == ["a", "c", "e"]
+
+
+class TestInvalidation:
+    def test_invalidate_single_entry(self):
+        m = CacheManager(budget_bytes=1024)
+        fill(m, [("a", 10, 1.0)])
+        assert m.invalidate(key("a"))
+        assert not m.invalidate(key("a"))
+        assert m.get(key("a"), "t") is None
+
+    def test_invalidate_kind_drops_only_that_kind(self):
+        m = CacheManager(budget_bytes=1024)
+        m.put(key("i1"), "index", 1, size_bytes=10)
+        m.put(key("i2"), "index", 2, size_bytes=10)
+        m.put(key("l1"), "layout", 3, size_bytes=10)
+        assert m.invalidate_kind("index") == 2
+        assert m.get(key("l1"), "layout") == 3
+
+    def test_clear_resets_entries_and_stats(self):
+        m = CacheManager(budget_bytes=1024)
+        fill(m, [("a", 10, 1.0)])
+        m.get(key("a"), "t")
+        m.clear()
+        assert len(m) == 0
+        assert m.stats.as_dict()["hits"] == 0
+        assert m.total_bytes == 0
+
+
+class TestIndexSizing:
+    def test_estimate_index_bytes_walks_the_tree(self):
+        entries = [
+            (i, Polygon([(i, 0), (i + 1, 0), (i + 1, 1), (i, 1)]))
+            for i in range(32)
+        ]
+        index = BroadcastIndex(
+            ((pair, pair[1]) for pair in entries),
+            SpatialOperator.INTERSECTS,
+        )
+        walked = estimate_index_bytes(index)
+        # The generic estimator sees the index as an opaque object — far
+        # too small to make a byte budget meaningful.
+        assert walked > estimate_bytes(index)
+        assert walked > 32 * 32  # at least per-entry envelope overhead
+
+    def test_estimate_index_bytes_falls_back_without_a_tree(self):
+        assert estimate_index_bytes("not an index") == estimate_bytes(
+            "not an index"
+        )

@@ -1,0 +1,115 @@
+"""The warm-path helpers around the manager: WKT memo, repeat workloads,
+monitor/profile cache reporting."""
+
+from __future__ import annotations
+
+from repro.bench.workloads import WORKLOADS, materialize, materialize_repeat_query
+from repro.cache import CacheManager
+from repro.geometry.wkt import WKTReader, clear_wkt_cache, dumps
+from repro.geometry.polygon import Polygon
+from repro.obs.monitor import render_cache_activity
+from repro.obs.profile import ProfileNode, QueryProfile, annotate_profile_with_cache
+
+
+class TestWktParseMemo:
+    def setup_method(self):
+        clear_wkt_cache()
+
+    def teardown_method(self):
+        clear_wkt_cache()
+
+    def test_repeated_long_wkt_returns_the_cached_object(self):
+        text = dumps(Polygon([(i, i % 7) for i in range(40)]))
+        assert len(text) >= 64
+        first = WKTReader().read(text)
+        second = WKTReader().read(text)
+        assert second is first
+        clear_wkt_cache()
+        assert WKTReader().read(text) is not first
+
+    def test_short_strings_are_not_memoised(self):
+        text = "POINT (1 2)"
+        assert WKTReader().read(text) is not WKTReader().read(text)
+
+    def test_parse_charge_fires_on_hits_too(self):
+        # The memo saves wall-clock only: the cost-model callback must see
+        # every logical parse, or simulated seconds would depend on cache
+        # state and break byte-identity.
+        text = dumps(Polygon([(i, -i % 5) for i in range(40)]))
+        charges: list[int] = []
+        reader = WKTReader(on_parse=charges.append)
+        reader.read(text)
+        reader.read(text)
+        assert charges == [len(text), len(text)]
+
+
+class TestRepeatQueryWorkload:
+    def test_batches_partition_the_left_side(self):
+        base = materialize("taxi-nycb", scale=0.03, num_datanodes=2)
+        batches = materialize_repeat_query(
+            "taxi-nycb", batches=3, scale=0.03, num_datanodes=2
+        )
+        assert len(batches) == 3
+        assert sum(len(b.left.records) for b in batches) == len(
+            base.left.records
+        )
+        seen = [rec for b in batches for rec in b.left.records]
+        assert seen == list(base.left.records)
+        for i, batch in enumerate(batches):
+            # Underscore names: they double as SQL table names in ISP-MC.
+            assert batch.left.name == f"{base.left.name}_batch{i}"
+            assert "-" not in batch.left.name
+            assert batch.right.name == base.right.name
+
+    def test_every_named_workload_supports_batching(self):
+        for name in WORKLOADS:
+            batches = materialize_repeat_query(
+                name, batches=2, scale=0.02, num_datanodes=2
+            )
+            assert len(batches) == 2
+            assert all(b.left.records for b in batches)
+
+
+class TestCacheReporting:
+    def test_monitor_section_only_renders_when_cache_events_exist(self):
+        assert render_cache_activity([{"event": "TaskEnd"}]) is None
+        events = [
+            {"event": "CacheMiss", "kind": "broadcast-index", "key": "aa"},
+            {
+                "event": "CacheHit",
+                "kind": "broadcast-index",
+                "key": "aa",
+                "size_bytes": 512,
+            },
+            {
+                "event": "CacheEvict",
+                "kind": "parsed-column",
+                "key": "bb",
+                "size_bytes": 64,
+                "reason": "budget",
+            },
+        ]
+        text = render_cache_activity(events)
+        assert "broadcast-index" in text
+        assert "512" in text
+        assert "parsed-column" in text
+
+    def test_profile_annotation_is_out_of_band_and_idempotent(self):
+        m = CacheManager(budget_bytes=1024)
+        from repro.cache import fingerprint_value
+
+        k = fingerprint_value("x")
+        m.get(k, "t")
+        m.put(k, "t", 1, size_bytes=8)
+        m.get(k, "t")
+        profile = QueryProfile(ProfileNode(name="q", sim_seconds=2.0))
+        baseline = profile.phase_seconds()
+        annotate_profile_with_cache(profile, m.stats)
+        annotate_profile_with_cache(profile, m.stats)
+        node = profile.find("cache")
+        assert node is not None and node.sim_seconds == 0.0
+        assert node.info["hits"] == 1 and node.info["misses"] == 1
+        assert len(profile.root.children) == len(baseline) + 1
+        # Accepts the dict form too (archived stats).
+        annotate_profile_with_cache(profile, m.stats.as_dict())
+        assert profile.find("cache").info["puts"] == 1

@@ -236,10 +236,18 @@ class TestPreparedCache:
         first = prepare_cached(unit_square)
         assert prepare_cached(unit_square) is first
 
-    def test_distinct_objects_get_distinct_handles(self):
+    def test_equal_content_shares_handle(self):
+        # Memoisation is by content fingerprint (not object identity):
+        # two polygons with identical coordinates share one handle.
         clear_prepared_cache()
         a = Polygon([(0, 0), (1, 0), (1, 1)])
         b = Polygon([(0, 0), (1, 0), (1, 1)])
+        assert prepare_cached(a) is prepare_cached(b)
+
+    def test_distinct_content_gets_distinct_handles(self):
+        clear_prepared_cache()
+        a = Polygon([(0, 0), (1, 0), (1, 1)])
+        b = Polygon([(0, 0), (2, 0), (2, 2)])
         assert prepare_cached(a) is not prepare_cached(b)
 
     def test_clear_resets(self, unit_square):

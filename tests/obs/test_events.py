@@ -145,21 +145,22 @@ class TestSchemaEvolution:
         }
         assert RECOVERY_EVENT_TYPES <= EVENT_TYPES
 
-    def test_previous_schema_version_still_readable(self, tmp_path):
-        """A v1 log (written before recovery events existed) carries a
-        subset of today's event types, so v2 readers accept it as-is."""
+    def test_previous_schema_versions_still_readable(self, tmp_path):
+        """Older logs (v1: pre-recovery, v2: pre-cache) carry a subset of
+        today's event types, so current readers accept them as-is."""
         from repro.obs.events import MIN_SCHEMA_VERSION
 
-        assert MIN_SCHEMA_VERSION == SCHEMA_VERSION - 1
-        path = tmp_path / "v1.jsonl"
-        _run_spark_job("serial", events_out=str(path))
-        lines = path.read_text().splitlines()
-        header = json.loads(lines[0])
-        header["schema_version"] = MIN_SCHEMA_VERSION
-        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
-        events = read_events(str(path))
-        assert events[0]["schema_version"] == MIN_SCHEMA_VERSION
-        assert any(e["event"] == "QueryEnd" for e in events)
+        assert MIN_SCHEMA_VERSION < SCHEMA_VERSION
+        for version in range(MIN_SCHEMA_VERSION, SCHEMA_VERSION):
+            path = tmp_path / f"v{version}.jsonl"
+            _run_spark_job("serial", events_out=str(path))
+            lines = path.read_text().splitlines()
+            header = json.loads(lines[0])
+            header["schema_version"] = version
+            path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+            events = read_events(str(path))
+            assert events[0]["schema_version"] == version
+            assert any(e["event"] == "QueryEnd" for e in events)
 
     def test_too_old_schema_version_rejected(self, tmp_path):
         from repro.obs.events import MIN_SCHEMA_VERSION
