@@ -37,14 +37,14 @@ ENGINES = ("spatialspark", "isp-mc", "isp-standalone")
 
 def _scale_or_mode(value: str):
     """Positional argument: a float scale factor, or a named bench mode."""
-    if value in ("kernels", "parallel", "monitor", "chaos", "cache"):
+    if value in ("kernels", "parallel", "monitor", "chaos", "cache", "columnar"):
         return value
     try:
         return float(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"expected a scale factor, 'kernels', 'parallel', 'monitor', "
-            f"'chaos' or 'cache', got {value!r}"
+            f"'chaos', 'cache' or 'columnar', got {value!r}"
         ) from None
 
 
@@ -64,8 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
         "for the columnar-kernels microbenchmark, 'parallel' for the "
         "process-pool runtime benchmark, 'monitor' to replay an "
         "events.jsonl file as per-worker timelines, 'chaos' for the "
-        "fault-injection equivalence sweep, or 'cache' for the "
-        "cross-query cache cold-vs-warm benchmark",
+        "fault-injection equivalence sweep, 'cache' for the "
+        "cross-query cache cold-vs-warm benchmark, or 'columnar' for "
+        "the packed-buffer data plane vs object path benchmark",
     )
     parser.add_argument(
         "target",
@@ -77,8 +78,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--points",
         type=int,
         default=100_000,
-        help="probe points for the kernels/parallel benchmarks "
+        help="probe points for the kernels/parallel/columnar benchmarks "
         "(default 100000)",
+    )
+    parser.add_argument(
+        "--polygons",
+        type=int,
+        default=2000,
+        help="build-side polygons for the columnar benchmark (default 2000)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="for columnar mode: repetitions per arm, best-of reported "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--assert-bytes-ratio",
+        type=float,
+        metavar="RATIO",
+        default=None,
+        help="for columnar mode: exit nonzero unless both the shuffle "
+        "bucket and the broadcast index ship at least RATIOx fewer bytes "
+        "than the pickled object path",
     )
     parser.add_argument(
         "--out",
@@ -422,6 +445,48 @@ def _cache_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _columnar_run(args: argparse.Namespace) -> int:
+    from repro.bench.columnar_study import (
+        render_columnar,
+        run_columnar_benchmark,
+        write_columnar_json,
+    )
+
+    doc = run_columnar_benchmark(
+        points=args.points, polygons=args.polygons, repeat=args.repeat
+    )
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(render_columnar(doc))
+    if args.out:
+        write_columnar_json(doc, args.out)
+        print(f"wrote columnar benchmark to {args.out}", file=sys.stderr)
+    if not doc["all_identical"]:
+        print("FAIL: columnar and object results differ", file=sys.stderr)
+        return 1
+    if args.assert_speedup is not None and doc["speedup"] < args.assert_speedup:
+        print(
+            f"FAIL: columnar speedup {doc['speedup']:.2f}x < "
+            f"{args.assert_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if args.assert_bytes_ratio is not None:
+        worst = min(
+            doc["shipping"]["shuffle_bytes_ratio"],
+            doc["shipping"]["index_bytes_ratio"],
+        )
+        if worst < args.assert_bytes_ratio:
+            print(
+                f"FAIL: shipped-bytes reduction {worst:.2f}x < "
+                f"{args.assert_bytes_ratio:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _monitor_run(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.obs.events import read_events
@@ -455,6 +520,8 @@ def main(argv: list[str] | None = None) -> int:
         return _chaos_run(args)
     if args.scale == "cache":
         return _cache_run(args)
+    if args.scale == "columnar":
+        return _columnar_run(args)
     if args.method == "auto":
         study = optimizer_study(scale=args.scale, nodes=args.nodes)
         if args.json:

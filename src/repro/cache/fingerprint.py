@@ -21,6 +21,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.columnar.column import GeometryColumn
 from repro.geometry.base import Geometry
 from repro.geometry.linestring import LineString
 from repro.geometry.multi import _MultiGeometry
@@ -96,6 +97,11 @@ def _update_value(h, value) -> None:
     elif isinstance(value, Geometry):
         h.update(b"g")
         _update_geometry(h, value)
+    elif isinstance(value, GeometryColumn):
+        # Stream the packed buffers directly — no per-geometry object
+        # walk; an in-place coordinate mutation still changes the digest.
+        h.update(b"C")
+        value.update_hash(h, _update_value)
     elif isinstance(value, np.ndarray):
         h.update(b"a")
         h.update(str(value.dtype).encode("ascii"))

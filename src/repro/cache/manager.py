@@ -39,6 +39,13 @@ def estimate_index_bytes(index) -> int:
     """
     from repro.spark.shuffle import estimate_bytes
 
+    column = getattr(index, "_column", None)
+    if column is not None:
+        # Column-backed index: the coordinate/offset/bbox buffers are
+        # sized exactly (``nbytes`` is the encoded size); tree leaf and
+        # interior-node overheads match the object-path walk below.
+        count = len(column)
+        return int(column.nbytes) + 32 * count + 48 * max(1, count // 8)
     tree = getattr(index, "tree", None)
     iter_all = getattr(tree, "iter_all", None)
     if iter_all is None:

@@ -1,0 +1,26 @@
+"""Columnar geometry data plane.
+
+A :class:`GeometryColumn` stores a batch of geometries as flat numpy
+buffers (GeoArrow-style nested offsets) plus a parallel payload column.
+Partition slices are O(1) index arrays into the shared buffers; the
+versioned binary encoding (``to_bytes``/``from_bytes``) is what ships
+across simulated shuffles and process pools.
+
+The object path remains the reference oracle: every columnar code path
+is required to produce byte-identical results (pairs, order, counters,
+simulated seconds, profiles, events) and is gated by the ``columnar=``
+knob on ``JoinConfig``/``RuntimeConfig``.
+"""
+
+from .block import ColumnBlock
+from .column import GeometryColumn
+from .io import column_from_wkt
+from .stats import COLUMNAR_STATS, ColumnarStats
+
+__all__ = [
+    "COLUMNAR_STATS",
+    "ColumnBlock",
+    "ColumnarStats",
+    "GeometryColumn",
+    "column_from_wkt",
+]

@@ -31,6 +31,7 @@ from repro.cache import (
 from repro.cluster.metrics import QueryMetrics, StageMetrics, TaskMetrics
 from repro.cluster.model import CostModel, Resource
 from repro.cluster.simulation import simulate_dynamic
+from repro.columnar.column import GeometryColumn
 from repro.core.operators import SpatialOperator
 from repro.core.probe import BroadcastIndex, naive_spatial_join
 from repro.errors import ReproError
@@ -93,6 +94,14 @@ class JoinConfig:
     rule: an explicit ``runtime`` wins over the loose ``executors`` /
     ``events_out`` fields; when ``runtime`` is ``None`` those fields are
     packed into an implicit one and behave exactly as before.
+
+    ``columnar`` (default on) runs the packed-buffer geometry data plane
+    (DESIGN.md §13): bulk column construction, array-sorted STR builds,
+    coordinate-buffer probe kernels.  ``columnar=False`` selects the
+    object path, which is the byte-identical reference oracle — pairs,
+    counters, profiles, simulated seconds and events match exactly either
+    way.  An explicit ``runtime`` carries its own ``columnar`` flag, which
+    wins (same precedence as ``executors``).
     """
 
     operator: SpatialOperator | str = SpatialOperator.WITHIN
@@ -110,6 +119,7 @@ class JoinConfig:
     executors: int | str = "serial"
     events_out: str | None = None
     runtime: RuntimeConfig | None = None
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if not isinstance(self.batch_size, int) or self.batch_size < 1:
@@ -121,12 +131,18 @@ class JoinConfig:
             raise ReproError(
                 f"runtime must be a RuntimeConfig, got {type(self.runtime).__name__}"
             )
+        if not isinstance(self.columnar, bool):
+            raise ReproError(f"columnar must be a bool, got {self.columnar!r}")
 
     def resolved_runtime(self) -> RuntimeConfig:
         """The effective runtime policy (explicit ``runtime`` wins)."""
         if self.runtime is not None:
             return self.runtime
-        return RuntimeConfig(executors=self.executors, events_out=self.events_out)
+        return RuntimeConfig(
+            executors=self.executors,
+            events_out=self.events_out,
+            columnar=self.columnar,
+        )
 
     def with_(self, **changes) -> "JoinConfig":
         """A copy with the given fields replaced."""
@@ -257,6 +273,27 @@ def _broadcast_index_key(right_entries, op, cfg):
     )
 
 
+def _use_columnar(cfg: JoinConfig) -> bool:
+    """The effective ``columnar`` knob (explicit runtime wins)."""
+    return cfg.resolved_runtime().columnar
+
+
+def _make_index(right_entries, op, cfg):
+    """One broadcast index, via the columnar bulk path when enabled.
+
+    Both constructors produce byte-identical indexes (tree structure,
+    entry order, counters); the column path only changes how the build
+    runs (array STR sort, no per-entry envelope walking).
+    """
+    if _use_columnar(cfg):
+        column = GeometryColumn.from_entries(right_entries)
+        if column is not None:
+            return BroadcastIndex.from_column(
+                column, op, radius=cfg.radius, engine=cfg.engine
+            )
+    return BroadcastIndex(right_entries, op, radius=cfg.radius, engine=cfg.engine)
+
+
 def _build_broadcast_index(right_entries, op, cfg, cache, key=None):
     """Build the broadcast index, or reuse a cache-resident one.
 
@@ -266,12 +303,12 @@ def _build_broadcast_index(right_entries, op, cfg, cache, key=None):
     STR-tree construction wall-clock is saved.
     """
     if cache is None:
-        return BroadcastIndex(right_entries, op, radius=cfg.radius, engine=cfg.engine)
+        return _make_index(right_entries, op, cfg)
     if key is None:
         key = _broadcast_index_key(right_entries, op, cfg)
     index = cache.get(key, "broadcast-index")
     if index is None:
-        index = BroadcastIndex(right_entries, op, radius=cfg.radius, engine=cfg.engine)
+        index = _make_index(right_entries, op, cfg)
         cache.put(key, "broadcast-index", index,
                   size_bytes=estimate_index_bytes(index),
                   build_cost=sum(index.build_cost_units().values()))
@@ -588,7 +625,8 @@ def _probe_pool(cfg: JoinConfig, recovery: RecoveryContext | None = None):
 
 
 def _probe_chunks_pooled(
-    pool, index, left_entries, cfg, model=None, events_ctx=None, recovery=None
+    pool, index, left_entries, cfg, model=None, events_ctx=None, recovery=None,
+    left_column=None,
 ):
     """Probe ``batch_size`` chunks on the pool; (pairs, totals, capture)
     per chunk.
@@ -599,16 +637,25 @@ def _probe_chunks_pooled(
     would have produced them.  With the event log on (``events_ctx`` is a
     ``(query, stage)`` pair) the worker frames its chunk in TaskStart /
     TaskEnd and ships the buffered events back in an :class:`ObsCapture`;
-    otherwise the capture slot is ``None`` and nothing changes.
+    otherwise the capture slot is ``None`` and nothing changes.  With a
+    ``left_column`` the probe reads a zero-copy column slice instead of
+    the chunk's geometry objects (identical matches and totals).
     """
-    chunks = [
-        left_entries[start : start + cfg.batch_size]
-        for start in range(0, len(left_entries), cfg.batch_size)
-    ]
+    starts = list(range(0, len(left_entries), cfg.batch_size))
+    chunks = [left_entries[start : start + cfg.batch_size] for start in starts]
 
     def make_task(task_index, chunk):
+        if left_column is not None:
+            start = starts[task_index]
+            probe_input = left_column.slice(start, start + cfg.batch_size)
+        else:
+            probe_input = None
+
         def probe_chunk():
-            matches_per_row, totals = index.probe_batch(g for _, g in chunk)
+            if probe_input is not None:
+                matches_per_row, totals = index.probe_batch(probe_input)
+            else:
+                matches_per_row, totals = index.probe_batch(g for _, g in chunk)
             chunk_pairs = []
             for (left_id, _), matches in zip(chunk, matches_per_row):
                 chunk_pairs.extend((left_id, right_id) for right_id in matches)
@@ -660,6 +707,11 @@ def _broadcast_join(
     tracer = get_tracer()
     pairs: list[tuple[Any, Any]] = []
     pool = _probe_pool(cfg, recovery)
+    left_column = None
+    if cfg.batch_refine and _use_columnar(cfg):
+        # One packed column over the probe side; every chunk below is a
+        # zero-copy slice of it.
+        left_column = GeometryColumn.from_entries(left_entries)
     log = get_event_log()
     events_ctx = None
     if events_query is not None and log.enabled and cfg.batch_refine:
@@ -677,7 +729,8 @@ def _broadcast_join(
         index = _build_broadcast_index(right_entries, op, cfg, cache, cache_key)
         if pool is not None:
             for chunk_pairs, _, capture in _probe_chunks_pooled(
-                pool, index, left_entries, cfg, model, events_ctx, recovery
+                pool, index, left_entries, cfg, model, events_ctx, recovery,
+                left_column=left_column,
             ):
                 if capture is not None:
                     apply_capture(capture)
@@ -691,7 +744,12 @@ def _broadcast_join(
                     _emit_task_start(
                         log, events_ctx, task_index, f"chunk-{task_index}", task_index
                     )
-                matches_per_row, totals = index.probe_batch(g for _, g in chunk)
+                if left_column is not None:
+                    matches_per_row, totals = index.probe_batch(
+                        left_column.slice(start, start + cfg.batch_size)
+                    )
+                else:
+                    matches_per_row, totals = index.probe_batch(g for _, g in chunk)
                 if events_ctx is not None:
                     _emit_task_end(
                         log, events_ctx, task_index, f"chunk-{task_index}", task_index,
@@ -722,7 +780,8 @@ def _broadcast_join(
     with tracer.span("probe", category="phase") as span:
         if pool is not None:
             for chunk_pairs, totals, capture in _probe_chunks_pooled(
-                pool, index, left_entries, cfg, model, events_ctx, recovery
+                pool, index, left_entries, cfg, model, events_ctx, recovery,
+                left_column=left_column,
             ):
                 if capture is not None:
                     apply_capture(capture)
@@ -738,7 +797,12 @@ def _broadcast_join(
                     _emit_task_start(
                         log, events_ctx, task_index, f"chunk-{task_index}", task_index
                     )
-                matches_per_row, totals = index.probe_batch(g for _, g in chunk)
+                if left_column is not None:
+                    matches_per_row, totals = index.probe_batch(
+                        left_column.slice(start, start + cfg.batch_size)
+                    )
+                else:
+                    matches_per_row, totals = index.probe_batch(g for _, g in chunk)
                 if events_ctx is not None:
                     _emit_task_end(
                         log, events_ctx, task_index, f"chunk-{task_index}", task_index,
@@ -819,22 +883,36 @@ def _record_bytes(geometry: Geometry) -> float:
     return 48.0 + 16.0 * geometry.num_points
 
 
-def _join_one_tile(tile_id, tile_left, tile_right, tiles, op, cfg, task, expand):
+def _join_one_tile(
+    tile_id, tile_left, tile_right, tiles, op, cfg, task, expand,
+    tile_left_column=None, tile_right_column=None,
+):
     """Index-join one tile, owner-rule deduped; accrues costs into ``task``.
 
     This is the partitioned join's task granularity — the unit the
     executors pool fans out — so it must stay free of driver-global side
-    effects (it only touches its own ``TaskMetrics``).
+    effects (it only touches its own ``TaskMetrics``).  The optional tile
+    columns are zero-copy slices of the whole-side columns; with them the
+    build and probe read packed buffers instead of the per-tile object
+    lists (identical pairs and charges).
     """
-    index = BroadcastIndex(
-        ((pair, pair[1]) for pair in tile_right),
-        op,
-        radius=cfg.radius,
-        engine=cfg.engine,
-    )
+    if tile_right_column is not None:
+        index = BroadcastIndex.from_column(
+            tile_right_column, op, radius=cfg.radius, engine=cfg.engine
+        )
+    else:
+        index = BroadcastIndex(
+            ((pair, pair[1]) for pair in tile_right),
+            op,
+            radius=cfg.radius,
+            engine=cfg.engine,
+        )
     task.add(Resource.INDEX_BUILD, float(len(index)))
     if cfg.batch_refine:
-        matches_per_row, totals = index.probe_batch(g for _, g in tile_left)
+        if tile_left_column is not None:
+            matches_per_row, totals = index.probe_batch(tile_left_column)
+        else:
+            matches_per_row, totals = index.probe_batch(g for _, g in tile_left)
         for resource, amount in totals.items():
             task.add(resource, amount)
     else:
@@ -929,27 +1007,50 @@ def _partitioned_join_local(
     shuffle_metrics = TaskMetrics() if query is not None else None
     left_by_tile: dict[int, list] = {}
     right_by_tile: dict[int, list] = {}
+    left_column = right_column = None
+    left_rows_by_tile: dict[int, list[int]] = {}
+    right_rows_by_tile: dict[int, list[int]] = {}
+    if cfg.batch_refine and _use_columnar(cfg):
+        # Whole-side columns built once; each tile gets zero-copy slices
+        # (row-index arrays into the shared buffers) instead of fresh
+        # object lists for build and probe.
+        left_column = GeometryColumn.from_entries(left_entries)
+        right_column = GeometryColumn.from_entries(
+            (pair, pair[1]) for pair in right_entries
+        )
     with tracer.span("route", category="phase"):
-        for left_id, geometry in left_entries:
+        for row, (left_id, geometry) in enumerate(left_entries):
             if geometry.is_empty:
                 continue
             for tile in tiles.route(geometry.envelope):
                 left_by_tile.setdefault(tile, []).append((left_id, geometry))
+                if left_column is not None:
+                    left_rows_by_tile.setdefault(tile, []).append(row)
                 if shuffle_metrics is not None:
                     shuffle_metrics.add(
                         Resource.SHUFFLE_BYTES, _record_bytes(geometry)
                     )
-        for right_id, geometry in right_entries:
+        for row, (right_id, geometry) in enumerate(right_entries):
             if geometry.is_empty:
                 continue
             for tile in tiles.route(geometry.envelope.expand_by(expand)):
                 right_by_tile.setdefault(tile, []).append((right_id, geometry))
+                if right_column is not None:
+                    right_rows_by_tile.setdefault(tile, []).append(row)
                 if shuffle_metrics is not None:
                     shuffle_metrics.add(
                         Resource.SHUFFLE_BYTES, _record_bytes(geometry)
                     )
     if shuffle_metrics is not None:
         _add_stage(query, "shuffle", [shuffle_metrics], model)
+
+    def _tile_columns(tile_id):
+        tile_left_column = tile_right_column = None
+        if left_column is not None:
+            tile_left_column = left_column.take(left_rows_by_tile[tile_id])
+        if right_column is not None:
+            tile_right_column = right_column.take(right_rows_by_tile[tile_id])
+        return tile_left_column, tile_right_column
 
     pairs: list[tuple[Any, Any]] = []
     tile_tasks: list[TaskMetrics] = []
@@ -980,11 +1081,17 @@ def _partitioned_join_local(
         if use_pool:
 
             def make_tile_task(task_index, tile_id):
+                # Slice driver-side so a process pool ships only this
+                # tile's buffers, not the whole column, with each task.
+                tile_left_column, tile_right_column = _tile_columns(tile_id)
+
                 def join_tile():
                     task = TaskMetrics()
                     tile_pairs = _join_one_tile(
                         tile_id, left_by_tile[tile_id], right_by_tile[tile_id],
                         tiles, op, cfg, task, expand,
+                        tile_left_column=tile_left_column,
+                        tile_right_column=tile_right_column,
                     )
                     return tile_pairs, task
 
@@ -1039,10 +1146,13 @@ def _partitioned_join_local(
                     _emit_task_start(
                         log, events_ctx, task_index, f"tile-{tile_id}", tile_id
                     )
+                tile_left_column, tile_right_column = _tile_columns(tile_id)
                 pairs.extend(
                     _join_one_tile(
                         tile_id, left_by_tile[tile_id], right_by_tile[tile_id],
                         tiles, op, cfg, task, expand,
+                        tile_left_column=tile_left_column,
+                        tile_right_column=tile_right_column,
                     )
                 )
                 if events_ctx is not None:

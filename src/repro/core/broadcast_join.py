@@ -24,6 +24,7 @@ from typing import Any
 
 from repro.cache import estimate_index_bytes, fingerprint_entries
 from repro.cluster.model import Resource
+from repro.columnar.column import GeometryColumn
 from repro.core.operators import SpatialOperator
 from repro.core.probe import BroadcastIndex
 from repro.errors import ReproError
@@ -167,9 +168,19 @@ def broadcast_spatial_join(
                 else None
             )
             if index is None:
-                index = BroadcastIndex(
-                    right_local, operator, radius=radius, engine=engine
+                column = (
+                    GeometryColumn.from_entries(right_local)
+                    if getattr(sc.runtime, "columnar", False)
+                    else None
                 )
+                if column is not None:
+                    index = BroadcastIndex.from_column(
+                        column, operator, radius=radius, engine=engine
+                    )
+                else:
+                    index = BroadcastIndex(
+                        right_local, operator, radius=radius, engine=engine
+                    )
                 if cache is not None:
                     cache.put(
                         cache_key, "spark-broadcast-index", index,

@@ -14,6 +14,7 @@ from typing import Any
 
 from repro.cache import estimate_index_bytes, fingerprint_entries
 from repro.cluster.model import Resource
+from repro.columnar.column import GeometryColumn
 from repro.core.operators import SpatialOperator
 from repro.core.probe import BroadcastIndex
 from repro.errors import ReproError
@@ -149,6 +150,7 @@ def partitioned_spatial_join(
     )
 
     cache = sc.cache
+    use_columnar = getattr(sc.runtime, "columnar", False)
 
     def join_tile(entry):
         tile_id, (left_entries, right_entries) = entry
@@ -172,12 +174,24 @@ def partitioned_spatial_join(
             )
             index = cache.get(tile_key, "spark-tile-index")
         if index is None:
-            index = BroadcastIndex(
-                ((pair, pair[1]) for pair in right_entries),
-                operator,
-                radius=radius,
-                engine=engine,
+            column = (
+                GeometryColumn.from_entries(
+                    (pair, pair[1]) for pair in right_entries
+                )
+                if use_columnar
+                else None
             )
+            if column is not None:
+                index = BroadcastIndex.from_column(
+                    column, operator, radius=radius, engine=engine
+                )
+            else:
+                index = BroadcastIndex(
+                    ((pair, pair[1]) for pair in right_entries),
+                    operator,
+                    radius=radius,
+                    engine=engine,
+                )
             if cache is not None:
                 cache.put(
                     tile_key, "spark-tile-index", index,
@@ -187,8 +201,13 @@ def partitioned_spatial_join(
         task = current_task()
         task.add(Resource.INDEX_BUILD, len(index))
         if batch_refine:
+            left_column = (
+                GeometryColumn.from_entries(left_entries) if use_columnar else None
+            )
             matches_per_row, totals = index.probe_batch(
-                geometry for _, geometry in left_entries
+                left_column
+                if left_column is not None
+                else (geometry for _, geometry in left_entries)
             )
             for resource, amount in totals.items():
                 task.add(resource, amount)

@@ -22,6 +22,8 @@ from typing import Any, Iterable
 import numpy as np
 
 from repro.cluster.model import Resource
+from repro.columnar.column import _POINT as _POINT_CODE
+from repro.columnar.column import GeometryColumn
 from repro.errors import ReproError
 from repro.geometry.base import Geometry
 from repro.geometry.engine import GeometryEngine, create_engine
@@ -104,6 +106,68 @@ class BroadcastIndex:
             self.build_vertex_total += geometry.num_points
         self._tree.build()
 
+    @classmethod
+    def from_column(
+        cls,
+        column: GeometryColumn,
+        operator: SpatialOperator,
+        radius: float = 0.0,
+        engine: GeometryEngine | str = "fast",
+        node_capacity: int = 10,
+    ) -> "BroadcastIndex":
+        """Build the index from a packed column — same tree, bulk-loaded.
+
+        The STR packing reads the column's bbox arrays directly (expanded
+        by the radius with the same float arithmetic as ``expand_by``), so
+        the resulting tree, entry order, counters and probe answers are
+        byte-identical to the object constructor over ``column.entries()``.
+        """
+        if operator.needs_radius and radius <= 0.0:
+            raise ReproError(f"{operator} requires a positive radius")
+        self = cls.__new__(cls)
+        self.operator = operator
+        self.radius = radius if operator.needs_radius else 0.0
+        self.engine = create_engine(engine) if isinstance(engine, str) else engine
+        self._tree = STRtree(node_capacity=node_capacity)
+        counts = column.num_points_array()
+        keep = np.flatnonzero(counts > 0)  # num_points > 0 <=> not is_empty
+        kept = column if len(keep) == len(column) else column.take(keep)
+        prepare = self.engine.prepare
+        items = []
+        for i in range(len(kept)):
+            geometry = kept.geometry(i)
+            items.append((kept.payload(i), geometry, prepare(geometry)))
+        min_x, min_y, max_x, max_y = kept.bounds()
+        radius = self.radius
+        # Same IEEE ops as Envelope.expand_by (x - 0.0 == x bitwise).
+        self._tree.bulk_load_arrays(
+            items, min_x - radius, min_y - radius, max_x + radius, max_y + radius
+        )
+        self.build_entries = len(items)
+        self.build_vertex_total = int(counts[keep].sum())
+        self._tree.build()
+        # Retained so pickling (pool shipping, spawn-style broadcast)
+        # moves the compact encoded column instead of the object graph;
+        # the receiver rebuilds an identical tree from the buffers.
+        self._column = kept
+        self._node_capacity = node_capacity
+        return self
+
+    def __reduce_ex__(self, protocol):
+        column = self.__dict__.get("_column")
+        if column is None:
+            return super().__reduce_ex__(protocol)
+        return (
+            _index_from_column,
+            (
+                column,
+                self.operator,
+                self.radius,
+                self.engine.name,
+                self._node_capacity,
+            ),
+        )
+
     def __len__(self) -> int:
         return self.build_entries
 
@@ -175,7 +239,13 @@ class BroadcastIndex:
         one batch kernel call.  Everything else falls back to per-probe
         scalar refinement (same answers, no batching benefit — mirroring
         the scalar engines).
+
+        ``geometries`` may also be a :class:`GeometryColumn`: the point
+        coordinates are then read straight from the packed buffer with no
+        per-row object access (identical answers and counters).
         """
+        if isinstance(geometries, GeometryColumn):
+            return self._probe_batch_column(geometries, per_row)
         geometries = list(geometries)
         n = len(geometries)
         matches: list[list[Any]] = [[] for _ in range(n)]
@@ -200,11 +270,68 @@ class BroadcastIndex:
                 matches[i], row_units[i] = self.probe_with_cost(geometry)
         batch_totals: dict[str, float] | None = None
         if batchable:
-            batch_totals = self._probe_points_batch(
-                geometries, batchable, matches, row_units, per_row
+            m = len(batchable)
+            xs = np.fromiter(
+                (geometries[i].x for i in batchable), dtype=np.float64, count=m
+            )
+            ys = np.fromiter(
+                (geometries[i].y for i in batchable), dtype=np.float64, count=m
+            )
+            batch_totals = self._probe_points_arrays(
+                xs, ys, batchable, matches, row_units, per_row
             )
         if per_row:
             return matches, row_units
+        return matches, self._sum_units(row_units, batch_totals)
+
+    def _probe_batch_column(
+        self, column: GeometryColumn, per_row: bool
+    ) -> tuple[list[list[Any]], dict[str, float] | list[dict[str, float] | None]]:
+        """:meth:`probe_batch` over a packed column.
+
+        Classification (empty / batchable point / scalar fallback) is
+        vectorised over the column's type and count arrays; the batched
+        point kernel reads xs/ys straight from the coordinate buffer.
+        Non-point rows materialise their geometry once and take the exact
+        scalar path.
+        """
+        n = len(column)
+        matches: list[list[Any]] = [[] for _ in range(n)]
+        row_units: list[dict[str, float] | None] = [None] * n
+        counts = column.num_points_array()
+        batch_ok = self.operator in (
+            SpatialOperator.WITHIN,
+            SpatialOperator.NEAREST_D,
+        ) and hasattr(self.engine, "contains_batch_counted")
+        for i in np.flatnonzero(counts == 0).tolist():
+            row_units[i] = {
+                Resource.INDEX_VISIT: 0.0,
+                Resource.ROWS_OUT: 0.0,
+            }
+        batch_totals: dict[str, float] | None = None
+        if batch_ok:
+            positions, xs, ys = column.point_rows()
+            scalar = np.flatnonzero(
+                (counts > 0) & (column.types_array() != _POINT_CODE)
+            ).tolist()
+        else:
+            positions, xs, ys = np.empty(0, dtype=np.int64), None, None
+            scalar = np.flatnonzero(counts > 0).tolist()
+        for i in scalar:
+            matches[i], row_units[i] = self.probe_with_cost(column.geometry(i))
+        if len(positions):
+            batch_totals = self._probe_points_arrays(
+                xs, ys, positions.tolist(), matches, row_units, per_row
+            )
+        if per_row:
+            return matches, row_units
+        return matches, self._sum_units(row_units, batch_totals)
+
+    @staticmethod
+    def _sum_units(
+        row_units: list[dict[str, float] | None],
+        batch_totals: dict[str, float] | None,
+    ) -> dict[str, float]:
         totals: dict[str, float] = {}
         for units in row_units:
             if units is None:
@@ -214,18 +341,20 @@ class BroadcastIndex:
         if batch_totals:
             for resource, amount in batch_totals.items():
                 totals[resource] = totals.get(resource, 0.0) + amount
-        return matches, totals
+        return totals
 
-    def _probe_points_batch(
+    def _probe_points_arrays(
         self,
-        geometries: list[Geometry | None],
+        xs: np.ndarray,
+        ys: np.ndarray,
         batchable: list[int],
         matches: list[list[Any]],
         row_units: list[dict[str, float] | None],
         per_row: bool,
     ) -> dict[str, float] | None:
-        """Columnar filter+refine for the point probes in ``batchable``.
+        """Columnar filter+refine for point probes at rows ``batchable``.
 
+        ``xs``/``ys`` are the probe coordinates aligned with ``batchable``.
         Fills ``matches`` in place.  With ``per_row`` it also fills
         ``row_units`` (per-probe cost dicts, exactly what
         :meth:`probe_with_cost` yields); otherwise it skips the per-probe
@@ -233,8 +362,6 @@ class BroadcastIndex:
         are integer-valued, so the sum equals the per-row sum exactly.
         """
         m = len(batchable)
-        xs = np.fromiter((geometries[i].x for i in batchable), dtype=np.float64, count=m)
-        ys = np.fromiter((geometries[i].y for i in batchable), dtype=np.float64, count=m)
         # Each chunk is one build item plus every probe that reached it —
         # already the grouping a batched refinement kernel wants.
         chunks, visits = self._tree.query_batch_points_chunks(xs, ys)
@@ -332,6 +459,18 @@ class BroadcastIndex:
             point.x, point.y, k=k, max_distance=max_distance, item_distance=exact
         )
         return [(payload, dist) for (payload, _, _), dist in found]
+
+
+def _index_from_column(column, operator, radius, engine, node_capacity):
+    """Unpickle hook: rebuild a column-backed :class:`BroadcastIndex`.
+
+    The column ships as its compact binary encoding (its own
+    ``__reduce__``); rebuilding here gives a tree bit-identical to the
+    sender's, with engine counters local to the fresh engine instance.
+    """
+    return BroadcastIndex.from_column(
+        column, operator, radius=radius, engine=engine, node_capacity=node_capacity
+    )
 
 
 def naive_spatial_join(

@@ -24,7 +24,15 @@ from repro.geometry.multi import (
 from repro.geometry.point import Point
 from repro.geometry.polygon import LinearRing, Polygon
 
-__all__ = ["loads", "dumps", "WKTReader", "WKTWriter", "clear_wkt_cache"]
+__all__ = [
+    "loads",
+    "dumps",
+    "WKTReader",
+    "WKTWriter",
+    "clear_wkt_cache",
+    "set_wkt_cache_limits",
+    "wkt_cache_stats",
+]
 
 # Process-wide parse memo: WKT text -> parsed geometry (LRU).  The string
 # itself is the content key, so there is no staleness to manage; repeated
@@ -34,14 +42,67 @@ __all__ = ["loads", "dumps", "WKTReader", "WKTWriter", "clear_wkt_cache"]
 # Parsing is pure (the per-byte charge is the caller's ``on_parse``
 # callback, invoked on hits too), which is what keeps results, counters
 # and simulated seconds byte-identical with the memo on or off.
-_parse_cache: OrderedDict[str, Geometry] = OrderedDict()
+#
+# The memo is bounded two ways: an entry-count cap and a byte budget over
+# the retained text + geometry estimates, whichever bites first.  An
+# always-on unbounded-byte memo would quietly pin multi-megabyte polygon
+# tables in memory for the life of the process.
+_parse_cache: OrderedDict[str, tuple[Geometry, int]] = OrderedDict()
 _PARSE_CACHE_CAPACITY = 8192
 _PARSE_CACHE_MIN_CHARS = 64
+_PARSE_CACHE_BYTE_BUDGET = 8 << 20  # 8 MiB of retained text+geometry
+_parse_cache_capacity = _PARSE_CACHE_CAPACITY
+_parse_cache_byte_budget = _PARSE_CACHE_BYTE_BUDGET
+_parse_cache_bytes = 0
+
+
+def _entry_bytes(text: str, geometry: Geometry) -> int:
+    # Retained footprint estimate: the key string plus the parsed
+    # geometry at the shuffle estimator's 16 bytes/vertex rate.
+    return len(text) + 48 + 16 * geometry.num_points
 
 
 def clear_wkt_cache() -> None:
     """Drop every memoised WKT parse (for tests and cold benchmarks)."""
+    global _parse_cache_bytes
     _parse_cache.clear()
+    _parse_cache_bytes = 0
+
+
+def set_wkt_cache_limits(
+    capacity: int | None = None, byte_budget: int | None = None
+) -> None:
+    """Re-bound the parse memo (None keeps a limit unchanged).
+
+    Shrinks immediately when the new limits are tighter.  Passing ``0``
+    for either limit disables memoisation outright.
+    """
+    global _parse_cache_capacity, _parse_cache_byte_budget
+    if capacity is not None:
+        _parse_cache_capacity = int(capacity)
+    if byte_budget is not None:
+        _parse_cache_byte_budget = int(byte_budget)
+    _shrink_parse_cache()
+
+
+def wkt_cache_stats() -> dict[str, int]:
+    """Current memo footprint and limits (for tests and diagnostics)."""
+    return {
+        "entries": len(_parse_cache),
+        "bytes": _parse_cache_bytes,
+        "capacity": _parse_cache_capacity,
+        "byte_budget": _parse_cache_byte_budget,
+    }
+
+
+def _shrink_parse_cache() -> None:
+    global _parse_cache_bytes
+    while _parse_cache and (
+        len(_parse_cache) > _parse_cache_capacity
+        or _parse_cache_bytes > _parse_cache_byte_budget
+    ):
+        _, (_, dropped) = _parse_cache.popitem(last=False)
+        _parse_cache_bytes -= dropped
 
 _WORD_CHARS = frozenset("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
 _NUMBER_CHARS = frozenset("0123456789+-.eE")
@@ -131,16 +192,19 @@ class WKTReader:
                 _parse_cache.move_to_end(text)
                 if self._on_parse is not None:
                     self._on_parse(len(text))
-                return cached
+                return cached[0]
         tokenizer = _Tokenizer(text)
         geometry = self._geometry(tokenizer)
         trailing = tokenizer.next()
         if trailing is not None:
             raise WKTParseError(f"trailing content {trailing!r}", tokenizer.pos)
         if memoise:
-            _parse_cache[text] = geometry
-            while len(_parse_cache) > _PARSE_CACHE_CAPACITY:
-                _parse_cache.popitem(last=False)
+            size = _entry_bytes(text, geometry)
+            if size <= _parse_cache_byte_budget and _parse_cache_capacity > 0:
+                global _parse_cache_bytes
+                _parse_cache[text] = (geometry, size)
+                _parse_cache_bytes += size
+                _shrink_parse_cache()
         if self._on_parse is not None:
             self._on_parse(len(text))
         return geometry

@@ -687,7 +687,8 @@ class ImpalaBackend:
         )
         if bundle is None:
             index, wkt_bytes, _ = build_spatial_index(
-                all_rows, geometry_slot, operator, radius, self.engine_name
+                all_rows, geometry_slot, operator, radius, self.engine_name,
+                columnar=self.runtime.columnar,
             )
             raw_build_bytes = sum(estimate_bytes(r) for r in all_rows)
             if bundle_key is not None:

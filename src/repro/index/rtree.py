@@ -74,6 +74,13 @@ class STRtree(Generic[T]):
         self._root: RTreeNode[T] | None = None
         self._built = False
         self.nodes_visited = 0
+        # Bounds arrays covering a prefix of self._entries, appended by
+        # bulk_load_arrays.  When they cover *every* entry, _pack_leaves
+        # takes the vectorised sort path instead of attribute-walking
+        # envelope objects; any scalar insert() voids the coverage and
+        # falls back to the object sort (identical output either way).
+        self._bulk_bounds: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        self._bulk_count = 0
 
     def insert(self, item: T, envelope: Envelope) -> None:
         """Add an entry; only legal before the first query (STR is static)."""
@@ -81,6 +88,38 @@ class STRtree(Generic[T]):
             raise SpatialIndexError("STRtree cannot be modified after it has been built")
         if not envelope.is_empty:
             self._entries.append((item, envelope))
+
+    def bulk_load_arrays(self, items, min_x, min_y, max_x, max_y) -> None:
+        """Add entries straight from per-item bounds arrays.
+
+        The columnar fast path: sort keys for STR packing come from the
+        arrays (one vectorised argsort instead of a Python key-function
+        sort), and envelope objects are only materialised once per kept
+        entry for the leaf tuples the query kernels expect.  Empty boxes
+        (``min_x > max_x``, the ``Envelope.empty()`` sentinel) are skipped
+        exactly like :meth:`insert` skips empty envelopes.
+        """
+        if self._built:
+            raise SpatialIndexError("STRtree cannot be modified after it has been built")
+        min_x = np.asarray(min_x, dtype=np.float64)
+        min_y = np.asarray(min_y, dtype=np.float64)
+        max_x = np.asarray(max_x, dtype=np.float64)
+        max_y = np.asarray(max_y, dtype=np.float64)
+        keep = ~((min_x > max_x) | (min_y > max_y))
+        if not keep.all():
+            kept = np.flatnonzero(keep)
+            items = [items[i] for i in kept.tolist()]
+            min_x = min_x[kept]
+            min_y = min_y[kept]
+            max_x = max_x[kept]
+            max_y = max_y[kept]
+        append = self._entries.append
+        for item, a, b, c, d in zip(
+            items, min_x.tolist(), min_y.tolist(), max_x.tolist(), max_y.tolist()
+        ):
+            append((item, Envelope(a, b, c, d)))
+        self._bulk_bounds.append((min_x, min_y, max_x, max_y))
+        self._bulk_count += len(min_x)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -108,6 +147,8 @@ class STRtree(Generic[T]):
         self._root = nodes[0]
 
     def _pack_leaves(self) -> list[RTreeNode[T]]:
+        if self._bulk_count == len(self._entries) and self._bulk_count > 0:
+            return self._pack_leaves_arrays()
         entries = sorted(
             self._entries, key=lambda entry: (entry[1].min_x + entry[1].max_x)
         )
@@ -124,6 +165,41 @@ class STRtree(Generic[T]):
                 envelope = Envelope.empty()
                 for _, env in chunk:
                     envelope = envelope.union(env)
+                leaves.append(RTreeNode(envelope, items=chunk, level=0))
+        return leaves
+
+    def _pack_leaves_arrays(self) -> list[RTreeNode[T]]:
+        """Vectorised STR leaf packing over the bulk bounds arrays.
+
+        Identical output to the object path: ``np.argsort(..., kind="stable")``
+        on the same float sort keys reproduces ``sorted``'s stable
+        permutation, and the leaf envelope min/max equals the union chain.
+        """
+        entries = self._entries
+        if len(self._bulk_bounds) == 1:
+            min_x, min_y, max_x, max_y = self._bulk_bounds[0]
+        else:
+            min_x = np.concatenate([b[0] for b in self._bulk_bounds])
+            min_y = np.concatenate([b[1] for b in self._bulk_bounds])
+            max_x = np.concatenate([b[2] for b in self._bulk_bounds])
+            max_y = np.concatenate([b[3] for b in self._bulk_bounds])
+        order = np.argsort(min_x + max_x, kind="stable")
+        ky = min_y + max_y
+        slice_count = max(1, math.ceil(math.sqrt(math.ceil(len(entries) / self._node_capacity))))
+        slice_size = max(1, math.ceil(len(entries) / slice_count))
+        leaves: list[RTreeNode[T]] = []
+        for start in range(0, len(entries), slice_size):
+            horizontal = order[start : start + slice_size]
+            vertical = horizontal[np.argsort(ky[horizontal], kind="stable")]
+            for leaf_start in range(0, len(vertical), self._node_capacity):
+                idx = vertical[leaf_start : leaf_start + self._node_capacity]
+                envelope = Envelope(
+                    float(min_x[idx].min()),
+                    float(min_y[idx].min()),
+                    float(max_x[idx].max()),
+                    float(max_y[idx].max()),
+                )
+                chunk = [entries[i] for i in idx.tolist()]
                 leaves.append(RTreeNode(envelope, items=chunk, level=0))
         return leaves
 

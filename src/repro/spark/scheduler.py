@@ -19,6 +19,7 @@ from typing import Callable, Sequence
 
 from repro.cluster.metrics import QueryMetrics, StageMetrics, TaskMetrics
 from repro.cluster.model import Resource
+from repro.columnar.block import ColumnBlock
 from repro.errors import SparkError
 from repro.obs.events import get_event_log, install_event_log
 from repro.obs.tracer import get_tracer
@@ -430,6 +431,26 @@ class DAGScheduler:
                 bucketed.setdefault(partitioner.partition(key), []).append(record)
         return bucketed
 
+    def _pack_buckets(self, bucketed: dict[int, list]) -> dict[int, object]:
+        """Pack geometry-record buckets into columnar shuffle blocks.
+
+        With the runtime's ``columnar`` knob on, every bucket whose records
+        are ``(key, (id, geometry))`` tuples becomes a
+        :class:`~repro.columnar.block.ColumnBlock` — iterating it yields
+        value-identical records, the store charges the same byte total,
+        and pickling it (pooled map tasks ship buckets back to the
+        driver) moves the packed binary encoding instead of the object
+        graph.  Non-matching buckets (combiner output, plain key/value
+        jobs) pass through untouched.
+        """
+        if not getattr(self.sc.runtime, "columnar", False):
+            return bucketed
+        packed: dict[int, object] = {}
+        for reduce_partition, records in bucketed.items():
+            block = ColumnBlock.from_records(records)
+            packed[reduce_partition] = records if block is None else block
+        return packed
+
     def _emit_shuffle_write(
         self, stage_id, task_index: int, dep, task: TaskMetrics
     ) -> None:
@@ -461,7 +482,9 @@ class DAGScheduler:
             task = TaskMetrics()
 
             def map_task(split=split, task=task):
-                bucketed = self._shuffle_buckets(dep, parent, partitioner, split)
+                bucketed = self._pack_buckets(
+                    self._shuffle_buckets(dep, parent, partitioner, split)
+                )
                 written = store.write(dep.shuffle_id, split, bucketed)
                 task.add(Resource.SHUFFLE_BYTES, written)
 
@@ -494,7 +517,9 @@ class DAGScheduler:
 
         def make_body(split: int):
             def body(task: TaskMetrics):
-                bucketed = self._shuffle_buckets(dep, parent, partitioner, split)
+                bucketed = self._pack_buckets(
+                    self._shuffle_buckets(dep, parent, partitioner, split)
+                )
                 task.add(Resource.SHUFFLE_BYTES, ShuffleStore.bucket_bytes(bucketed))
                 return bucketed
 

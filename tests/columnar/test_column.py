@@ -1,0 +1,298 @@
+"""GeometryColumn round-trip and slicing properties.
+
+The binary encoding must reproduce every geometry bit for bit (types,
+coordinates, ring/part structure, emptiness) and every payload value,
+including the edge cases: empty columns, single points, multi-ring
+polygons, empty members inside multi geometries, None-mixed payloads,
+and negative ints in the zigzag-varint pair lane.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.columnar import COLUMNAR_STATS, GeometryColumn, column_from_wkt
+from repro.geometry.linestring import LineString
+from repro.geometry.multi import MultiLineString, MultiPoint, MultiPolygon
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.wkt import dumps, loads
+
+
+def square(x, y, side=1.0):
+    return Polygon([(x, y), (x + side, y), (x + side, y + side), (x, y + side)])
+
+
+def donut(x, y):
+    shell = [(x, y), (x + 10, y), (x + 10, y + 10), (x, y + 10)]
+    hole1 = [(x + 1, y + 1), (x + 2, y + 1), (x + 2, y + 2), (x + 1, y + 2)]
+    hole2 = [(x + 5, y + 5), (x + 7, y + 5), (x + 7, y + 7), (x + 5, y + 7)]
+    return Polygon(shell, [hole1, hole2])
+
+
+def assert_geometry_equal(a, b):
+    assert type(a) is type(b)
+    assert a.is_empty == b.is_empty
+    if not a.is_empty:
+        assert a.wkb() == b.wkb()
+
+
+def roundtrip(column: GeometryColumn) -> GeometryColumn:
+    blob = column.to_bytes()
+    decoded = GeometryColumn.from_bytes(blob)
+    assert len(decoded) == len(column)
+    for i in range(len(column)):
+        assert decoded.payload(i) == column.payload(i)
+        assert_geometry_equal(decoded.geometry(i), column.geometry(i))
+    return decoded
+
+
+class TestRoundTrip:
+    def test_empty_column(self):
+        column = GeometryColumn.from_entries([])
+        assert len(column) == 0
+        decoded = roundtrip(column)
+        assert list(decoded.entries()) == []
+
+    def test_single_point(self):
+        column = GeometryColumn.from_entries([(7, Point(1.5, -2.25))])
+        decoded = roundtrip(column)
+        assert decoded.payload(0) == 7
+        assert decoded.geometry(0).x == 1.5
+
+    def test_points_use_compact_layout(self):
+        column = GeometryColumn.from_entries(
+            [(i, Point(float(i), float(-i))) for i in range(5)]
+        )
+        blob = column.to_bytes()
+        assert blob[:4] == b"GCOL"
+        assert blob[5] & 0x01  # compact points flag
+        roundtrip(column)
+
+    def test_mixed_types_do_not_use_compact_layout(self):
+        column = GeometryColumn.from_entries(
+            [(0, Point(0.0, 0.0)), (1, square(3, 3))]
+        )
+        blob = column.to_bytes()
+        assert not blob[5] & 0x01
+        roundtrip(column)
+
+    def test_multi_ring_polygons(self):
+        column = GeometryColumn.from_entries(
+            [(0, donut(0, 0)), (1, square(20, 20)), (2, donut(-50, 12.5))]
+        )
+        decoded = roundtrip(column)
+        assert len(decoded.geometry(0).holes) == 2
+        assert len(decoded.geometry(1).holes) == 0
+
+    def test_every_geometry_type(self):
+        geometries = [
+            Point(3.0, 4.0),
+            LineString([(0, 0), (1, 1), (2, 0)]),
+            donut(5, 5),
+            MultiPoint([Point(0, 0), Point(1, 2)]),
+            MultiLineString(
+                [LineString([(0, 0), (1, 0)]), LineString([(5, 5), (6, 6), (7, 5)])]
+            ),
+            MultiPolygon([square(0, 0), donut(100, 100)]),
+        ]
+        column = GeometryColumn.from_geometries(geometries)
+        roundtrip(column)
+
+    def test_empty_geometries_and_empty_members(self):
+        geometries = [
+            Point.empty(),
+            Polygon.empty(),
+            LineString.empty(),
+            MultiPoint([Point(1, 1), Point.empty(), Point(2, 2)]),
+            MultiPolygon([Polygon.empty(), square(0, 0)]),
+            Point(9, 9),
+        ]
+        column = GeometryColumn.from_geometries(geometries)
+        decoded = roundtrip(column)
+        assert decoded.geometry(0).is_empty
+        parts = decoded.geometry(3).parts
+        assert [p.is_empty for p in parts] == [False, True, False]
+
+    def test_coordinates_bit_identical(self):
+        xs = [0.1, 1e-300, 1e300, -0.0, 3.141592653589793]
+        column = GeometryColumn.from_geometries([Point(x, -x) for x in xs])
+        decoded = GeometryColumn.from_bytes(column.to_bytes())
+        for i, x in enumerate(xs):
+            got = decoded.geometry(i)
+            assert (got.x, got.y) == (x, -x)
+        assert np.signbit(decoded.geometry(3).x)
+
+    def test_unsupported_types_return_none(self):
+        from repro.geometry.multi import GeometryCollection
+
+        collection = GeometryCollection([Point(0, 0)])
+        assert GeometryColumn.from_geometries([collection]) is None
+        assert GeometryColumn.from_entries([(1, None)]) is None
+
+
+class TestPayloadLanes:
+    @pytest.mark.parametrize(
+        "payloads",
+        [
+            [None, None, None],
+            [1, 2, 3],
+            [-5, 0, 2**62],
+            ["a", "", "héllo wörld"],
+            [(0, 1), (2, 3), (4, 5)],
+            [(-1, -2), (3, -4), (-(2**40), 2**40)],
+            [None, 1, 2],  # mixed None/int: no compact lane, pickled
+            [(1, 2), None, (3, 4)],
+            [1, "a", 2.5],
+            [{"k": 1}, [1, 2], (1, 2, 3)],
+            [2**100, 1, 2],  # beyond int64: object lane
+            [(2**80, 1), (0, 0)],
+        ],
+    )
+    def test_payload_round_trip(self, payloads):
+        geometries = [Point(float(i), 0.0) for i in range(len(payloads))]
+        column = GeometryColumn.from_entries(zip(payloads, geometries))
+        decoded = GeometryColumn.from_bytes(column.to_bytes())
+        assert decoded.payloads() == payloads
+
+    def test_bool_payloads_stay_bool(self):
+        # bool is an int subclass; the int64 lane must not swallow it.
+        column = GeometryColumn.from_entries(
+            [(True, Point(0, 0)), (False, Point(1, 1))]
+        )
+        decoded = GeometryColumn.from_bytes(column.to_bytes())
+        assert decoded.payloads() == [True, False]
+        assert all(type(p) is bool for p in decoded.payloads())
+
+    def test_int_pair_lane_is_compact(self):
+        n = 500
+        column = GeometryColumn.from_entries(
+            ((i % 16, i), Point(float(i), float(i))) for i in range(n)
+        )
+        pickled = pickle.dumps(
+            [((i % 16, i), (float(i), float(i))) for i in range(n)]
+        )
+        assert len(column.to_bytes()) < len(pickled) + 16 * n
+
+
+class TestSlicing:
+    def make(self, n=20):
+        entries = [(i, Point(float(i), float(2 * i))) for i in range(n)]
+        entries[3] = (3, donut(30, 30))
+        entries[11] = (11, LineString([(0, 0), (5, 5)]))
+        return GeometryColumn.from_entries(entries)
+
+    def test_take_shares_buffers(self):
+        column = self.make()
+        view = column.take([3, 5, 11])
+        assert view._data is column._data  # no coordinate copies
+        assert len(view) == 3
+        assert view.payload(0) == 3
+        assert_geometry_equal(view.geometry(0), column.geometry(3))
+
+    def test_take_of_take_composes(self):
+        column = self.make()
+        view = column.take([1, 3, 5, 7, 9]).take([1, 3])
+        assert [view.payload(i) for i in range(len(view))] == [3, 7]
+
+    def test_slice_matches_take(self):
+        column = self.make()
+        a = column.slice(4, 9)
+        b = column.take(range(4, 9))
+        assert [a.payload(i) for i in range(len(a))] == [
+            b.payload(i) for i in range(len(b))
+        ]
+
+    def test_sliced_encoding_equals_compacted(self):
+        column = self.make()
+        view = column.take([0, 3, 11, 17])
+        decoded = GeometryColumn.from_bytes(view.to_bytes())
+        assert decoded.payloads() == view.payloads()
+        for i in range(len(view)):
+            assert_geometry_equal(decoded.geometry(i), view.geometry(i))
+
+    def test_bounds_follow_selection(self):
+        column = self.make()
+        view = column.take([3])
+        min_x, min_y, max_x, max_y = view.bounds()
+        assert (min_x[0], min_y[0], max_x[0], max_y[0]) == (30.0, 30.0, 40.0, 40.0)
+
+    def test_from_entries_preserves_identity(self):
+        # geometry(i) must return the original object, keeping
+        # identity-keyed prepared-geometry caches effective.
+        entries = [(i, Point(float(i), 0.0)) for i in range(4)]
+        column = GeometryColumn.from_entries(entries)
+        for i, (_, g) in enumerate(entries):
+            assert column.geometry(i) is g
+
+
+class TestSizingAndPickle:
+    def test_nbytes_matches_encoding(self):
+        for column in (
+            GeometryColumn.from_geometries([Point(1, 2), Point(3, 4)]),
+            GeometryColumn.from_geometries([donut(0, 0), Point(1, 1)]),
+            GeometryColumn.from_entries([]),
+        ):
+            # All-None payloads encode to zero payload bytes, so the full
+            # encoding is the geometry buffers plus the 4-byte payload frame.
+            assert len(column.to_bytes()) == column.nbytes + 4
+
+    def test_pickle_ships_binary_encoding(self):
+        column = GeometryColumn.from_entries(
+            [(i, Point(float(i), float(i))) for i in range(100)]
+        )
+        revived = pickle.loads(pickle.dumps(column))
+        assert revived.payloads() == column.payloads()
+        for i in range(len(column)):
+            assert_geometry_equal(revived.geometry(i), column.geometry(i))
+        objects = pickle.dumps([column.entry(i) for i in range(len(column))])
+        assert len(pickle.dumps(column)) < len(objects)
+
+    def test_encoding_updates_columnar_stats(self):
+        before = COLUMNAR_STATS.as_dict()
+        column = GeometryColumn.from_geometries([Point(0, 0)])
+        blob = column.to_bytes()
+        assert COLUMNAR_STATS.columns_encoded == before["columns_encoded"] + 1
+        assert (
+            COLUMNAR_STATS.encoded_bytes == before["encoded_bytes"] + len(blob)
+        )
+
+    def test_bad_magic_and_version_rejected(self):
+        column = GeometryColumn.from_geometries([Point(0, 0)])
+        blob = bytearray(column.to_bytes())
+        with pytest.raises(ValueError):
+            GeometryColumn.from_bytes(b"XXXX" + bytes(blob[4:]))
+        blob[4] = 99  # unsupported version
+        with pytest.raises(ValueError):
+            GeometryColumn.from_bytes(bytes(blob))
+
+
+class TestBulkWKT:
+    def test_point_fast_path_bit_identical_to_scalar(self):
+        texts = [
+            "POINT (1.5 2.5)",
+            "POINT(-73.98765432109876 40.12345678901234)",
+            "point (1e-300 -0.0)",
+        ]
+        column = column_from_wkt(texts, payloads=[0, 1, 2])
+        for i, text in enumerate(texts):
+            scalar = loads(text)
+            got = column.geometry(i)
+            assert got.x == scalar.x and got.y == scalar.y
+        assert column.payloads() == [0, 1, 2]
+
+    def test_fallback_handles_mixed_wkt(self):
+        texts = [dumps(donut(0, 0)), "POINT (1 2)", dumps(square(5, 5))]
+        column = column_from_wkt(texts)
+        assert len(column) == 3
+        assert len(column.geometry(0).holes) == 2
+
+    def test_geometry_collection_returns_none(self):
+        assert column_from_wkt(["GEOMETRYCOLLECTION (POINT (1 2))"]) is None
+
+    def test_payload_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            column_from_wkt(["POINT (1 2)"], payloads=[1, 2])

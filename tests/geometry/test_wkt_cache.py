@@ -1,0 +1,110 @@
+"""The WKT parse memo's bounds: entry cap and byte budget both bite.
+
+An unbounded memo would quietly pin every polygon table ever parsed in
+process memory; these tests prove the LRU shrinks under either limit,
+that stats track the retained footprint, and that memoisation stays
+observation-neutral (``on_parse`` charges fire on hits too).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.wkt import (
+    WKTReader,
+    clear_wkt_cache,
+    dumps,
+    loads,
+    set_wkt_cache_limits,
+    wkt_cache_stats,
+)
+from repro.geometry.polygon import Polygon
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_wkt_cache()
+    defaults = wkt_cache_stats()
+    yield
+    set_wkt_cache_limits(
+        capacity=defaults["capacity"], byte_budget=defaults["byte_budget"]
+    )
+    clear_wkt_cache()
+
+
+def big_polygon_wkt(seed: int, vertices: int = 40) -> str:
+    ring = [
+        (float(seed * 1000 + i), float(i * i % 97)) for i in range(vertices)
+    ]
+    ring.append(ring[0])
+    return dumps(Polygon(ring))
+
+
+class TestMemoBounds:
+    def test_entry_cap_holds(self):
+        set_wkt_cache_limits(capacity=10, byte_budget=1 << 30)
+        for seed in range(50):
+            loads(big_polygon_wkt(seed))
+        stats = wkt_cache_stats()
+        assert stats["entries"] <= 10
+
+    def test_byte_budget_holds(self):
+        budget = 4096
+        set_wkt_cache_limits(capacity=1 << 20, byte_budget=budget)
+        for seed in range(50):
+            loads(big_polygon_wkt(seed))
+        stats = wkt_cache_stats()
+        assert 0 < stats["bytes"] <= budget
+
+    def test_eviction_is_lru(self):
+        set_wkt_cache_limits(capacity=2, byte_budget=1 << 30)
+        first = big_polygon_wkt(1)
+        second = big_polygon_wkt(2)
+        loads(first)
+        loads(second)
+        loads(first)  # refresh: second is now the LRU victim
+        loads(big_polygon_wkt(3))
+        cached_first = loads(first)
+        assert cached_first is loads(first)  # still memoised
+        entries = wkt_cache_stats()["entries"]
+        assert entries == 2
+
+    def test_zero_capacity_disables_memoisation(self):
+        set_wkt_cache_limits(capacity=0)
+        text = big_polygon_wkt(9)
+        a, b = loads(text), loads(text)
+        assert a is not b
+        assert wkt_cache_stats()["entries"] == 0
+
+    def test_oversized_entry_is_not_retained(self):
+        set_wkt_cache_limits(capacity=100, byte_budget=64)
+        loads(big_polygon_wkt(4))  # bigger than the whole budget
+        assert wkt_cache_stats()["entries"] == 0
+
+    def test_bytes_return_to_zero_after_clear(self):
+        loads(big_polygon_wkt(5))
+        assert wkt_cache_stats()["bytes"] > 0
+        clear_wkt_cache()
+        assert wkt_cache_stats()["bytes"] == 0
+
+    def test_shrink_applies_when_limits_tighten(self):
+        for seed in range(8):
+            loads(big_polygon_wkt(seed))
+        assert wkt_cache_stats()["entries"] == 8
+        set_wkt_cache_limits(capacity=3)
+        assert wkt_cache_stats()["entries"] == 3
+
+
+class TestMemoNeutrality:
+    def test_hits_still_charge_on_parse(self):
+        charges = []
+        reader = WKTReader(on_parse=charges.append)
+        text = big_polygon_wkt(7)
+        first = reader.read(text)
+        second = reader.read(text)
+        assert second is first  # memo hit
+        assert charges == [len(text), len(text)]  # both runs billed
+
+    def test_short_texts_never_enter_the_memo(self):
+        loads("POINT (1 2)")
+        assert wkt_cache_stats()["entries"] == 0
