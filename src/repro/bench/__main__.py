@@ -37,14 +37,15 @@ ENGINES = ("spatialspark", "isp-mc", "isp-standalone")
 
 def _scale_or_mode(value: str):
     """Positional argument: a float scale factor, or a named bench mode."""
-    if value in ("kernels", "parallel", "monitor", "chaos", "cache", "columnar"):
+    if value in ("kernels", "parallel", "monitor", "chaos", "cache",
+                 "columnar", "regress"):
         return value
     try:
         return float(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"expected a scale factor, 'kernels', 'parallel', 'monitor', "
-            f"'chaos', 'cache' or 'columnar', got {value!r}"
+            f"'chaos', 'cache', 'columnar' or 'regress', got {value!r}"
         ) from None
 
 
@@ -65,8 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
         "process-pool runtime benchmark, 'monitor' to replay an "
         "events.jsonl file as per-worker timelines, 'chaos' for the "
         "fault-injection equivalence sweep, 'cache' for the "
-        "cross-query cache cold-vs-warm benchmark, or 'columnar' for "
-        "the packed-buffer data plane vs object path benchmark",
+        "cross-query cache cold-vs-warm benchmark, 'columnar' for "
+        "the packed-buffer data plane vs object path benchmark, or "
+        "'regress' to gate a fresh run against the committed "
+        "BENCH_*.json baselines (exits nonzero on regression)",
     )
     parser.add_argument(
         "target",
@@ -232,6 +235,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=12,
         help="for cache mode: point batches per repeat-query workload "
         "(default 12)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="for regress mode: skip the slower fresh benchmark runs and "
+        "check the committed artifacts' internal invariants instead "
+        "(the CI regress-smoke configuration)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        metavar="DIR",
+        default=".",
+        help="for regress mode: directory holding the committed "
+        "BENCH_*.json baselines (default: current directory)",
+    )
+    parser.add_argument(
+        "--explain-out",
+        metavar="PATH",
+        default=None,
+        help="for regress mode: write the hotspot EXPLAIN ANALYZE "
+        "report produced by the live invariant check as JSON to PATH",
     )
     parser.add_argument(
         "--method",
@@ -508,6 +532,17 @@ def _monitor_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _regress_run(args: argparse.Namespace) -> int:
+    from repro.obs.regress import run_regress
+
+    return run_regress(
+        baseline_dir=args.baseline_dir,
+        quick=args.quick,
+        explain_out=args.explain_out,
+        out=args.out,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.scale == "kernels":
@@ -522,6 +557,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cache_run(args)
     if args.scale == "columnar":
         return _columnar_run(args)
+    if args.scale == "regress":
+        return _regress_run(args)
     if args.method == "auto":
         study = optimizer_study(scale=args.scale, nodes=args.nodes)
         if args.json:

@@ -330,6 +330,10 @@ def render_chaos(doc: dict) -> str:
 
 
 def write_chaos_json(doc: dict, path: str) -> None:
+    from repro.bench.report import stamp_bench_doc
+
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(doc, handle, indent=1, sort_keys=True, default=str)
+        json.dump(
+            stamp_bench_doc(doc), handle, indent=1, sort_keys=True, default=str
+        )
         handle.write("\n")

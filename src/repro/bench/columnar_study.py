@@ -252,6 +252,8 @@ def render_columnar(doc: dict[str, Any]) -> str:
 
 def write_columnar_json(doc: dict[str, Any], path: str) -> None:
     """Write the benchmark document as stable, diff-friendly JSON."""
+    from repro.bench.report import stamp_bench_doc
+
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(doc, handle, indent=1, sort_keys=True)
+        json.dump(stamp_bench_doc(doc), handle, indent=1, sort_keys=True)
         handle.write("\n")

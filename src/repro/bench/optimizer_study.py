@@ -76,14 +76,20 @@ def _skew_section(scale: float, cluster: ClusterSpec) -> dict:
 
 def optimizer_study(scale: float, nodes: int = 4) -> dict:
     """Run the plan chooser over the study workloads plus the skew demo."""
+    from repro.bench.report import stamp_bench_doc
+
     cluster = ClusterSpec(num_nodes=nodes)
-    return {
-        "scale": scale,
-        "nodes": nodes,
-        "workers": cluster.total_cores,
-        "plans": [_plan_for(name, scale, cluster) for name in STUDY_WORKLOADS],
-        "skew": _skew_section(scale, cluster),
-    }
+    return stamp_bench_doc(
+        {
+            "scale": scale,
+            "nodes": nodes,
+            "workers": cluster.total_cores,
+            "plans": [
+                _plan_for(name, scale, cluster) for name in STUDY_WORKLOADS
+            ],
+            "skew": _skew_section(scale, cluster),
+        }
+    )
 
 
 def render_optimizer_study(study: dict) -> str:

@@ -22,6 +22,9 @@ from repro.bench.runner import (
 from repro.bench.workloads import materialize
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "GENERATED_BY",
+    "stamp_bench_doc",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
     "BenchCache",
@@ -41,6 +44,31 @@ __all__ = [
 DEFAULT_SCALE = 0.12
 SCALING_NODES = (4, 6, 8, 10)
 WORKLOAD_ORDER = ("taxi-nycb", "taxi-lion-100", "taxi-lion-500", "G10M-wwf")
+
+# Every BENCH_*.json artifact is stamped so `bench regress` can reject
+# stale or foreign baselines before comparing numbers against them.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _generated_by() -> str:
+    from repro import __version__
+
+    return f"repro.bench/{__version__}"
+
+
+GENERATED_BY = _generated_by()
+
+
+def stamp_bench_doc(doc: dict) -> dict:
+    """Add the baseline provenance fields to one BENCH document (in place).
+
+    Idempotent, and key-insertion only — stamping never reorders or
+    rewrites measurement fields (the files are dumped with
+    ``sort_keys=True`` anyway).
+    """
+    doc["schema_version"] = BENCH_SCHEMA_VERSION
+    doc["generated_by"] = GENERATED_BY
+    return doc
 
 # The paper's numbers (seconds), for side-by-side reporting.
 PAPER_TABLE1 = {

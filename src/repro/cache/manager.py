@@ -141,6 +141,25 @@ class CacheManager:
         """Resident entries in insertion order (for tests/tooling)."""
         return sorted(self._entries.values(), key=lambda e: e.inserted)
 
+    def residency(self) -> dict:
+        """JSON-safe occupancy summary (the EXPLAIN ``cache=`` annotation).
+
+        Purely introspective — reads entry metadata without touching the
+        LRU clock or the hit/miss counters, so asking "what is resident"
+        never changes what stays resident.
+        """
+        by_kind: dict[str, dict[str, int]] = {}
+        for entry in self._entries.values():
+            bucket = by_kind.setdefault(entry.kind, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += entry.size_bytes
+        return {
+            "entries": len(self._entries),
+            "total_bytes": self.total_bytes,
+            "budget_bytes": self.budget_bytes,
+            "by_kind": dict(sorted(by_kind.items())),
+        }
+
     # -- events -----------------------------------------------------------
 
     def _emit(self, event_type: str, **fields) -> None:

@@ -102,6 +102,18 @@ class JoinConfig:
     counters, profiles, simulated seconds and events match exactly either
     way.  An explicit ``runtime`` carries its own ``columnar`` flag, which
     wins (same precedence as ``executors``).
+
+    ``explain`` selects the plan-introspection surface (DESIGN.md §15):
+    ``"off"`` (default) adds nothing; ``"plan"`` attaches an estimate-only
+    :class:`~repro.obs.explain.ExplainReport` to the result;
+    ``"analyze"`` additionally runs the query under full metrics and
+    overlays the measured per-operator actuals onto the same tree,
+    flagging estimates that are off by more than ``explain_ratio``.
+    ``calibration_out`` names a JSONL file that every ANALYZE run appends
+    its estimate-vs-actual deltas to (the optimizer's
+    :class:`~repro.optimizer.calibration.CalibrationLog`).  All three are
+    observers only: pairs, counters, profiles, simulated seconds and
+    events are byte-identical whatever their values.
     """
 
     operator: SpatialOperator | str = SpatialOperator.WITHIN
@@ -120,11 +132,22 @@ class JoinConfig:
     events_out: str | None = None
     runtime: RuntimeConfig | None = None
     columnar: bool = True
+    explain: str = "off"
+    explain_ratio: float = 4.0
+    calibration_out: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.batch_size, int) or self.batch_size < 1:
             raise ReproError(
                 f"batch_size must be a positive integer, got {self.batch_size!r}"
+            )
+        if self.explain not in ("off", "plan", "analyze"):
+            raise ReproError(
+                f"explain must be 'off', 'plan' or 'analyze', got {self.explain!r}"
+            )
+        if not self.explain_ratio > 1.0:
+            raise ReproError(
+                f"explain_ratio must be > 1, got {self.explain_ratio!r}"
             )
         validate_executors(self.executors, what="executors")
         if self.runtime is not None and not isinstance(self.runtime, RuntimeConfig):
@@ -163,7 +186,10 @@ class JoinResult(_SequenceABC):
       when ``method="auto"`` chose the strategy, else ``None``;
     * ``stats`` — the sampled :class:`~repro.optimizer.JoinStats` backing
       that choice, else ``None``;
-    * ``method`` — the strategy that actually executed.
+    * ``method`` — the strategy that actually executed;
+    * ``explain_report`` — the :class:`~repro.obs.explain.ExplainReport`
+      when the join ran with ``explain="plan"`` / ``"analyze"``, else
+      ``None``.
     """
 
     __hash__ = None  # mutable-list semantics, like the list it replaces
@@ -175,12 +201,14 @@ class JoinResult(_SequenceABC):
         plan=None,
         stats=None,
         method: str | None = None,
+        explain_report=None,
     ):
         self.pairs = pairs
         self.profile = profile
         self.plan = plan
         self.stats = stats
         self.method = method
+        self.explain_report = explain_report
 
     def __getitem__(self, index):
         return self.pairs[index]
@@ -209,6 +237,30 @@ class JoinResult(_SequenceABC):
         if self.plan is None:
             return ""
         return "\n".join(self.plan.explain())
+
+    def explain_analyze(self):
+        """The estimate-vs-actual :class:`~repro.obs.explain.ExplainReport`.
+
+        Returns the report attached by ``explain="analyze"`` directly.
+        Joins that ran with ``profile=True`` but without the analyze knob
+        still get a report, lazily built from the query profile (actuals
+        and skew only — no per-operator estimates, since the plan was not
+        priced operator-by-operator at run time).  Anything else raises
+        with guidance.
+        """
+        if self.explain_report is not None and self.explain_report.mode == "analyze":
+            return self.explain_report
+        from repro.obs.explain import overlay_profile, report_from_profile
+
+        if self.explain_report is not None and self.profile is not None:
+            return overlay_profile(self.explain_report, self.profile)
+        if self.profile is not None:
+            return report_from_profile(self.profile, method=self.method)
+        raise ReproError(
+            "explain_analyze() needs measured actuals — run the join with"
+            " config=JoinConfig(explain='analyze') (or at least"
+            " profile=True) and call it on that result"
+        )
 
 
 def _normalise(
@@ -337,6 +389,7 @@ def spatial_join(
     executors: int | str = "serial",
     events_out: str | None = None,
     runtime: RuntimeConfig | None = None,
+    explain: str = "off",
     config: JoinConfig | None = None,
 ) -> JoinResult:
     """Join two (id, geometry) collections; returns matching id pairs.
@@ -397,6 +450,7 @@ def spatial_join(
             workers=workers,
             executors=executors,
             events_out=events_out,
+            explain=explain,
         )
     if runtime is not None:
         cfg = cfg.with_(runtime=runtime)
@@ -435,7 +489,23 @@ def _run_join(left, right, cfg: JoinConfig) -> JoinResult:
     # None unless the runtime opts in via cache_budget_bytes.
     cache = cache_for(cfg.resolved_runtime())
     tracer = get_tracer()
-    query = QueryMetrics(name="spatial-join") if cfg.profile else None
+    # Pure observers: nothing below this block changes when explain is on.
+    explain_on = cfg.explain != "off"
+    raw_wkt = False
+    cache_before = None
+    if explain_on:
+        left = left if isinstance(left, list) else list(left)
+        right = right if isinstance(right, list) else list(right)
+        raw_wkt = any(isinstance(g, str) for _, g in left) or any(
+            isinstance(g, str) for _, g in right
+        )
+        if cache is not None:
+            cache_before = cache.stats.as_dict()
+    query = (
+        QueryMetrics(name="spatial-join")
+        if cfg.profile or cfg.explain == "analyze"
+        else None
+    )
     log = get_event_log()
     events_query = log.next_id("query") if log.enabled else None
     if events_query is not None:
@@ -464,6 +534,12 @@ def _run_join(left, right, cfg: JoinConfig) -> JoinResult:
     bindex_key = None
     if cache is not None:
         bindex_key = _broadcast_index_key(right_entries, op, cfg)
+    # Residency of the broadcast build side *at planning time* — a plain
+    # containment peek (counts neither hit nor miss), recorded for the
+    # explain report before execution can warm the cache.
+    explain_resident = (
+        explain_on and bindex_key is not None and bindex_key in cache
+    )
     if method == "auto":
         from repro.optimizer import choose_plan
 
@@ -525,9 +601,74 @@ def _run_join(left, right, cfg: JoinConfig) -> JoinResult:
             profile_obj.root.info["plan_est_seconds"] = plan.estimated_seconds
             if plan.partitioning is not None:
                 profile_obj.root.info["plan_tiles"] = len(plan.partitioning)
+    report = None
+    if explain_on:
+        report = _build_explain_report(
+            cfg, op, model, plan, method, left_entries, right_entries,
+            raw_wkt, cache, bindex_key, explain_resident, cache_before,
+            profile_obj,
+        )
     return JoinResult(
-        pairs=pairs, profile=profile_obj, plan=plan, stats=stats, method=method
+        pairs=pairs, profile=profile_obj, plan=plan, stats=stats,
+        method=method, explain_report=report,
     )
+
+
+def _build_explain_report(
+    cfg, op, model, plan, method, left_entries, right_entries, raw_wkt,
+    cache, bindex_key, explain_resident, cache_before, profile_obj,
+):
+    """Price the executed plan and (for ANALYZE) overlay measured actuals.
+
+    Runs strictly after the join: it reads the already-built profile and
+    plan, re-prices via the same deterministic chooser when the caller
+    forced a method, and never touches metrics, events or the cache's
+    hit/miss counters (residency checks are containment peeks).
+    """
+    from repro.obs.explain import build_plan_report, overlay_profile
+
+    pricing = plan
+    if pricing is None:
+        from repro.optimizer import choose_plan
+
+        pricing = choose_plan(
+            left_entries,
+            right_entries,
+            operator=op,
+            radius=cfg.radius,
+            cost_model=model,
+            workers=cfg.workers,
+            num_tiles=cfg.num_tiles,
+            skew_factor=cfg.skew_factor,
+            engine=cfg.engine,
+            sample_size=cfg.sample_size,
+            cached_build=explain_resident,
+        )
+    cache_info = {
+        "enabled": cache is not None,
+        "build_resident": explain_resident,
+    }
+    if cache is not None and cache_before is not None:
+        after = cache.stats.as_dict()
+        cache_info["hits_delta"] = after["hits"] - cache_before["hits"]
+        cache_info["misses_delta"] = after["misses"] - cache_before["misses"]
+        cache_info["residency"] = cache.residency()
+    report = build_plan_report(
+        pricing,
+        method=method if plan is None else None,
+        model=model,
+        engine=cfg.engine,
+        parse_wkt=raw_wkt,
+        ratio=cfg.explain_ratio,
+        cache_info=cache_info,
+    )
+    if cfg.explain == "analyze" and profile_obj is not None:
+        overlay_profile(report, profile_obj, cache_info=cache_info)
+        if cfg.calibration_out:
+            from repro.optimizer.calibration import CalibrationLog
+
+            CalibrationLog(cfg.calibration_out).record_report(report)
+    return report
 
 
 def _add_stage(

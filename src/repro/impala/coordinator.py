@@ -119,6 +119,31 @@ class QueryResult:
                 )
         return QueryProfile(root)
 
+    def explain_report(self, ratio: float | None = None):
+        """EXPLAIN ANALYZE view of this query's measured profile.
+
+        Wraps :meth:`to_profile` in the shared
+        :class:`~repro.obs.explain.ExplainReport` shape (actuals plus
+        per-phase straggler/imbalance annotations; the estimate columns
+        stay empty — the Impala planner prices fragments, not the
+        operator tree), so ISP-MC runs render and serialise through the
+        same machinery as the core and SpatialSpark substrates.
+        """
+        from repro.obs.explain import (
+            DEFAULT_MISESTIMATE_RATIO,
+            report_from_profile,
+        )
+
+        report = report_from_profile(
+            self.to_profile(),
+            ratio=DEFAULT_MISESTIMATE_RATIO if ratio is None else ratio,
+            method="ISP-MC",
+        )
+        if self.plan is not None:
+            report.plan["fragments"] = len(self.plan.fragments)
+        report.plan["instances"] = len(self.instances)
+        return report
+
     @property
     def straggler_seconds(self) -> float:
         """The slowest instance's time (the static-scheduling bottleneck)."""

@@ -19,7 +19,12 @@ reproduction's equivalent:
 * :mod:`repro.obs.events` — a Spark-style structured event log (JSONL,
   versioned schema) that survives the process and replays later;
 * :mod:`repro.obs.monitor` — the replay-driven cluster monitor: per-worker
-  Gantt timelines, stage summary tables, straggler detection.
+  Gantt timelines, stage summary tables, straggler detection;
+* :mod:`repro.obs.explain` — ``EXPLAIN`` / ``EXPLAIN ANALYZE``: annotated
+  plan trees with per-operator cost estimates, measured-actual overlays
+  and misestimate flags;
+* :mod:`repro.obs.regress` — the perf-regression gate comparing fresh
+  runs against the committed ``BENCH_*.json`` baselines.
 
 Profiles are derived from the metrics the engines already accrue
 (:mod:`repro.cluster.metrics`), so they are exact: a profile's per-phase
@@ -44,8 +49,16 @@ from repro.obs.export import (
     spans_to_json,
     write_chrome_trace,
 )
+from repro.obs.explain import (
+    ExplainNode,
+    ExplainReport,
+    explain,
+    overlay_profile,
+    report_from_profile,
+)
 from repro.obs.monitor import monitor_report
 from repro.obs.profile import ProfileNode, QueryProfile
+from repro.obs.regress import CheckRow, render_regress, run_regress
 from repro.obs.registry import REGISTRY, Histogram, MetricsRegistry, collecting
 from repro.obs.tracer import NULL_SPAN, Span, Tracer, get_tracer, set_tracer, tracing
 
@@ -75,4 +88,12 @@ __all__ = [
     "read_events",
     "normalize_events",
     "monitor_report",
+    "ExplainNode",
+    "ExplainReport",
+    "explain",
+    "overlay_profile",
+    "report_from_profile",
+    "CheckRow",
+    "render_regress",
+    "run_regress",
 ]

@@ -94,11 +94,22 @@ class TaskRecord:
         return f"worker-{self.worker} (pid {self.pid})"
 
 
+def _num(value, default: float = 0.0) -> float:
+    """A numeric field that may be absent *or* present-but-null.
+
+    Hand-written or truncated JSONL logs carry ``"sim_seconds": null``
+    where the emitters write a float; ``record.get(key, 0.0)`` returns
+    that ``None`` and a later histogram raises.  Treat null as missing.
+    """
+    return default if value is None else float(value)
+
+
 def parse_tasks(events: list[dict]) -> list[TaskRecord]:
     """Join start/end events into :class:`TaskRecord` rows.
 
     Unpaired starts (a crashed query's tail) are dropped — the monitor
-    reports completed work.
+    reports completed work.  Null-valued numeric fields are treated as
+    absent, so partially-written logs degrade instead of raising.
     """
     starts: dict[tuple, dict] = {}
     records: list[TaskRecord] = []
@@ -122,11 +133,13 @@ def parse_tasks(events: list[dict]) -> list[TaskRecord]:
                     label=record.get("label", f"task-{record.get('task')}"),
                     worker=record.get("worker"),
                     pid=record.get("pid"),
-                    wall_start=start.get("wall_start", record.get("wall_end", 0.0)),
-                    wall_end=record.get("wall_end", 0.0),
-                    sim_seconds=record.get("sim_seconds", 0.0),
-                    counters=record.get("counters", {}),
-                    failures=record.get("failures", 0),
+                    wall_start=_num(
+                        start.get("wall_start", record.get("wall_end"))
+                    ),
+                    wall_end=_num(record.get("wall_end")),
+                    sim_seconds=_num(record.get("sim_seconds")),
+                    counters=record.get("counters") or {},
+                    failures=int(_num(record.get("failures"))),
                 )
             )
         elif kind == "FragmentEnd":
@@ -140,10 +153,12 @@ def parse_tasks(events: list[dict]) -> list[TaskRecord]:
                     label=f"fragment-{record.get('fragment')}",
                     worker=record.get("worker"),
                     pid=record.get("pid"),
-                    wall_start=start.get("wall_start", record.get("wall_end", 0.0)),
-                    wall_end=record.get("wall_end", 0.0),
-                    sim_seconds=record.get("sim_seconds", 0.0),
-                    counters=record.get("counters", {}),
+                    wall_start=_num(
+                        start.get("wall_start", record.get("wall_end"))
+                    ),
+                    wall_end=_num(record.get("wall_end")),
+                    sim_seconds=_num(record.get("sim_seconds")),
+                    counters=record.get("counters") or {},
                 )
             )
     return records
@@ -437,17 +452,27 @@ def render_cache_activity(events: list[dict]) -> str | None:
 
 
 def monitor_report(events: list[dict], k: float = 2.0, width: int = 64) -> str:
-    """The complete monitor view of one event stream."""
+    """The complete monitor view of one event stream.
+
+    An empty or zero-task log degrades to a one-line "no tasks recorded"
+    notice (plus any query headers / recovery / cache sections the log
+    does contain) instead of four empty-placeholder tables.
+    """
     tasks = parse_tasks(events)
     names = stage_names(events)
     sections = []
     headers = _query_headers(events)
     if headers:
         sections.append("\n".join(headers))
-    sections.append(render_stage_summary(tasks, names))
-    sections.append(render_timelines(tasks, width=width))
-    sections.append(render_stragglers(detect_stragglers(tasks, k=k), k, names))
-    sections.append(render_utilization(tasks))
+    if tasks:
+        sections.append(render_stage_summary(tasks, names))
+        sections.append(render_timelines(tasks, width=width))
+        sections.append(
+            render_stragglers(detect_stragglers(tasks, k=k), k, names)
+        )
+        sections.append(render_utilization(tasks))
+    else:
+        sections.append("no tasks recorded")
     recovery = render_recovery(events, names)
     if recovery:
         sections.append(recovery)

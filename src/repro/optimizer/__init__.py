@@ -17,14 +17,19 @@ recursively split before task generation.
   :class:`~repro.cluster.model.CostModel`;
 * :mod:`repro.optimizer.planner` — :func:`choose_plan` over ``broadcast``
   / ``partitioned`` / ``dual-tree`` / ``naive``, plus the
-  LocationSpark-style :func:`split_hot_tiles` repartitioner.
+  LocationSpark-style :func:`split_hot_tiles` repartitioner;
+* :mod:`repro.optimizer.calibration` — the persistent
+  estimate-vs-actual feedback log that ``EXPLAIN ANALYZE`` appends to
+  and :func:`choose_plan` consults (recorded, never auto-applied).
 """
 
+from repro.optimizer.calibration import CalibrationLog, CalibrationRecord
 from repro.optimizer.planner import (
     PlanChoice,
     choose_plan,
     derive_skew_aware_partitioning,
     estimate_plan_costs,
+    estimate_plan_terms,
     predicted_makespans,
     split_hot_tiles,
 )
@@ -37,10 +42,13 @@ from repro.optimizer.stats import (
 )
 
 __all__ = [
+    "CalibrationLog",
+    "CalibrationRecord",
     "PlanChoice",
     "choose_plan",
     "derive_skew_aware_partitioning",
     "estimate_plan_costs",
+    "estimate_plan_terms",
     "predicted_makespans",
     "split_hot_tiles",
     "reservoir_sample",

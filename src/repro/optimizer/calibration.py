@@ -1,0 +1,175 @@
+"""Persistent estimate-vs-actual feedback for the plan chooser.
+
+LocationSpark's argument (see PAPERS.md) is that a cost-model-driven
+planner is only trustworthy with a feedback loop from runtime statistics.
+This module is that loop's storage layer: every ``EXPLAIN ANALYZE`` run
+can append its per-operator estimate/actual deltas here, and
+:func:`~repro.optimizer.planner.choose_plan` can *consult* the
+accumulated correction factors via its ``calibration=`` keyword.
+
+Deliberately, consulting is recording-only: the factors are snapshotted
+onto the returned :class:`~repro.optimizer.planner.PlanChoice` (so
+EXPLAIN output shows how wrong past estimates were for each operator)
+but never multiplied into the costs.  Plans therefore stay a pure
+function of the inputs — the auto-apply step is future work gated on
+enough recorded history to trust.
+
+The on-disk form is append-only JSONL, one record per (method, operator,
+metric) delta, so logs from many runs concatenate trivially.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = ["CalibrationRecord", "CalibrationLog", "CALIBRATION_SCHEMA_VERSION"]
+
+CALIBRATION_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CalibrationRecord:
+    """One observed estimate-vs-actual delta for one plan operator."""
+
+    method: str  # executed join strategy ("broadcast", ...)
+    operator: str  # plan-tree operator the delta belongs to ("probe", ...)
+    metric: str  # "seconds" | "rows" | "bytes"
+    estimate: float
+    actual: float
+
+    @property
+    def ratio(self) -> float:
+        """actual / estimate (capped-safe: 0 estimate -> 0-or-inf guard)."""
+        if self.estimate > 0.0:
+            return self.actual / self.estimate
+        return 0.0 if self.actual == 0.0 else float("inf")
+
+    def to_json(self) -> dict:
+        return {
+            "schema_version": CALIBRATION_SCHEMA_VERSION,
+            "method": self.method,
+            "operator": self.operator,
+            "metric": self.metric,
+            "estimate": self.estimate,
+            "actual": self.actual,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "CalibrationRecord":
+        return cls(
+            method=doc["method"],
+            operator=doc["operator"],
+            metric=doc["metric"],
+            estimate=float(doc["estimate"]),
+            actual=float(doc["actual"]),
+        )
+
+
+class CalibrationLog:
+    """Accumulated estimate-vs-actual deltas, optionally JSONL-backed.
+
+    With a ``path`` every :meth:`record` / :meth:`record_report` call
+    appends the new records to the file immediately (append mode, one
+    JSON object per line), so several processes' histories concatenate
+    into one log.  Without a path the log is purely in-memory.
+    """
+
+    def __init__(self, path: str | None = None):
+        self.path = path
+        self.records: list[CalibrationRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- recording --------------------------------------------------------
+
+    def record(self, record: CalibrationRecord) -> None:
+        """Append one delta (and persist it when the log has a path)."""
+        self.records.append(record)
+        if self.path:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record.to_json(), sort_keys=True))
+                handle.write("\n")
+
+    def record_report(self, report) -> int:
+        """Harvest every operator with both an estimate and an actual from
+        an :class:`~repro.obs.explain.ExplainReport`; returns how many
+        records were appended."""
+        added = 0
+        for node in report.operators():
+            if node.actual is None:
+                continue
+            for metric, estimate in node.estimate.items():
+                actual = node.actual.get(metric)
+                if actual is None:
+                    continue
+                self.record(
+                    CalibrationRecord(
+                        method=report.method,
+                        operator=node.name,
+                        metric=metric,
+                        estimate=float(estimate),
+                        actual=float(actual),
+                    )
+                )
+                added += 1
+        return added
+
+    # -- loading ----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "CalibrationLog":
+        """Read a JSONL calibration log back; unknown versions are rejected."""
+        log = cls()
+        log.path = path
+        if not os.path.exists(path):
+            return log
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ReproError(
+                        f"{path}:{line_no}: not valid JSON ({error})"
+                    ) from None
+                version = doc.get("schema_version")
+                if version != CALIBRATION_SCHEMA_VERSION:
+                    raise ReproError(
+                        f"{path}:{line_no}: calibration schema_version "
+                        f"{version!r} != {CALIBRATION_SCHEMA_VERSION}"
+                    )
+                log.records.append(CalibrationRecord.from_json(doc))
+        return log
+
+    # -- consulting -------------------------------------------------------
+
+    def factors(self, metric: str = "seconds") -> dict[str, float]:
+        """Median actual/estimate ratio per ``method/operator`` key.
+
+        The median (not mean) keeps one wild outlier run from dominating
+        the factor; keys with no finite ratios are omitted.
+        """
+        ratios: dict[str, list[float]] = {}
+        for record in self.records:
+            if record.metric != metric:
+                continue
+            ratio = record.ratio
+            if ratio == float("inf"):
+                continue
+            ratios.setdefault(f"{record.method}/{record.operator}", []).append(ratio)
+        factors: dict[str, float] = {}
+        for key, values in sorted(ratios.items()):
+            values.sort()
+            mid = len(values) // 2
+            if len(values) % 2:
+                factors[key] = values[mid]
+            else:
+                factors[key] = (values[mid - 1] + values[mid]) / 2.0
+        return factors

@@ -50,6 +50,7 @@ __all__ = [
     "PlanChoice",
     "choose_plan",
     "estimate_plan_costs",
+    "estimate_plan_terms",
     "split_hot_tiles",
     "derive_skew_aware_partitioning",
     "predicted_makespans",
@@ -81,6 +82,10 @@ class PlanChoice:
     # True when the broadcast build side was cache-resident at planning
     # time, so its cost was discounted (a warm cache can flip the plan).
     cached_build: bool = False
+    # Estimate-vs-actual correction factors consulted at planning time
+    # (``choose_plan(..., calibration=...)``).  Recorded for observability
+    # only — the chooser never applies them, so plans stay deterministic.
+    calibration: dict[str, float] | None = field(default=None, repr=False)
 
     @property
     def estimated_seconds(self) -> float:
@@ -120,6 +125,10 @@ class PlanChoice:
         }
         if self.cached_build:
             info["cached_build"] = True
+        if self.calibration:
+            info["calibration"] = {
+                key: round(value, 6) for key, value in self.calibration.items()
+            }
         if self.partitioning is not None:
             info["tiles"] = len(self.partitioning)
             info["split_tiles"] = self.split_tiles
@@ -236,7 +245,7 @@ def derive_skew_aware_partitioning(
 # -- plan costing ---------------------------------------------------------------
 
 
-def estimate_plan_costs(
+def estimate_plan_terms(
     stats: JoinStats,
     cost_model: CostModel | None = None,
     workers: int = 1,
@@ -244,21 +253,16 @@ def estimate_plan_costs(
     engine: str = "fast",
     histogram: TileHistogram | None = None,
     cached_build: bool = False,
-) -> dict[str, float]:
-    """Price every plan in simulated seconds.
+) -> dict[str, dict[str, float]]:
+    """Per-operator cost terms of every plan, in simulated seconds.
 
-    ``workers`` is the parallelism the probe/tile work divides over;
-    ``nodes`` scales the broadcast fan-out cost.  When a ``histogram`` is
-    given the partitioned plan's parallel phase is the *simulated dynamic
-    makespan* of its per-tile estimates — the calibration hook that makes
-    the chooser agree with :mod:`repro.cluster.simulation`.
-
-    ``cached_build`` zeroes the broadcast plan's index-build term: when
-    the cross-query cache already holds the built index, the broadcast
-    plan's real setup cost is just the lookup, so the chooser should not
-    charge a rebuild it will never perform.  (The *executed* plan still
-    bills the full build units — plan pricing is about wall-clock the
-    driver will actually spend; execution billing simulates the cluster.)
+    The inner dicts decompose each plan's estimate into the operators the
+    executed query will actually report (``build``/``probe`` for
+    broadcast, ``shuffle``/``join`` for partitioned, ...), which is what
+    lets ``EXPLAIN`` annotate an operator tree and ``EXPLAIN ANALYZE``
+    overlay measured actuals term by term.  :func:`estimate_plan_costs`
+    sums the terms in insertion order, so the totals are bit-identical to
+    the pre-decomposition formula.
     """
     model = cost_model or CostModel()
     workers = max(1, workers)
@@ -289,7 +293,6 @@ def estimate_plan_costs(
     probe = model.task_seconds(
         probe_units(n_left, n_right, cand, v_right, engine)
     )
-    broadcast = setup + build + ship + probe / workers
 
     # partitioned: shuffle both sides, then per-tile build+probe either
     # simulated from the histogram or approximated as evenly split work.
@@ -310,7 +313,6 @@ def estimate_plan_costs(
         parallel = simulate_dynamic(occupied, workers, per_task_overhead=setup)
     else:
         parallel = (build + probe) / workers + setup
-    partitioned = 2.0 * setup + shuffle + parallel
 
     # dual-tree: pack both sides, synchronized traversal (serial); no
     # per-probe descent, cheaper candidate enumeration.
@@ -324,14 +326,70 @@ def estimate_plan_costs(
             Resource.ROWS_OUT: n_left * cand * 0.5,
         }
     )
-    dual_tree = setup + dual_build + dual_traverse
 
     return {
-        "naive": naive,
-        "broadcast": broadcast,
-        "partitioned": partitioned,
-        "dual-tree": dual_tree,
+        "naive": {"join": naive},
+        "broadcast": {
+            "setup": setup,
+            "build": build,
+            "ship": ship,
+            "probe": probe / workers,
+        },
+        "partitioned": {
+            "setup": 2.0 * setup,
+            "shuffle": shuffle,
+            "join": parallel,
+        },
+        "dual-tree": {
+            "setup": setup,
+            "build": dual_build,
+            "join": dual_traverse,
+        },
     }
+
+
+def estimate_plan_costs(
+    stats: JoinStats,
+    cost_model: CostModel | None = None,
+    workers: int = 1,
+    nodes: int = 1,
+    engine: str = "fast",
+    histogram: TileHistogram | None = None,
+    cached_build: bool = False,
+) -> dict[str, float]:
+    """Price every plan in simulated seconds.
+
+    ``workers`` is the parallelism the probe/tile work divides over;
+    ``nodes`` scales the broadcast fan-out cost.  When a ``histogram`` is
+    given the partitioned plan's parallel phase is the *simulated dynamic
+    makespan* of its per-tile estimates — the calibration hook that makes
+    the chooser agree with :mod:`repro.cluster.simulation`.
+
+    ``cached_build`` zeroes the broadcast plan's index-build term: when
+    the cross-query cache already holds the built index, the broadcast
+    plan's real setup cost is just the lookup, so the chooser should not
+    charge a rebuild it will never perform.  (The *executed* plan still
+    bills the full build units — plan pricing is about wall-clock the
+    driver will actually spend; execution billing simulates the cluster.)
+    """
+    terms = estimate_plan_terms(
+        stats,
+        cost_model,
+        workers=workers,
+        nodes=nodes,
+        engine=engine,
+        histogram=histogram,
+        cached_build=cached_build,
+    )
+    # Left-associative sum in insertion order keeps every total
+    # bit-identical to the historical single-expression formula.
+    costs: dict[str, float] = {}
+    for method, parts in terms.items():
+        total = 0.0
+        for seconds in parts.values():
+            total = total + seconds
+        costs[method] = total
+    return costs
 
 
 def choose_plan(
@@ -347,6 +405,7 @@ def choose_plan(
     engine: str = "fast",
     sample_size: int | None = None,
     cached_build: bool = False,
+    calibration=None,
 ) -> PlanChoice:
     """Sample, price, and pick the cheapest join plan.
 
@@ -361,6 +420,13 @@ def choose_plan(
     (the cross-query cache already holds the built index); the discount
     and any resulting plan flip are recorded on the returned
     :class:`PlanChoice` as ``cached_build``.
+
+    ``calibration`` is an optional
+    :class:`~repro.optimizer.calibration.CalibrationLog`: its per-operator
+    estimate-vs-actual factors are *consulted* (snapshotted onto the
+    returned choice for EXPLAIN output) but never applied to the costs, so
+    the same inputs always pick the same plan regardless of feedback
+    history.
     """
     model = cost_model or CostModel()
     if isinstance(left, JoinStats):
@@ -399,6 +465,9 @@ def choose_plan(
         cached_build=cached_build,
     )
     method = min(PLAN_METHODS, key=lambda m: (costs[m], PLAN_METHODS.index(m)))
+    factors = None
+    if calibration is not None:
+        factors = calibration.factors()
     return PlanChoice(
         method=method,
         costs=costs,
@@ -410,6 +479,7 @@ def choose_plan(
         split_tiles=split_count,
         skew_factor=skew_factor,
         cached_build=cached_build,
+        calibration=factors or None,
     )
 
 

@@ -73,6 +73,10 @@ class DAGScheduler:
         self._job_counter = 0
         self.task_failures = 0
         self._events_query: int | None = None  # current job's event-log query id
+        # Per-stage scheduling outcomes (name, tasks, makespan, overhead,
+        # skew), appended as stages finish — the EXPLAIN ANALYZE feed for
+        # SpatialSpark runs.  Observational only; never read by execution.
+        self.stage_summaries: list[dict] = []
         # The attempt budget is a RuntimeConfig knob now; the class
         # attribute stays as the documented Spark default.
         self.max_task_attempts = getattr(
@@ -712,3 +716,15 @@ class DAGScheduler:
         span.set_attr("max_task_seconds", stage.max_task_seconds(model))
         span.set_attr("median_task_seconds", stage.median_task_seconds(model))
         span.set_attr("skew", stage.skew(model))
+        self.stage_summaries.append(
+            {
+                "name": stage.name,
+                "tasks": stage.num_tasks,
+                "makespan_seconds": stage.makespan_seconds,
+                "overhead_seconds": stage.overhead_seconds,
+                "max_task_seconds": stage.max_task_seconds(model),
+                "median_task_seconds": stage.median_task_seconds(model),
+                "skew": stage.skew(model),
+                "shuffling": shuffling,
+            }
+        )

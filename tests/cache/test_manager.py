@@ -152,3 +152,35 @@ class TestIndexSizing:
         assert estimate_index_bytes("not an index") == estimate_bytes(
             "not an index"
         )
+
+
+class TestResidency:
+    """residency() is the EXPLAIN peek: pure metadata, no counter noise."""
+
+    def test_summarises_by_kind(self):
+        manager = CacheManager(budget_bytes=1000)
+        manager.put(key("a"), "broadcast-index", "A", size_bytes=100)
+        manager.put(key("b"), "broadcast-index", "B", size_bytes=50)
+        manager.put(key("c"), "parsed-geometries", "C", size_bytes=25)
+        view = manager.residency()
+        assert view["entries"] == 3
+        assert view["total_bytes"] == 175
+        assert view["budget_bytes"] == 1000
+        assert view["by_kind"] == {
+            "broadcast-index": {"entries": 2, "bytes": 150},
+            "parsed-geometries": {"entries": 1, "bytes": 25},
+        }
+
+    def test_peek_counts_nothing_and_keeps_lru_order(self):
+        manager = CacheManager(budget_bytes=100)
+        manager.put(key("old"), "t", "old", size_bytes=40)
+        manager.put(key("new"), "t", "new", size_bytes=40)
+        before = manager.stats.as_dict()
+        assert key("old") in manager
+        manager.residency()
+        assert manager.stats.as_dict() == before
+        # The containment peek must not refresh "old" in the LRU clock:
+        # the next over-budget insert still evicts it first.
+        manager.put(key("third"), "t", "third", size_bytes=40)
+        assert manager.get(key("old"), "t") is None
+        assert manager.get(key("new"), "t") == "new"

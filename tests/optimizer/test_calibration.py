@@ -1,0 +1,141 @@
+"""The estimate-vs-actual calibration log: recorded, never applied."""
+
+import pytest
+
+from repro.bench.workloads import materialize
+from repro.core import JoinConfig, spatial_join
+from repro.errors import ReproError
+from repro.obs.explain import ExplainNode, ExplainReport
+from repro.optimizer import CalibrationLog, CalibrationRecord, choose_plan
+
+
+def _record(method="broadcast", operator="probe", metric="seconds",
+            estimate=2.0, actual=4.0):
+    return CalibrationRecord(
+        method=method, operator=operator, metric=metric,
+        estimate=estimate, actual=actual,
+    )
+
+
+def _analyze_report():
+    """A tiny hand-built ANALYZE report with two harvestable operators."""
+    root = ExplainNode(name="spatial-join", estimate={"seconds": 3.0},
+                       actual={"seconds": 6.0})
+    root.add_child(
+        ExplainNode(name="build", estimate={"seconds": 1.0, "rows": 10.0},
+                    actual={"seconds": 4.0, "rows": 10.0})
+    )
+    root.add_child(
+        ExplainNode(name="probe", estimate={"seconds": 2.0},
+                    actual={"seconds": 2.0})
+    )
+    root.add_child(ExplainNode(name="parse", estimate={"seconds": 0.5}))
+    return ExplainReport(root=root, method="broadcast", mode="analyze")
+
+
+class TestRecord:
+    def test_ratio(self):
+        assert _record(estimate=2.0, actual=4.0).ratio == 2.0
+        assert _record(estimate=0.0, actual=0.0).ratio == 0.0
+        assert _record(estimate=0.0, actual=1.0).ratio == float("inf")
+
+    def test_json_round_trip(self):
+        record = _record()
+        assert CalibrationRecord.from_json(record.to_json()) == record
+
+
+class TestLog:
+    def test_record_report_harvests_executed_operators(self):
+        log = CalibrationLog()
+        added = log.record_report(_analyze_report())
+        # build contributes seconds+rows, probe contributes seconds; the
+        # never-executed parse node contributes nothing.
+        assert added == 3
+        assert {r.operator for r in log.records} == {"build", "probe"}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "calibration.jsonl")
+        log = CalibrationLog(path)
+        log.record(_record(actual=4.0))
+        log.record(_record(operator="build", estimate=1.0, actual=3.0))
+        loaded = CalibrationLog.load(path)
+        assert loaded.records == log.records
+        # Append-only: a second log writing to the same file concatenates.
+        CalibrationLog(path).record(_record(actual=6.0))
+        assert len(CalibrationLog.load(path)) == 3
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert len(CalibrationLog.load(str(tmp_path / "absent.jsonl"))) == 0
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            CalibrationLog.load(str(path))
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        doc = _record().to_json()
+        doc["schema_version"] = 99
+        import json
+
+        path.write_text(json.dumps(doc) + "\n")
+        with pytest.raises(ReproError, match="schema_version"):
+            CalibrationLog.load(str(path))
+
+    def test_factors_median_per_method_operator(self):
+        log = CalibrationLog()
+        for actual in (1.0, 4.0, 6.0):  # ratios 0.5, 2.0, 3.0 -> median 2.0
+            log.record(_record(estimate=2.0, actual=actual))
+        log.record(_record(operator="build", estimate=1.0, actual=2.0))
+        log.record(_record(operator="build", estimate=1.0, actual=4.0))
+        log.record(_record(estimate=0.0, actual=1.0))  # inf ratio: skipped
+        log.record(_record(metric="rows", estimate=1.0, actual=100.0))
+        factors = log.factors()
+        assert factors == {
+            "broadcast/probe": 2.0,
+            "broadcast/build": 3.0,  # even count: mean of the middle two
+        }
+        assert log.factors(metric="rows") == {"broadcast/probe": 100.0}
+
+
+class TestChoosePlanConsultsButNeverApplies:
+    def test_factors_recorded_not_applied(self):
+        wl = materialize("hotspot-nycb", scale=0.02)
+        log = CalibrationLog()
+        for _ in range(3):  # wildly wrong history: 100x underestimates
+            log.record(_record(operator="probe", estimate=1.0, actual=100.0))
+        plain = choose_plan(
+            wl.left.records, wl.right.records, operator=wl.workload.operator
+        )
+        consulted = choose_plan(
+            wl.left.records,
+            wl.right.records,
+            operator=wl.workload.operator,
+            calibration=log,
+        )
+        # Same choice, identical prices: the factors only ride along.
+        assert consulted.method == plain.method
+        assert consulted.costs == plain.costs
+        assert consulted.calibration == log.factors()
+        assert not plain.calibration
+
+
+class TestCalibrationOut:
+    def test_analyze_run_appends_jsonl(self, tmp_path):
+        path = str(tmp_path / "calibration.jsonl")
+        wl = materialize("hotspot-nycb", scale=0.02)
+        result = spatial_join(
+            wl.left.records,
+            wl.right.records,
+            config=JoinConfig(
+                operator=wl.workload.operator,
+                explain="analyze",
+                calibration_out=path,
+            ),
+        )
+        log = CalibrationLog.load(path)
+        assert len(log) > 0
+        method = result.explain_report.method
+        assert all(r.method == method for r in log.records)
+        assert any(key.startswith(f"{method}/") for key in log.factors())
